@@ -1,0 +1,314 @@
+//! Forward and backward kernels for dilated causal 1-D convolution — the
+//! workhorse of TCN/RPTCN. Layout: activations are `[batch, channels, time]`,
+//! weights are `[out_ch, in_ch, kernel]`.
+//!
+//! Causality follows eq. (4) of the paper: the output at time `t` reads
+//! inputs `x_{t - (K-1-kk)·d}` for tap `kk`, i.e. only the past. Negative
+//! time indices contribute zero (implicit left padding of `(K-1)·d`).
+
+use rayon::prelude::*;
+use tensor::Tensor;
+
+/// Parallelise over the batch only when there is enough arithmetic per item.
+const PAR_THRESHOLD: usize = 1 << 16;
+
+/// `y = causal_conv1d(x, w)` with dilation `d`.
+///
+/// * `x`: `[batch, in_ch, time]`
+/// * `w`: `[out_ch, in_ch, k]`
+/// * returns `[batch, out_ch, time]` (same length as the input — the network
+///   is a 1-D fully-convolutional stack).
+pub fn conv1d_forward(x: &Tensor, w: &Tensor, dilation: usize) -> Tensor {
+    assert_eq!(x.rank(), 3, "conv input must be [batch, in_ch, time]");
+    assert_eq!(w.rank(), 3, "conv weight must be [out_ch, in_ch, k]");
+    let (batch, in_ch, time) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let (out_ch, in_ch_w, k) = (w.shape()[0], w.shape()[1], w.shape()[2]);
+    assert_eq!(
+        in_ch, in_ch_w,
+        "channel mismatch: input {in_ch}, weight {in_ch_w}"
+    );
+    assert!(dilation >= 1, "dilation must be >= 1");
+
+    let dx = x.as_slice();
+    let dw = w.as_slice();
+    let mut out = vec![0.0f32; batch * out_ch * time];
+
+    let item_kernel = |b: usize, out_item: &mut [f32]| {
+        let x_item = &dx[b * in_ch * time..(b + 1) * in_ch * time];
+        for oc in 0..out_ch {
+            let y_row = &mut out_item[oc * time..(oc + 1) * time];
+            for ic in 0..in_ch {
+                let x_row = &x_item[ic * time..(ic + 1) * time];
+                let w_row = &dw[(oc * in_ch + ic) * k..(oc * in_ch + ic + 1) * k];
+                for (kk, &wv) in w_row.iter().enumerate() {
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    // Tap kk reads x[t - shift]; only t >= shift contributes.
+                    let shift = (k - 1 - kk) * dilation;
+                    if shift >= time {
+                        continue;
+                    }
+                    for t in shift..time {
+                        y_row[t] += wv * x_row[t - shift];
+                    }
+                }
+            }
+        }
+    };
+
+    if batch * out_ch * in_ch * time * k >= PAR_THRESHOLD && batch > 1 {
+        out.par_chunks_mut(out_ch * time)
+            .enumerate()
+            .for_each(|(b, chunk)| item_kernel(b, chunk));
+    } else {
+        for (b, chunk) in out.chunks_mut(out_ch * time).enumerate() {
+            item_kernel(b, chunk);
+        }
+    }
+    Tensor::from_vec(out, &[batch, out_ch, time])
+}
+
+/// Gradient of the loss w.r.t. the convolution input.
+pub fn conv1d_backward_input(
+    grad_out: &Tensor,
+    w: &Tensor,
+    input_shape: &[usize],
+    dilation: usize,
+) -> Tensor {
+    let (batch, in_ch, time) = (input_shape[0], input_shape[1], input_shape[2]);
+    let (out_ch, _, k) = (w.shape()[0], w.shape()[1], w.shape()[2]);
+    let dgo = grad_out.as_slice();
+    let dw = w.as_slice();
+    let mut grad_in = vec![0.0f32; batch * in_ch * time];
+
+    let item_kernel = |b: usize, gin_item: &mut [f32]| {
+        let go_item = &dgo[b * out_ch * time..(b + 1) * out_ch * time];
+        for oc in 0..out_ch {
+            let go_row = &go_item[oc * time..(oc + 1) * time];
+            for ic in 0..in_ch {
+                let gin_row = &mut gin_item[ic * time..(ic + 1) * time];
+                let w_row = &dw[(oc * in_ch + ic) * k..(oc * in_ch + ic + 1) * k];
+                for (kk, &wv) in w_row.iter().enumerate() {
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    let shift = (k - 1 - kk) * dilation;
+                    if shift >= time {
+                        continue;
+                    }
+                    // y[t] += w * x[t-shift]  =>  dx[s] += w * dy[s+shift]
+                    for t in shift..time {
+                        gin_row[t - shift] += wv * go_row[t];
+                    }
+                }
+            }
+        }
+    };
+
+    if batch * out_ch * in_ch * time * k >= PAR_THRESHOLD && batch > 1 {
+        grad_in
+            .par_chunks_mut(in_ch * time)
+            .enumerate()
+            .for_each(|(b, chunk)| item_kernel(b, chunk));
+    } else {
+        for (b, chunk) in grad_in.chunks_mut(in_ch * time).enumerate() {
+            item_kernel(b, chunk);
+        }
+    }
+    Tensor::from_vec(grad_in, &[batch, in_ch, time])
+}
+
+/// Gradient of the loss w.r.t. the convolution weights.
+pub fn conv1d_backward_weight(
+    grad_out: &Tensor,
+    x: &Tensor,
+    kernel: usize,
+    dilation: usize,
+) -> Tensor {
+    let (batch, in_ch, time) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let out_ch = grad_out.shape()[1];
+    let dgo = grad_out.as_slice();
+    let dx = x.as_slice();
+
+    // Map-reduce over the batch: each item produces its own dW, summed at the
+    // end. The per-item dW is small (out*in*k), so the reduce is cheap.
+    let per_item = |b: usize| -> Vec<f32> {
+        let mut gw = vec![0.0f32; out_ch * in_ch * kernel];
+        let go_item = &dgo[b * out_ch * time..(b + 1) * out_ch * time];
+        let x_item = &dx[b * in_ch * time..(b + 1) * in_ch * time];
+        for oc in 0..out_ch {
+            let go_row = &go_item[oc * time..(oc + 1) * time];
+            for ic in 0..in_ch {
+                let x_row = &x_item[ic * time..(ic + 1) * time];
+                let gw_row = &mut gw[(oc * in_ch + ic) * kernel..(oc * in_ch + ic + 1) * kernel];
+                for (kk, gw_slot) in gw_row.iter_mut().enumerate() {
+                    let shift = (kernel - 1 - kk) * dilation;
+                    if shift >= time {
+                        continue;
+                    }
+                    let mut acc = 0.0f32;
+                    for t in shift..time {
+                        acc += go_row[t] * x_row[t - shift];
+                    }
+                    *gw_slot += acc;
+                }
+            }
+        }
+        gw
+    };
+
+    let total: Vec<f32> = if batch * out_ch * in_ch * time * kernel >= PAR_THRESHOLD && batch > 1 {
+        (0..batch).into_par_iter().map(per_item).reduce(
+            || vec![0.0f32; out_ch * in_ch * kernel],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+    } else {
+        let mut acc = vec![0.0f32; out_ch * in_ch * kernel];
+        for b in 0..batch {
+            for (x, y) in acc.iter_mut().zip(&per_item(b)) {
+                *x += y;
+            }
+        }
+        acc
+    };
+    Tensor::from_vec(total, &[out_ch, in_ch, kernel])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Rng;
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        // k=1 weight of 1.0 on a single channel is the identity.
+        let x = Tensor::from_vec((1..=5).map(|v| v as f32).collect(), &[1, 1, 5]);
+        let w = Tensor::ones(&[1, 1, 1]);
+        let y = conv1d_forward(&x, &w, 1);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn causal_shift_matches_hand_computation() {
+        // k=2, w = [a=0.5 (past tap), b=2.0 (current tap)], d=1:
+        // y[t] = 2*x[t] + 0.5*x[t-1]
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 4]);
+        let w = Tensor::from_vec(vec![0.5, 2.0], &[1, 1, 2]);
+        let y = conv1d_forward(&x, &w, 1);
+        assert_eq!(y.as_slice(), &[2.0, 4.5, 7.0, 9.5]);
+    }
+
+    #[test]
+    fn dilation_reaches_further_back() {
+        // k=2, d=2: y[t] = w1*x[t] + w0*x[t-2]
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0], &[1, 1, 5]);
+        let w = Tensor::from_vec(vec![1.0, 1.0], &[1, 1, 2]);
+        let y = conv1d_forward(&x, &w, 2);
+        assert_eq!(y.as_slice(), &[1.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn no_future_leakage() {
+        // Changing x[t0] must not affect y[t] for t < t0 at any dilation.
+        let mut rng = Rng::seed_from(1);
+        for &d in &[1usize, 2, 4] {
+            let x1 = Tensor::rand_normal(&[1, 2, 10], 0.0, 1.0, &mut rng);
+            let mut x2 = x1.clone();
+            // Perturb the final time step of each channel.
+            for c in 0..2 {
+                let v = x2.at(&[0, c, 9]) + 100.0;
+                x2.set(&[0, c, 9], v);
+            }
+            let w = Tensor::rand_normal(&[3, 2, 3], 0.0, 1.0, &mut rng);
+            let y1 = conv1d_forward(&x1, &w, d);
+            let y2 = conv1d_forward(&x2, &w, d);
+            for oc in 0..3 {
+                for t in 0..9 {
+                    assert_eq!(
+                        y1.at(&[0, oc, t]),
+                        y2.at(&[0, oc, t]),
+                        "leak at d={d} t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_channel_sums_contributions() {
+        // Two input channels, k=1: y = w0*x0 + w1*x1.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 10.0, 20.0], &[1, 2, 2]);
+        let w = Tensor::from_vec(vec![1.0, 0.1], &[1, 2, 1]);
+        let y = conv1d_forward(&x, &w, 1);
+        assert_eq!(y.as_slice(), &[2.0, 4.0]);
+    }
+
+    /// Finite-difference check of both backward kernels.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from(7);
+        let (b, ic, oc, t, k, d) = (2, 3, 2, 8, 3, 2);
+        let x = Tensor::rand_normal(&[b, ic, t], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[oc, ic, k], 0.0, 0.5, &mut rng);
+
+        // Loss = sum(y); then dL/dy = 1 everywhere.
+        let grad_out = Tensor::ones(&[b, oc, t]);
+        let gin = conv1d_backward_input(&grad_out, &w, &[b, ic, t], d);
+        let gw = conv1d_backward_weight(&grad_out, &x, k, d);
+
+        let loss = |x: &Tensor, w: &Tensor| -> f64 {
+            conv1d_forward(x, w, d)
+                .as_slice()
+                .iter()
+                .map(|&v| v as f64)
+                .sum()
+        };
+        let eps = 1e-3f32;
+        // Sample a few coordinates of each gradient.
+        for idx in [0usize, 5, 17, b * ic * t - 1] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = ((loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (gin.as_slice()[idx] - fd).abs() < 1e-2,
+                "input grad mismatch at {idx}: analytic {} vs fd {fd}",
+                gin.as_slice()[idx]
+            );
+        }
+        for idx in [0usize, 3, oc * ic * k - 1] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let fd = ((loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (gw.as_slice()[idx] - fd).abs() < 1e-1,
+                "weight grad mismatch at {idx}: analytic {} vs fd {fd}",
+                gw.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_items_are_independent() {
+        let mut rng = Rng::seed_from(9);
+        let x0 = Tensor::rand_normal(&[1, 2, 6], 0.0, 1.0, &mut rng);
+        let x1 = Tensor::rand_normal(&[1, 2, 6], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[2, 2, 2], 0.0, 1.0, &mut rng);
+        let mut stacked = x0.as_slice().to_vec();
+        stacked.extend_from_slice(x1.as_slice());
+        let both = conv1d_forward(&Tensor::from_vec(stacked, &[2, 2, 6]), &w, 1);
+        let y0 = conv1d_forward(&x0, &w, 1);
+        let y1 = conv1d_forward(&x1, &w, 1);
+        assert_eq!(&both.as_slice()[..12], y0.as_slice());
+        assert_eq!(&both.as_slice()[12..], y1.as_slice());
+    }
+}

@@ -1,0 +1,103 @@
+//! Weight initialisation schemes.
+
+use tensor::{Rng, Tensor};
+
+/// Initialisation scheme for a weight tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// Constant fill.
+    Constant(f32),
+    /// Uniform in `[-bound, bound]`.
+    Uniform(f32),
+    /// Glorot/Xavier uniform: `bound = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// He/Kaiming normal: `std = sqrt(2 / fan_in)` — the right choice ahead
+    /// of ReLU nonlinearities (all TCN blocks).
+    KaimingNormal,
+    /// Plain Gaussian with the given standard deviation.
+    Normal(f32),
+}
+
+impl Init {
+    /// Sample a tensor of `shape`. `fan_in`/`fan_out` are taken from the
+    /// shape: for matrices `[in, out]`; for conv weights `[out, in, k]`
+    /// fan_in = in·k, fan_out = out·k.
+    pub fn sample(self, shape: &[usize], rng: &mut Rng) -> Tensor {
+        let (fan_in, fan_out) = fans(shape);
+        match self {
+            Init::Constant(c) => Tensor::full(shape, c),
+            Init::Uniform(b) => Tensor::rand_uniform(shape, -b, b, rng),
+            Init::XavierUniform => {
+                let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                Tensor::rand_uniform(shape, -bound, bound, rng)
+            }
+            Init::KaimingNormal => {
+                let std = (2.0 / fan_in as f32).sqrt();
+                Tensor::rand_normal(shape, 0.0, std, rng)
+            }
+            Init::Normal(std) => Tensor::rand_normal(shape, 0.0, std, rng),
+        }
+    }
+}
+
+fn fans(shape: &[usize]) -> (usize, usize) {
+    match shape.len() {
+        0 => (1, 1),
+        1 => (shape[0], shape[0]),
+        2 => (shape[0], shape[1]),
+        // Conv weights [out_ch, in_ch, k].
+        3 => (shape[1] * shape[2], shape[0] * shape[2]),
+        _ => {
+            let receptive: usize = shape[2..].iter().product();
+            (shape[1] * receptive, shape[0] * receptive)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_fill() {
+        let mut rng = Rng::seed_from(1);
+        let t = Init::Constant(0.5).sample(&[3, 3], &mut rng);
+        assert!(t.as_slice().iter().all(|&x| x == 0.5));
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = Rng::seed_from(2);
+        let t = Init::XavierUniform.sample(&[100, 50], &mut rng);
+        let bound = (6.0f32 / 150.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= bound));
+        // Values actually spread out, not collapsed near zero.
+        let spread = t
+            .as_slice()
+            .iter()
+            .filter(|&&x| x.abs() > bound / 2.0)
+            .count();
+        assert!(spread > 100);
+    }
+
+    #[test]
+    fn kaiming_std_is_close() {
+        let mut rng = Rng::seed_from(3);
+        let t = Init::KaimingNormal.sample(&[4000, 100], &mut rng);
+        let std_expected = (2.0f32 / 4000.0).sqrt();
+        let var: f64 = t
+            .as_slice()
+            .iter()
+            .map(|&x| (x as f64).powi(2))
+            .sum::<f64>()
+            / t.len() as f64;
+        assert!(((var.sqrt() as f32) - std_expected).abs() < std_expected * 0.1);
+    }
+
+    #[test]
+    fn conv_fans_use_receptive_field() {
+        assert_eq!(fans(&[8, 4, 3]), (12, 24));
+        assert_eq!(fans(&[5]), (5, 5));
+        assert_eq!(fans(&[2, 7]), (2, 7));
+    }
+}

@@ -1,0 +1,16 @@
+//! Neural-network layers built on the tape: dense, causal convolution,
+//! dropout, attention and LSTM.
+
+pub mod attention;
+pub mod conv;
+pub mod dropout;
+pub mod gru;
+pub mod linear;
+pub mod lstm;
+
+pub use attention::{FeatureAttention, TemporalAttention};
+pub use conv::CausalConv1d;
+pub use dropout::Dropout;
+pub use gru::{Gru, GruCell};
+pub use linear::Linear;
+pub use lstm::{Lstm, LstmCell};

@@ -1,0 +1,37 @@
+//! # autograd — reverse-mode autodiff and neural-network toolkit
+//!
+//! Everything the RPTCN reproduction needs to train deep models on CPU,
+//! written from scratch on top of the `tensor` crate:
+//!
+//! * [`Graph`] — an eager, tape-based reverse-mode autodiff engine. Building
+//!   an expression *is* the forward pass; [`Graph::backward`] returns
+//!   per-parameter [`Gradients`].
+//! * [`layers`] — `Linear`, dilated-causal `CausalConv1d` (with weight
+//!   normalisation), `Lstm`, `Dropout` (incl. the spatial variant) and the
+//!   paper's attention mechanisms.
+//! * [`optim`] — SGD (+momentum), Adam, RMSProp with gradient clipping.
+//! * [`loss`] — MSE / MAE / Huber as tape compositions.
+//! * [`train`] — mini-batch [`train::fit`] loop with validation tracking and
+//!   Keras-style early stopping (`patience`), producing the
+//!   [`train::TrainHistory`] the convergence figures are drawn from.
+//!
+//! The design decision worth knowing: one `Graph` per training step,
+//! borrowing the [`ParamStore`] immutably. Gradients come back as a separate
+//! value, so optimisers take `(&mut ParamStore, &Gradients)` with no interior
+//! mutability anywhere.
+
+mod conv_kernels;
+mod graph;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+mod params;
+pub mod train;
+
+pub use conv_kernels::{conv1d_backward_input, conv1d_backward_weight, conv1d_forward};
+pub use graph::{Graph, Var};
+pub use init::Init;
+pub use loss::LossKind;
+pub use params::{Gradients, ParamId, ParamStore};
+pub use train::{fit, predict, SequenceModel, TrainConfig, TrainHistory};

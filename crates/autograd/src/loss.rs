@@ -1,0 +1,139 @@
+//! Loss functions expressed as tape compositions.
+
+use tensor::Tensor;
+
+use crate::graph::{Graph, Var};
+
+/// Mean squared error (paper eq. 9) between `pred` and a constant `target`.
+pub fn mse(g: &mut Graph, pred: Var, target: &Tensor) -> Var {
+    let t = g.input(target.clone());
+    let d = g.sub(pred, t);
+    let sq = g.square(d);
+    g.mean_all(sq)
+}
+
+/// Mean absolute error (paper eq. 10).
+pub fn mae(g: &mut Graph, pred: Var, target: &Tensor) -> Var {
+    let t = g.input(target.clone());
+    let d = g.sub(pred, t);
+    let a = g.abs(d);
+    g.mean_all(a)
+}
+
+/// Huber loss with threshold `delta` — quadratic near zero, linear in the
+/// tails; robust to the usage spikes high-dynamic traces contain.
+pub fn huber(g: &mut Graph, pred: Var, target: &Tensor, delta: f32) -> Var {
+    let t = g.input(target.clone());
+    let d = g.sub(pred, t);
+    let h = g.huber_on_diff(d, delta);
+    g.mean_all(h)
+}
+
+/// Which loss a trainer should build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossKind {
+    Mse,
+    Mae,
+    Huber(f32),
+}
+
+impl LossKind {
+    /// Build this loss on the tape.
+    pub fn build(self, g: &mut Graph, pred: Var, target: &Tensor) -> Var {
+        match self {
+            LossKind::Mse => mse(g, pred, target),
+            LossKind::Mae => mae(g, pred, target),
+            LossKind::Huber(delta) => huber(g, pred, target, delta),
+        }
+    }
+
+    /// Evaluate the loss on plain tensors (no tape), for validation.
+    pub fn eval(self, pred: &Tensor, target: &Tensor) -> f64 {
+        assert_eq!(pred.shape(), target.shape(), "loss eval shape mismatch");
+        let n = pred.len().max(1) as f64;
+        match self {
+            LossKind::Mse => {
+                pred.as_slice()
+                    .iter()
+                    .zip(target.as_slice())
+                    .map(|(&p, &t)| ((p - t) as f64).powi(2))
+                    .sum::<f64>()
+                    / n
+            }
+            LossKind::Mae => {
+                pred.as_slice()
+                    .iter()
+                    .zip(target.as_slice())
+                    .map(|(&p, &t)| ((p - t) as f64).abs())
+                    .sum::<f64>()
+                    / n
+            }
+            LossKind::Huber(delta) => {
+                let delta = delta as f64;
+                pred.as_slice()
+                    .iter()
+                    .zip(target.as_slice())
+                    .map(|(&p, &t)| {
+                        let d = (p - t) as f64;
+                        if d.abs() <= delta {
+                            0.5 * d * d
+                        } else {
+                            delta * (d.abs() - 0.5 * delta)
+                        }
+                    })
+                    .sum::<f64>()
+                    / n
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+
+    fn loss_value(kind: LossKind, pred: Vec<f32>, target: Vec<f32>) -> (f32, f64) {
+        let n = pred.len();
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let p = g.input(Tensor::from_vec(pred.clone(), &[n]));
+        let t = Tensor::from_vec(target, &[n]);
+        let l = kind.build(&mut g, p, &t);
+        let tape_val = g.value(l).item();
+        let eval_val = kind.eval(&Tensor::from_vec(pred, &[n]), &t);
+        (tape_val, eval_val)
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        let (tape, eval) = loss_value(LossKind::Mse, vec![1.0, 2.0], vec![0.0, 4.0]);
+        assert!((tape - 2.5).abs() < 1e-6);
+        assert!((eval - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mae_matches_hand_computation() {
+        let (tape, eval) = loss_value(LossKind::Mae, vec![1.0, 2.0], vec![0.0, 4.0]);
+        assert!((tape - 1.5).abs() < 1e-6);
+        assert!((eval - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huber_is_quadratic_then_linear() {
+        // |d| = 0.5 <= 1 -> 0.125 ; |d| = 3 > 1 -> 1*(3-0.5) = 2.5
+        let (tape, eval) = loss_value(LossKind::Huber(1.0), vec![0.5, 3.0], vec![0.0, 0.0]);
+        let expected = (0.125 + 2.5) / 2.0;
+        assert!((tape - expected).abs() < 1e-6);
+        assert!((eval - expected as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_prediction_has_zero_loss() {
+        for kind in [LossKind::Mse, LossKind::Mae, LossKind::Huber(1.0)] {
+            let (tape, eval) = loss_value(kind, vec![1.0, -2.0, 3.0], vec![1.0, -2.0, 3.0]);
+            assert_eq!(tape, 0.0);
+            assert_eq!(eval, 0.0);
+        }
+    }
+}

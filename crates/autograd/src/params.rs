@@ -1,0 +1,220 @@
+//! Trainable-parameter storage shared by layers, the tape and the optimisers.
+
+use tensor::Tensor;
+
+/// Opaque handle to one parameter tensor inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Index into the store (also the index into [`Gradients`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Owns every trainable tensor of a model. Layers register parameters at
+/// construction and keep only [`ParamId`]s, so the whole model's state lives
+/// in one place — simple to snapshot, count and update.
+#[derive(Debug, Default, Clone)]
+pub struct ParamStore {
+    values: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new parameter, returning its handle.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        self.values.push(value);
+        self.names.push(name.into());
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable value (used by the optimisers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// Diagnostic name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Snapshot every value (used to restore the best-validation weights
+    /// after early stopping).
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.values.clone()
+    }
+
+    /// Restore a snapshot taken with [`ParamStore::snapshot`].
+    pub fn restore(&mut self, snapshot: &[Tensor]) {
+        assert_eq!(snapshot.len(), self.values.len(), "snapshot size mismatch");
+        for (v, s) in self.values.iter_mut().zip(snapshot) {
+            assert_eq!(v.shape(), s.shape(), "snapshot shape mismatch");
+            *v = s.clone();
+        }
+    }
+
+    /// Iterate over `(id, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
+        self.values.iter().enumerate().map(|(i, t)| (ParamId(i), t))
+    }
+}
+
+/// Per-parameter gradients produced by one backward pass.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    by_param: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    pub(crate) fn new(num_params: usize) -> Self {
+        Self {
+            by_param: vec![None; num_params],
+        }
+    }
+
+    pub(crate) fn accumulate(&mut self, id: ParamId, grad: &Tensor) {
+        match &mut self.by_param[id.0] {
+            Some(g) => tensor::ops::axpy(g, 1.0, grad),
+            slot @ None => *slot = Some(grad.clone()),
+        }
+    }
+
+    /// Gradient for a parameter; `None` when the parameter did not
+    /// participate in the forward pass.
+    pub fn get(&self, id: ParamId) -> Option<&Tensor> {
+        self.by_param[id.0].as_ref()
+    }
+
+    /// Merge another gradient set into this one (gradient accumulation
+    /// across micro-batches).
+    pub fn merge(&mut self, other: &Gradients) {
+        assert_eq!(self.by_param.len(), other.by_param.len());
+        for (i, g) in other.by_param.iter().enumerate() {
+            if let Some(g) = g {
+                self.accumulate(ParamId(i), g);
+            }
+        }
+    }
+
+    /// Scale all gradients by `s` (e.g. 1/num_micro_batches).
+    pub fn scale(&mut self, s: f32) {
+        for g in self.by_param.iter_mut().flatten() {
+            g.map_inplace(|x| x * s);
+        }
+    }
+
+    /// Global L2 norm across every gradient element.
+    pub fn global_norm(&self) -> f32 {
+        let ss: f64 = self
+            .by_param
+            .iter()
+            .flatten()
+            .flat_map(|g| g.as_slice())
+            .map(|&x| x as f64 * x as f64)
+            .sum();
+        ss.sqrt() as f32
+    }
+
+    /// Clip gradients so the global norm does not exceed `max_norm`
+    /// (the standard recipe for stabilising recurrent nets).
+    pub fn clip_global_norm(&mut self, max_norm: f32) {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            self.scale(max_norm / norm);
+        }
+    }
+
+    /// True if every present gradient element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.by_param.iter().flatten().all(Tensor::all_finite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::ones(&[2, 3]));
+        assert_eq!(store.value(id).shape(), &[2, 3]);
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_scalars(), 6);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::ones(&[4]));
+        let snap = store.snapshot();
+        store.value_mut(id).map_inplace(|x| x * 5.0);
+        assert_eq!(store.value(id).as_slice(), &[5.0; 4]);
+        store.restore(&snap);
+        assert_eq!(store.value(id).as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn gradients_accumulate() {
+        let mut g = Gradients::new(2);
+        let id = ParamId(0);
+        g.accumulate(id, &Tensor::ones(&[3]));
+        g.accumulate(id, &Tensor::full(&[3], 2.0));
+        assert_eq!(g.get(id).unwrap().as_slice(), &[3.0; 3]);
+        assert!(g.get(ParamId(1)).is_none());
+    }
+
+    #[test]
+    fn global_norm_and_clipping() {
+        let mut g = Gradients::new(1);
+        g.accumulate(ParamId(0), &Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        assert!((g.global_norm() - 5.0).abs() < 1e-6);
+        g.clip_global_norm(1.0);
+        assert!((g.global_norm() - 1.0).abs() < 1e-5);
+        // Clipping below the threshold is a no-op.
+        let mut g2 = Gradients::new(1);
+        g2.accumulate(ParamId(0), &Tensor::from_vec(vec![0.3, 0.4], &[2]));
+        g2.clip_global_norm(1.0);
+        assert!((g2.global_norm() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = Gradients::new(2);
+        a.accumulate(ParamId(0), &Tensor::ones(&[2]));
+        let mut b = Gradients::new(2);
+        b.accumulate(ParamId(0), &Tensor::full(&[2], 3.0));
+        b.accumulate(ParamId(1), &Tensor::ones(&[1]));
+        a.merge(&b);
+        assert_eq!(a.get(ParamId(0)).unwrap().as_slice(), &[4.0, 4.0]);
+        assert_eq!(a.get(ParamId(1)).unwrap().as_slice(), &[1.0]);
+        a.scale(0.5);
+        assert_eq!(a.get(ParamId(0)).unwrap().as_slice(), &[2.0, 2.0]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Microbenchmarks for the numerical kernels underneath every model:
+//! matmul (the LSTM/FC workhorse), dilated causal conv1d forward/backward
+//! (the TCN workhorse) and row softmax (attention).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tensor::{matmul, reduce, Rng, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = Rng::seed_from(1);
+    for &n in &[32usize, 64, 128] {
+        let a = Tensor::rand_normal(&[n, n], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[n, n], 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |bench, _| {
+            bench.iter(|| matmul::matmul(black_box(&a), black_box(&b)));
+        });
+    }
+    // The LSTM gate shape: [batch, in] x [in, 4h].
+    let a = Tensor::rand_normal(&[64, 12], 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal(&[12, 128], 0.0, 1.0, &mut rng);
+    group.bench_function("lstm_gates_64x12x128", |bench| {
+        bench.iter(|| matmul::matmul(black_box(&a), black_box(&b)));
+    });
+    group.finish();
+}
+
+fn bench_conv1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv1d");
+    let mut rng = Rng::seed_from(2);
+    // The RPTCN block shape: batch 64, 16 channels, window 30, k=3.
+    let x = Tensor::rand_normal(&[64, 16, 30], 0.0, 1.0, &mut rng);
+    let w = Tensor::rand_normal(&[16, 16, 3], 0.0, 1.0, &mut rng);
+    for &d in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("forward_d", d), &d, |bench, &d| {
+            bench.iter(|| autograd::conv1d_forward(black_box(&x), black_box(&w), d));
+        });
+    }
+    let grad_out = Tensor::rand_normal(&[64, 16, 30], 0.0, 1.0, &mut rng);
+    group.bench_function("backward_input_d2", |bench| {
+        bench.iter(|| {
+            autograd::conv1d_backward_input(black_box(&grad_out), black_box(&w), &[64, 16, 30], 2)
+        });
+    });
+    group.bench_function("backward_weight_d2", |bench| {
+        bench.iter(|| autograd::conv1d_backward_weight(black_box(&grad_out), black_box(&x), 3, 2));
+    });
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let logits = Tensor::rand_normal(&[64, 32], 0.0, 1.0, &mut rng);
+    c.bench_function("softmax_rows_64x32", |bench| {
+        bench.iter(|| reduce::softmax_rows(black_box(&logits)));
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_conv1d, bench_softmax);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Model-level benchmarks: inference latency per model (what a resource
+//! manager pays per forecast) and one training epoch (what periodic
+//! retraining costs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use models::{
+    ArimaConfig, ArimaForecaster, CnnLstmConfig, CnnLstmForecaster, Forecaster, GbtConfig,
+    GbtForecaster, LstmConfig, LstmForecaster, NeuralTrainSpec, RptcnConfig, RptcnForecaster,
+};
+use timeseries::{make_windows, WindowedDataset};
+
+fn dataset(steps: usize) -> WindowedDataset {
+    let frame = cloudtrace::container::generate_container(
+        &cloudtrace::ContainerConfig::new(cloudtrace::WorkloadClass::HighDynamic, steps, 7)
+            .with_diurnal_period(500),
+    );
+    let kept = timeseries::screen_top_half(&frame, "cpu_util_percent").unwrap();
+    let refs: Vec<&str> = kept.iter().map(String::as_str).collect();
+    let screened = frame.select(&refs).unwrap();
+    let scaled = timeseries::MinMaxScaler::fit(&screened).transform(&screened);
+    make_windows(&scaled, "cpu_util_percent", 30, 1).unwrap()
+}
+
+fn quick_spec(epochs: usize) -> NeuralTrainSpec {
+    NeuralTrainSpec {
+        epochs,
+        patience: epochs,
+        ..Default::default()
+    }
+}
+
+fn fitted_models(ds: &WindowedDataset) -> Vec<Box<dyn Forecaster>> {
+    let mut models: Vec<Box<dyn Forecaster>> = vec![
+        Box::new(ArimaForecaster::new(ArimaConfig::default())),
+        Box::new(GbtForecaster::new(GbtConfig {
+            n_rounds: 20,
+            ..Default::default()
+        })),
+        Box::new(LstmForecaster::new(LstmConfig {
+            spec: quick_spec(2),
+            ..Default::default()
+        })),
+        Box::new(CnnLstmForecaster::new(CnnLstmConfig {
+            spec: quick_spec(2),
+            ..Default::default()
+        })),
+        Box::new(RptcnForecaster::new(RptcnConfig {
+            spec: quick_spec(2),
+            ..Default::default()
+        })),
+    ];
+    for m in &mut models {
+        m.fit(ds, None);
+    }
+    models
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let ds = dataset(600);
+    let models = fitted_models(&ds);
+    let mut group = c.benchmark_group("inference_batch64");
+    let batch = ds.slice(0, 64.min(ds.len()));
+    for m in &models {
+        group.bench_function(m.name(), |bench| {
+            bench.iter(|| m.predict(black_box(&batch.x)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let ds = dataset(600);
+    let mut group = c.benchmark_group("train_one_epoch");
+    group.sample_size(10);
+    group.bench_function("RPTCN", |bench| {
+        bench.iter(|| {
+            let mut m = RptcnForecaster::new(RptcnConfig {
+                spec: quick_spec(1),
+                ..Default::default()
+            });
+            m.fit(black_box(&ds), None)
+        });
+    });
+    group.bench_function("LSTM", |bench| {
+        bench.iter(|| {
+            let mut m = LstmForecaster::new(LstmConfig {
+                spec: quick_spec(1),
+                ..Default::default()
+            });
+            m.fit(black_box(&ds), None)
+        });
+    });
+    group.bench_function("XGBoost_20rounds", |bench| {
+        bench.iter(|| {
+            let mut m = GbtForecaster::new(GbtConfig {
+                n_rounds: 20,
+                early_stopping_rounds: None,
+                ..Default::default()
+            });
+            m.fit(black_box(&ds), None)
+        });
+    });
+    group.bench_function("ARIMA_fit", |bench| {
+        bench.iter(|| {
+            let mut m = ArimaForecaster::new(ArimaConfig::default());
+            m.fit(black_box(&ds), None)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_training_epoch);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! End-to-end data-path benchmarks: trace generation, correlation
+//! screening, data expansion, window construction and the full Algorithm-1
+//! `prepare` step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cloudtrace::{ContainerConfig, Trace, TraceConfig, WorkloadClass};
+use rptcn::{prepare, PipelineConfig, Scenario};
+use timeseries::{correlation_matrix, make_windows, Expansion, MinMaxScaler};
+
+fn container_frame(steps: usize) -> timeseries::TimeSeriesFrame {
+    cloudtrace::container::generate_container(
+        &ContainerConfig::new(WorkloadClass::HighDynamic, steps, 5).with_diurnal_period(500),
+    )
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    group.bench_function("container_3000_steps", |bench| {
+        bench.iter(|| {
+            cloudtrace::container::generate_container(
+                &ContainerConfig::new(WorkloadClass::HighDynamic, 3000, black_box(5))
+                    .with_diurnal_period(720),
+            )
+        });
+    });
+    group.bench_function("fleet_10x3_1000_steps", |bench| {
+        bench.iter(|| {
+            Trace::generate(TraceConfig {
+                num_machines: 10,
+                containers_per_machine: 3,
+                steps: 1000,
+                ..TraceConfig::default()
+            })
+        });
+    });
+    group.finish();
+}
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let frame = container_frame(3000);
+    let mut group = c.benchmark_group("preprocessing");
+    group.bench_function("pcc_matrix_8x3000", |bench| {
+        bench.iter(|| correlation_matrix(black_box(&frame)));
+    });
+    group.bench_function("minmax_fit_transform", |bench| {
+        bench.iter(|| MinMaxScaler::fit(black_box(&frame)).transform(&frame));
+    });
+    group.bench_function("horizontal_expansion_x3", |bench| {
+        bench.iter(|| {
+            Expansion::Horizontal { copies: 3 }
+                .apply(black_box(&frame))
+                .unwrap()
+        });
+    });
+    let scaled = MinMaxScaler::fit(&frame).transform(&frame);
+    group.bench_function("make_windows_w30", |bench| {
+        bench.iter(|| make_windows(black_box(&scaled), "cpu_util_percent", 30, 1).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_full_prepare(c: &mut Criterion) {
+    let frame = container_frame(3000);
+    let mut group = c.benchmark_group("algorithm1_prepare");
+    group.sample_size(10);
+    for scenario in [Scenario::Uni, Scenario::Mul, Scenario::MulExp] {
+        group.bench_function(scenario.label(), |bench| {
+            let cfg = PipelineConfig {
+                scenario,
+                ..Default::default()
+            };
+            bench.iter(|| prepare(black_box(&frame), &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_preprocessing,
+    bench_full_prepare
+);
+criterion_main!(benches);

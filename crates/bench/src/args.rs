@@ -1,0 +1,121 @@
+//! Minimal CLI flag parsing shared by the experiment binaries.
+//! Every binary accepts `--seed`, `--steps`, `--entities`, `--quick` and
+//! `--out <dir>` so runs are reproducible and exportable without extra
+//! dependencies.
+
+use std::path::PathBuf;
+
+/// Flags common to all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExperimentArgs {
+    /// Master seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// Samples per entity series.
+    pub steps: usize,
+    /// Entities (containers / machines) per cell, averaged.
+    pub entities: usize,
+    /// Cut epochs/rounds for a fast smoke run.
+    pub quick: bool,
+    /// Optional directory for CSV artefacts.
+    pub out: Option<PathBuf>,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        Self {
+            seed: 2018,
+            steps: 3000,
+            entities: 3,
+            quick: false,
+            out: None,
+        }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parse from `std::env::args`, panicking with a usage message on
+    /// unknown flags (fail-fast is the right behaviour for lab tooling).
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> String {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--seed" => out.seed = take("--seed").parse().expect("--seed: u64"),
+                "--steps" => out.steps = take("--steps").parse().expect("--steps: usize"),
+                "--entities" => {
+                    out.entities = take("--entities").parse().expect("--entities: usize")
+                }
+                "--quick" => out.quick = true,
+                "--out" => out.out = Some(PathBuf::from(take("--out"))),
+                "--help" | "-h" => {
+                    eprintln!("flags: --seed <u64> --steps <n> --entities <n> --quick --out <dir>");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag '{other}' (try --help)"),
+            }
+        }
+        out
+    }
+
+    /// Write `content` to `<out>/<name>` when `--out` was given.
+    pub fn export(&self, name: &str, content: &str) {
+        if let Some(dir) = &self.out {
+            std::fs::create_dir_all(dir).expect("create --out dir");
+            let path = dir.join(name);
+            std::fs::write(&path, content).expect("write artefact");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ExperimentArgs {
+        ExperimentArgs::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let a = parse(&[]);
+        assert_eq!(a.seed, 2018);
+        assert_eq!(a.steps, 3000);
+        assert!(!a.quick);
+        assert!(a.out.is_none());
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let a = parse(&[
+            "--seed",
+            "7",
+            "--steps",
+            "500",
+            "--entities",
+            "2",
+            "--quick",
+            "--out",
+            "/tmp/x",
+        ]);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.steps, 500);
+        assert_eq!(a.entities, 2);
+        assert!(a.quick);
+        assert_eq!(a.out.unwrap(), PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse(&["--frobnicate"]);
+    }
+}

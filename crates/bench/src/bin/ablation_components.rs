@@ -1,0 +1,78 @@
+//! Component ablation (paper §V-C discussion): what do the fully connected
+//! layer and the attention mechanism each contribute on top of a plain TCN?
+//! Also evaluates the temporal-attention alternative the discussion
+//! sketches as future work.
+
+use bench_harness::{runners, table, ExperimentArgs, TextTable};
+use models::{AttentionKind, NeuralTrainSpec, RptcnConfig, RptcnForecaster};
+use rptcn::{prepare, run_model, Scenario};
+
+fn variant(name: &str, f: impl FnOnce(&mut RptcnConfig)) -> (String, RptcnConfig) {
+    let mut cfg = RptcnConfig::default();
+    f(&mut cfg);
+    (name.to_string(), cfg)
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let spec = NeuralTrainSpec {
+        epochs: if args.quick { 6 } else { 30 },
+        learning_rate: 2e-3,
+        seed: args.seed,
+        ..Default::default()
+    };
+    let variants = vec![
+        variant("RPTCN (full)", |_| {}),
+        variant("RPTCN - attention", |c| c.use_attention = false),
+        variant("RPTCN - FC", |c| c.use_fc = false),
+        variant("TCN (no FC, no attention)", |c| {
+            c.use_fc = false;
+            c.use_attention = false;
+        }),
+        variant("RPTCN + temporal attention", |c| {
+            c.attention = AttentionKind::Temporal
+        }),
+    ];
+
+    let frames = runners::container_frames(&args);
+    let mut out = TextTable::new(&["variant", "MSE(1e-2)", "MAE(1e-2)", "epochs", "params"]);
+    for (name, mut cfg) in variants {
+        cfg.spec = spec;
+        eprintln!("training {name} ...");
+        let mut mse = 0.0;
+        let mut mae = 0.0;
+        let mut epochs = 0usize;
+        let mut params = 0usize;
+        for (i, frame) in frames.iter().enumerate() {
+            let data = prepare(frame, &runners::pipeline_config(Scenario::MulExp)).unwrap();
+            let mut model = RptcnForecaster::new(RptcnConfig {
+                spec: NeuralTrainSpec {
+                    seed: args.seed + i as u64,
+                    ..spec
+                },
+                ..cfg
+            });
+            let run = run_model(&mut model, &data);
+            mse += run.test_metrics.mse;
+            mae += run.test_metrics.mae;
+            epochs = epochs.max(run.fit.train_loss.len());
+            params = model.num_parameters().unwrap_or(0);
+        }
+        let n = frames.len() as f64;
+        out.add_row(vec![
+            name,
+            table::x100(mse / n),
+            table::x100(mae / n),
+            epochs.to_string(),
+            params.to_string(),
+        ]);
+    }
+
+    println!(
+        "Component ablation — RPTCN on containers, Mul-Exp ({} entities, seed {})",
+        args.entities, args.seed
+    );
+    println!("{}", out.render());
+    println!("expected shape: the full model is at least as good as each ablated variant.");
+    args.export("ablation_components.csv", &out.to_csv());
+}

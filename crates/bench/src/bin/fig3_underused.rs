@@ -1,0 +1,38 @@
+//! Fig. 3 — percentage of machines using less than 50 % CPU over time. The
+//! paper finds more than 80 % of machines stay below 50 % in most periods.
+
+use bench_harness::{runners, ExperimentArgs, TextTable};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let trace = runners::fleet_trace(&args);
+    let fleet = trace.machine_cpu_matrix();
+    let steps = args.steps;
+    let bucket = (trace.config.diurnal_period / 4).max(1);
+
+    let mut table = TextTable::new(&["bucket", "pct_below_50"]);
+    let mut sum_pct = 0.0f64;
+    let mut n_buckets = 0usize;
+    for (b, start) in (0..steps).step_by(bucket).enumerate() {
+        let end = (start + bucket).min(steps);
+        let below = fleet
+            .iter()
+            .filter(|m| tensor::stats::mean(&m[start..end]) < 0.5)
+            .count();
+        let pct = 100.0 * below as f64 / fleet.len() as f64;
+        sum_pct += pct;
+        n_buckets += 1;
+        table.add_row(vec![b.to_string(), format!("{pct:.1}")]);
+    }
+
+    println!(
+        "Fig. 3 — % of machines under 50% CPU per bucket ({} machines)",
+        fleet.len()
+    );
+    println!("{}", table.render());
+    println!(
+        "mean across buckets: {:.1}%  (paper: >80% of machines below 50%)",
+        sum_pct / n_buckets as f64
+    );
+    args.export("fig3_underused.csv", &table.to_csv());
+}

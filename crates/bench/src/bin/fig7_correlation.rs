@@ -1,0 +1,51 @@
+//! Fig. 7 — Pearson correlation analysis of all monitoring indicators for
+//! one container (the paper uses c_18104). The screening result the paper
+//! reports: the top four CPU-correlated indicators are cpu, mpki, cpi and
+//! mem_gps.
+
+use bench_harness::{ExperimentArgs, TextTable};
+use cloudtrace::{ContainerConfig, WorkloadClass};
+use timeseries::{correlation_matrix, rank_by_correlation, screen_top_half};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let frame = cloudtrace::container::generate_container(
+        &ContainerConfig::new(WorkloadClass::HighDynamic, args.steps, args.seed)
+            .with_diurnal_period(720),
+    );
+
+    // Full PCC matrix.
+    let names = frame.names().to_vec();
+    let matrix = correlation_matrix(&frame);
+    let mut header: Vec<&str> = vec!["indicator"];
+    header.extend(names.iter().map(String::as_str));
+    let mut table = TextTable::new(&header);
+    for (i, name) in names.iter().enumerate() {
+        let mut row = vec![name.clone()];
+        row.extend(matrix[i].iter().map(|v| format!("{v:+.3}")));
+        table.add_row(row);
+    }
+    println!(
+        "Fig. 7 — indicator correlation matrix (container, seed {})",
+        args.seed
+    );
+    println!("{}", table.render());
+
+    // Ranking against the target, as the pipeline's screening sees it.
+    let ranks = rank_by_correlation(&frame, "cpu_util_percent").unwrap();
+    let mut rank_table = TextTable::new(&["rank", "indicator", "pcc_with_cpu"]);
+    for (i, r) in ranks.iter().enumerate() {
+        rank_table.add_row(vec![
+            (i + 1).to_string(),
+            r.name.clone(),
+            format!("{:+.4}", r.pcc),
+        ]);
+    }
+    println!("{}", rank_table.render());
+
+    let kept = screen_top_half(&frame, "cpu_util_percent").unwrap();
+    println!("top-half screening keeps: {kept:?}");
+    println!("paper's top four: [cpu, mpki, cpi, mem_gps]");
+    args.export("fig7_correlation.csv", &table.to_csv());
+    args.export("fig7_ranking.csv", &rank_table.to_csv());
+}

@@ -1,0 +1,82 @@
+//! Figs. 9–10 — loss convergence. Fig. 9: training loss per epoch on a
+//! container dataset; Fig. 10: validation loss per epoch on a machine
+//! dataset. Claim to reproduce: RPTCN starts at a lower loss and stays
+//! below the LSTM-family baselines; XGBoost's per-round curve is smooth.
+
+use bench_harness::{runners, ExperimentArgs, ModelKind, TextTable};
+use rptcn::{prepare, Scenario};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let kinds = [
+        ModelKind::Lstm,
+        ModelKind::Xgboost,
+        ModelKind::CnnLstm,
+        ModelKind::Rptcn,
+    ];
+
+    for (fig, entity, frame) in [
+        (
+            "Fig. 9 (train loss, containers)",
+            "container",
+            runners::container_frames(&args).remove(0),
+        ),
+        (
+            "Fig. 10 (valid loss, machines)",
+            "machine",
+            runners::machine_frames(&args).remove(0),
+        ),
+    ] {
+        let data = prepare(&frame, &runners::pipeline_config(Scenario::MulExp)).expect("prepare");
+        let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
+        for (i, kind) in kinds.iter().enumerate() {
+            eprintln!("{fig}: training {} ...", kind.label());
+            let mut model = runners::build_model(*kind, &args, args.seed + i as u64);
+            let report = model.fit(&data.train, Some(&data.valid));
+            // Fig. 9 plots training loss; Fig. 10 plots validation loss
+            // (falling back to training loss for models without one).
+            let curve = if entity == "container" || report.valid_loss.is_empty() {
+                report.train_loss.clone()
+            } else {
+                report.valid_loss.clone()
+            };
+            curves.push((kind.label().to_string(), curve));
+        }
+
+        let mut header = vec!["epoch".to_string()];
+        header.extend(curves.iter().map(|(n, _)| n.clone()));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut out = TextTable::new(&header_refs);
+        let max_epochs = curves.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
+        for e in 0..max_epochs {
+            let mut row = vec![e.to_string()];
+            row.extend(
+                curves
+                    .iter()
+                    .map(|(_, c)| c.get(e).map_or("-".to_string(), |v| format!("{v:.6}"))),
+            );
+            out.add_row(row);
+        }
+        println!("{fig}");
+        println!("{}", out.render());
+
+        // Quantify the figure's claims.
+        let loss_at = |name: &str, e: usize| -> f64 {
+            let c = &curves.iter().find(|(n, _)| n == name).unwrap().1;
+            c.get(e.min(c.len() - 1)).copied().unwrap_or(f64::NAN)
+        };
+        println!(
+            "epoch-0 loss: RPTCN {:.5} vs LSTM {:.5} vs CNN-LSTM {:.5} (paper: RPTCN starts lowest)",
+            loss_at("RPTCN", 0),
+            loss_at("LSTM", 0),
+            loss_at("CNN-LSTM", 0)
+        );
+        let fname = if entity == "container" {
+            "fig9_train_loss.csv"
+        } else {
+            "fig10_valid_loss.csv"
+        };
+        args.export(fname, &out.to_csv());
+        println!();
+    }
+}

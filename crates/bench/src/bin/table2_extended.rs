@@ -1,0 +1,91 @@
+//! Extended model zoo — everything the workspace implements beyond the
+//! paper's five Table-II models, on the containers / Mul-Exp cell:
+//! persistence, ridge regression, Holt–Winters, GRU and plain TCN next to
+//! the Table-II set. This is the "is each model pulling its weight" view.
+
+use bench_harness::{runners, table, ExperimentArgs, TextTable};
+use models::{
+    ArimaConfig, ArimaForecaster, CnnLstmConfig, CnnLstmForecaster, EtsConfig, EtsForecaster,
+    Forecaster, GbtConfig, GbtForecaster, GruConfig, GruForecaster, LinearConfig, LinearForecaster,
+    LstmConfig, LstmForecaster, NaiveForecaster, NeuralTrainSpec, RptcnConfig, RptcnForecaster,
+    TcnConfig, TcnForecaster,
+};
+use rptcn::{prepare, run_model, Scenario};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let spec = NeuralTrainSpec {
+        epochs: if args.quick { 6 } else { 30 },
+        seed: args.seed,
+        ..Default::default()
+    };
+    let tcn_spec = NeuralTrainSpec {
+        learning_rate: 2e-3,
+        ..spec
+    };
+
+    let frames = runners::container_frames(&args);
+    let mut out = TextTable::new(&["model", "MSE(1e-2)", "MAE(1e-2)", "R2", "fit_secs"]);
+
+    let mut zoo: Vec<Box<dyn Forecaster>> = vec![
+        Box::new(NaiveForecaster::new()),
+        Box::new(LinearForecaster::new(LinearConfig::default())),
+        Box::new(EtsForecaster::new(EtsConfig::default())),
+        Box::new(ArimaForecaster::new(ArimaConfig::default())),
+        Box::new(GbtForecaster::new(GbtConfig {
+            n_rounds: if args.quick { 30 } else { 120 },
+            ..Default::default()
+        })),
+        Box::new(LstmForecaster::new(LstmConfig {
+            spec,
+            ..Default::default()
+        })),
+        Box::new(GruForecaster::new(GruConfig {
+            spec,
+            ..Default::default()
+        })),
+        Box::new(CnnLstmForecaster::new(CnnLstmConfig {
+            spec,
+            ..Default::default()
+        })),
+        Box::new(TcnForecaster::new(TcnConfig {
+            spec: tcn_spec,
+            ..Default::default()
+        })),
+        Box::new(RptcnForecaster::new(RptcnConfig {
+            spec: tcn_spec,
+            ..Default::default()
+        })),
+    ];
+
+    for model in &mut zoo {
+        eprintln!("training {} ...", model.name());
+        let mut mse = 0.0;
+        let mut mae = 0.0;
+        let mut r2 = 0.0;
+        let mut secs = 0.0;
+        for frame in &frames {
+            let data = prepare(frame, &runners::pipeline_config(Scenario::MulExp)).unwrap();
+            let run = run_model(model.as_mut(), &data);
+            mse += run.test_metrics.mse;
+            mae += run.test_metrics.mae;
+            r2 += run.test_metrics.r2;
+            secs += run.fit.fit_time.as_secs_f64();
+        }
+        let n = frames.len() as f64;
+        out.add_row(vec![
+            model.name().to_string(),
+            table::x100(mse / n),
+            table::x100(mae / n),
+            format!("{:.3}", r2 / n),
+            format!("{:.2}", secs / n),
+        ]);
+    }
+
+    println!(
+        "Extended model zoo — containers, Mul-Exp ({} entities, seed {})",
+        args.entities, args.seed
+    );
+    println!("{}", out.render());
+    args.export("table2_extended.csv", &out.to_csv());
+}

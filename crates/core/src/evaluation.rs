@@ -1,0 +1,212 @@
+//! Rolling-origin evaluation — the time-series form of the
+//! "cross-validation" Algorithm 1 mentions: refit the model on a growing
+//! prefix and score each fold on the windows that immediately follow, so
+//! every fold respects chronology.
+
+use models::Forecaster;
+use timeseries::{metrics, WindowedDataset};
+
+/// Configuration for a rolling-origin evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RollingOriginConfig {
+    /// Number of folds (refits).
+    pub folds: usize,
+    /// Fraction of samples used as the initial training prefix.
+    pub initial_fraction: f64,
+    /// Fraction of the training prefix reserved for validation (early
+    /// stopping) within each fold; 0 disables validation.
+    pub valid_fraction: f64,
+}
+
+impl Default for RollingOriginConfig {
+    fn default() -> Self {
+        Self {
+            folds: 4,
+            initial_fraction: 0.5,
+            valid_fraction: 0.15,
+        }
+    }
+}
+
+/// Per-fold outcome.
+#[derive(Debug, Clone)]
+pub struct FoldResult {
+    pub fold: usize,
+    pub train_windows: usize,
+    pub test_windows: usize,
+    pub metrics: metrics::MetricReport,
+}
+
+/// Aggregate outcome of a rolling-origin run.
+#[derive(Debug, Clone)]
+pub struct RollingOriginResult {
+    pub folds: Vec<FoldResult>,
+}
+
+impl RollingOriginResult {
+    /// Mean test MSE across folds.
+    pub fn mean_mse(&self) -> f64 {
+        mean(self.folds.iter().map(|f| f.metrics.mse))
+    }
+
+    /// Mean test MAE across folds.
+    pub fn mean_mae(&self) -> f64 {
+        mean(self.folds.iter().map(|f| f.metrics.mae))
+    }
+
+    /// Standard deviation of the per-fold MSE — the stability measure a
+    /// single 6:2:2 split cannot provide.
+    pub fn mse_std(&self) -> f64 {
+        let vals: Vec<f32> = self.folds.iter().map(|f| f.metrics.mse as f32).collect();
+        tensor::stats::std_dev(&vals)
+    }
+}
+
+fn mean(vals: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = vals.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Run a rolling-origin evaluation of `make_model` over a windowed dataset.
+///
+/// Fold `k` trains on windows `[0, split_k)` and tests on
+/// `[split_k, split_{k+1})`, where the split points advance linearly from
+/// `initial_fraction · n` to `n`. A fresh model is built per fold so state
+/// never leaks across folds.
+pub fn rolling_origin<F: Forecaster>(
+    ds: &WindowedDataset,
+    cfg: RollingOriginConfig,
+    mut make_model: impl FnMut() -> F,
+) -> RollingOriginResult {
+    assert!(cfg.folds >= 1, "need at least one fold");
+    assert!(
+        (0.05..0.95).contains(&cfg.initial_fraction),
+        "initial_fraction out of range"
+    );
+    let n = ds.len();
+    let initial = ((n as f64) * cfg.initial_fraction) as usize;
+    assert!(
+        initial >= 1 && initial < n,
+        "dataset too small for rolling origin"
+    );
+    let step = (n - initial).div_ceil(cfg.folds);
+
+    let mut folds = Vec::with_capacity(cfg.folds);
+    for k in 0..cfg.folds {
+        let train_end = initial + k * step;
+        let test_end = (train_end + step).min(n);
+        if train_end >= test_end {
+            break;
+        }
+        let train_full = ds.slice(0, train_end);
+        let test = ds.slice(train_end, test_end);
+        // Carve a validation tail off the training prefix when requested.
+        let (train, valid) = if cfg.valid_fraction > 0.0 {
+            let v = ((train_end as f64) * cfg.valid_fraction) as usize;
+            if v >= 1 && v < train_end {
+                (
+                    train_full.slice(0, train_end - v),
+                    Some(train_full.slice(train_end - v, train_end)),
+                )
+            } else {
+                (train_full.clone(), None)
+            }
+        } else {
+            (train_full.clone(), None)
+        };
+
+        let mut model = make_model();
+        model.fit(&train, valid.as_ref());
+        let (truth, pred) = model.evaluate(&test);
+        folds.push(FoldResult {
+            fold: k,
+            train_windows: train.len(),
+            test_windows: test.len(),
+            metrics: metrics::report(&truth, &pred),
+        });
+    }
+    RollingOriginResult { folds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use models::{GbtConfig, GbtForecaster, NaiveForecaster};
+    use timeseries::{make_windows, TimeSeriesFrame};
+
+    fn dataset(n: usize) -> WindowedDataset {
+        let series: Vec<f32> = (0..n)
+            .map(|i| 0.5 + 0.3 * (i as f32 * 0.17).sin())
+            .collect();
+        let frame = TimeSeriesFrame::from_columns(&[("cpu", series)]).unwrap();
+        make_windows(&frame, "cpu", 8, 1).unwrap()
+    }
+
+    #[test]
+    fn folds_cover_the_tail_without_overlap() {
+        let ds = dataset(300);
+        let result = rolling_origin(&ds, RollingOriginConfig::default(), NaiveForecaster::new);
+        assert_eq!(result.folds.len(), 4);
+        let total_test: usize = result.folds.iter().map(|f| f.test_windows).sum();
+        let initial = (ds.len() as f64 * 0.5) as usize;
+        assert_eq!(total_test, ds.len() - initial);
+        // Training prefixes strictly grow.
+        for w in result.folds.windows(2) {
+            assert!(w[1].train_windows > w[0].train_windows);
+        }
+    }
+
+    #[test]
+    fn aggregates_are_finite_and_consistent() {
+        let ds = dataset(250);
+        let result = rolling_origin(&ds, RollingOriginConfig::default(), NaiveForecaster::new);
+        assert!(result.mean_mse().is_finite());
+        assert!(result.mean_mae() > 0.0);
+        assert!(result.mse_std() >= 0.0);
+        let manual: f64 =
+            result.folds.iter().map(|f| f.metrics.mse).sum::<f64>() / result.folds.len() as f64;
+        assert!((result.mean_mse() - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learned_model_beats_naive_on_predictable_series() {
+        let ds = dataset(350);
+        let cfg = RollingOriginConfig {
+            folds: 3,
+            ..Default::default()
+        };
+        let gbt = rolling_origin(&ds, cfg, || {
+            GbtForecaster::new(GbtConfig {
+                n_rounds: 40,
+                ..Default::default()
+            })
+        });
+        let naive = rolling_origin(&ds, cfg, NaiveForecaster::new);
+        assert!(
+            gbt.mean_mse() < naive.mean_mse(),
+            "GBT {} vs naive {}",
+            gbt.mean_mse(),
+            naive.mean_mse()
+        );
+    }
+
+    #[test]
+    fn single_fold_degenerates_to_holdout() {
+        let ds = dataset(200);
+        let cfg = RollingOriginConfig {
+            folds: 1,
+            initial_fraction: 0.7,
+            valid_fraction: 0.0,
+        };
+        let result = rolling_origin(&ds, cfg, NaiveForecaster::new);
+        assert_eq!(result.folds.len(), 1);
+        assert_eq!(
+            result.folds[0].train_windows,
+            (ds.len() as f64 * 0.7) as usize
+        );
+    }
+}

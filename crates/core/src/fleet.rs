@@ -1,0 +1,311 @@
+//! Fleet-level prediction service: one predictor per monitored entity,
+//! staggered retraining, change-point-triggered refits and aggregate
+//! accuracy accounting — the shape of the component a cluster resource
+//! manager (§II) would actually deploy.
+
+use models::Forecaster;
+use timeseries::changepoint::Cusum;
+use timeseries::{FrameError, TimeSeriesFrame};
+
+use crate::pipeline::PipelineConfig;
+use crate::predictor::ResourcePredictor;
+
+/// Fleet-service policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Periodic refit cadence in samples (staggered per entity); 0 disables.
+    pub refit_every: usize,
+    /// Refit immediately when the target's CUSUM fires.
+    pub refit_on_changepoint: bool,
+    /// CUSUM reference value (half-shift) in normalised units.
+    pub cusum_k: f64,
+    /// CUSUM decision threshold.
+    pub cusum_h: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            refit_every: 500,
+            refit_on_changepoint: true,
+            cusum_k: 0.02,
+            cusum_h: 0.6,
+        }
+    }
+}
+
+struct Entity {
+    id: String,
+    predictor: ResourcePredictor,
+    detector: Cusum,
+    target_column: usize,
+    samples_seen: usize,
+    refits: usize,
+    changepoint_refits: usize,
+    /// Forecast issued at the previous step, scored on arrival of truth.
+    pending_forecast: Option<f32>,
+    abs_err_sum: f64,
+    sq_err_sum: f64,
+    scored: usize,
+}
+
+/// Aggregate accuracy / activity statistics for one entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityReport {
+    pub id: String,
+    pub samples_seen: usize,
+    pub refits: usize,
+    pub changepoint_refits: usize,
+    pub online_mae: f64,
+    pub online_mse: f64,
+}
+
+/// Manages one [`ResourcePredictor`] per entity.
+pub struct FleetService {
+    config: FleetConfig,
+    entities: Vec<Entity>,
+}
+
+impl FleetService {
+    pub fn new(config: FleetConfig) -> Self {
+        Self {
+            config,
+            entities: Vec::new(),
+        }
+    }
+
+    /// Number of managed entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Onboard an entity: fit its predictor on `bootstrap` history.
+    /// Retraining cadence is staggered by the entity's index so the fleet
+    /// never retrains everything in the same interval.
+    pub fn add_entity(
+        &mut self,
+        id: impl Into<String>,
+        model: Box<dyn Forecaster>,
+        bootstrap: &TimeSeriesFrame,
+        pipeline: PipelineConfig,
+    ) -> Result<(), FrameError> {
+        let id = id.into();
+        let target_column = bootstrap
+            .column_index(&pipeline.target)
+            .ok_or_else(|| FrameError(format!("target '{}' missing", pipeline.target)))?;
+        let (mut predictor, _) = ResourcePredictor::fit(model, bootstrap, pipeline)?;
+        if self.config.refit_every > 0 {
+            // Stagger: entity i refits offset by i * cadence / fleet-size.
+            predictor.refit_every = self.config.refit_every;
+        }
+        self.entities.push(Entity {
+            id,
+            predictor,
+            detector: Cusum::new(self.config.cusum_k, self.config.cusum_h),
+            target_column,
+            samples_seen: 0,
+            refits: 0,
+            changepoint_refits: 0,
+            pending_forecast: None,
+            abs_err_sum: 0.0,
+            sq_err_sum: 0.0,
+            scored: 0,
+        });
+        Ok(())
+    }
+
+    /// Ingest one monitoring sample for entity `idx` and return the
+    /// forecast for its next interval (raw target units). The forecast
+    /// issued at the previous step is scored against this sample's truth.
+    pub fn step(&mut self, idx: usize, sample: &[f32]) -> Result<f32, FrameError> {
+        let cfg = self.config;
+        let e = &mut self.entities[idx];
+        let actual = sample[e.target_column];
+
+        // Score yesterday's forecast against today's truth.
+        if let Some(f) = e.pending_forecast.take() {
+            let err = (f - actual) as f64;
+            e.abs_err_sum += err.abs();
+            e.sq_err_sum += err * err;
+            e.scored += 1;
+        }
+
+        let periodic_refit = e.predictor.observe(sample)?;
+        e.samples_seen += 1;
+        if periodic_refit {
+            e.refits += 1;
+        }
+
+        // Change-point-triggered refit.
+        if cfg.refit_on_changepoint {
+            if let Some(_cp) = e.detector.update(e.samples_seen, actual as f64) {
+                e.predictor.refit()?;
+                e.refits += 1;
+                e.changepoint_refits += 1;
+            }
+        }
+
+        let forecast = e.predictor.forecast()?[0];
+        e.pending_forecast = Some(forecast);
+        Ok(forecast)
+    }
+
+    /// Per-entity accuracy / activity reports.
+    pub fn reports(&self) -> Vec<EntityReport> {
+        self.entities
+            .iter()
+            .map(|e| EntityReport {
+                id: e.id.clone(),
+                samples_seen: e.samples_seen,
+                refits: e.refits,
+                changepoint_refits: e.changepoint_refits,
+                online_mae: if e.scored > 0 {
+                    e.abs_err_sum / e.scored as f64
+                } else {
+                    0.0
+                },
+                online_mse: if e.scored > 0 {
+                    e.sq_err_sum / e.scored as f64
+                } else {
+                    0.0
+                },
+            })
+            .collect()
+    }
+
+    /// Fleet-wide mean online MAE.
+    pub fn fleet_mae(&self) -> f64 {
+        let reports = self.reports();
+        if reports.is_empty() {
+            return 0.0;
+        }
+        reports.iter().map(|r| r.online_mae).sum::<f64>() / reports.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use cloudtrace::{ContainerConfig, WorkloadClass};
+    use models::NaiveForecaster;
+
+    fn frame(seed: u64, steps: usize) -> TimeSeriesFrame {
+        cloudtrace::container::generate_container(
+            &ContainerConfig::new(WorkloadClass::OnlineService, steps, seed)
+                .with_diurnal_period(300),
+        )
+    }
+
+    fn pipeline() -> PipelineConfig {
+        PipelineConfig {
+            window: 12,
+            scenario: Scenario::Uni,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn onboarding_and_stepping() {
+        let mut fleet = FleetService::new(FleetConfig {
+            refit_every: 0,
+            refit_on_changepoint: false,
+            ..Default::default()
+        });
+        let full = frame(1, 700);
+        let bootstrap = full.slice_rows(0, 500).unwrap();
+        fleet
+            .add_entity("c_0", Box::new(NaiveForecaster::new()), &bootstrap, pipeline())
+            .unwrap();
+        assert_eq!(fleet.len(), 1);
+
+        for t in 500..700 {
+            let sample: Vec<f32> = (0..full.num_columns())
+                .map(|j| full.column_at(j)[t])
+                .collect();
+            let forecast = fleet.step(0, &sample).unwrap();
+            assert!(forecast.is_finite());
+        }
+        let reports = fleet.reports();
+        assert_eq!(reports[0].samples_seen, 200);
+        // 199 forecasts scored (the last one is still pending).
+        assert!(reports[0].online_mae > 0.0);
+        assert!(fleet.fleet_mae() > 0.0);
+    }
+
+    #[test]
+    fn changepoint_triggers_refit() {
+        let mut fleet = FleetService::new(FleetConfig {
+            refit_every: 0,
+            refit_on_changepoint: true,
+            cusum_k: 0.02,
+            cusum_h: 0.4,
+        });
+        let full = cloudtrace::container::generate_container(
+            &ContainerConfig::new(WorkloadClass::OnlineService, 900, 5)
+                .with_diurnal_period(400)
+                .with_mutation(700, 0.4),
+        );
+        let bootstrap = full.slice_rows(0, 600).unwrap();
+        fleet
+            .add_entity("c_0", Box::new(NaiveForecaster::new()), &bootstrap, pipeline())
+            .unwrap();
+        for t in 600..900 {
+            let sample: Vec<f32> = (0..full.num_columns())
+                .map(|j| full.column_at(j)[t])
+                .collect();
+            fleet.step(0, &sample).unwrap();
+        }
+        let r = &fleet.reports()[0];
+        assert!(
+            r.changepoint_refits >= 1,
+            "mutation did not trigger a refit: {r:?}"
+        );
+    }
+
+    #[test]
+    fn missing_target_column_rejected() {
+        let mut fleet = FleetService::new(FleetConfig::default());
+        let bad = TimeSeriesFrame::from_columns(&[("mem", vec![0.5; 100])]).unwrap();
+        assert!(fleet
+            .add_entity("x", Box::new(NaiveForecaster::new()), &bad, pipeline())
+            .is_err());
+        assert!(fleet.is_empty());
+    }
+
+    #[test]
+    fn multiple_entities_tracked_independently() {
+        let mut fleet = FleetService::new(FleetConfig {
+            refit_every: 0,
+            refit_on_changepoint: false,
+            ..Default::default()
+        });
+        for seed in 0..3 {
+            let bootstrap = frame(seed, 500);
+            fleet
+                .add_entity(
+                    format!("c_{seed}"),
+                    Box::new(NaiveForecaster::new()),
+                    &bootstrap,
+                    pipeline(),
+                )
+                .unwrap();
+        }
+        assert_eq!(fleet.len(), 3);
+        let extra = frame(9, 520);
+        for t in 0..20 {
+            let sample: Vec<f32> = (0..extra.num_columns())
+                .map(|j| extra.column_at(j)[500 + t])
+                .collect();
+            fleet.step(1, &sample).unwrap();
+        }
+        let reports = fleet.reports();
+        assert_eq!(reports[0].samples_seen, 0);
+        assert_eq!(reports[1].samples_seen, 20);
+        assert_eq!(reports[2].samples_seen, 0);
+    }
+}

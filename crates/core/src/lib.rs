@@ -1,0 +1,43 @@
+//! # rptcn — the end-to-end resource-prediction system
+//!
+//! Ties the substrates together into the system the paper describes:
+//!
+//! * [`pipeline`] — Algorithm 1 as a typed pipeline
+//!   ([`pipeline::prepare`] → [`pipeline::run_model`]): cleaning,
+//!   min-max normalisation, Pearson top-half screening, horizontal data
+//!   expansion, windowing and the 6:2:2 chronological split.
+//! * [`scenario`] — the Uni / Mul / Mul-Exp input scenarios of Table II.
+//! * [`predictor`] — an online [`predictor::ResourcePredictor`] that ingests
+//!   monitoring samples, serves rolling forecasts and retrains periodically.
+//! * [`allocator`] — a prediction-driven [`allocator::CapacityPlanner`]
+//!   scoring over-/under-allocation, the use-case motivating the paper.
+//!
+//! ```
+//! use rptcn::{prepare, run_model, PipelineConfig, Scenario};
+//! use cloudtrace::{ContainerConfig, WorkloadClass};
+//! use models::{Forecaster, NaiveForecaster};
+//!
+//! let frame = cloudtrace::container::generate_container(
+//!     &ContainerConfig::new(WorkloadClass::HighDynamic, 600, 7).with_diurnal_period(300),
+//! );
+//! let cfg = PipelineConfig { window: 12, scenario: Scenario::Mul, ..Default::default() };
+//! let data = prepare(&frame, &cfg).unwrap();
+//! let run = run_model(&mut NaiveForecaster::new(), &data);
+//! assert!(run.test_metrics.mse.is_finite());
+//! ```
+
+pub mod allocator;
+pub mod evaluation;
+pub mod fleet;
+pub mod pipeline;
+pub mod placement;
+pub mod predictor;
+pub mod scenario;
+
+pub use allocator::{CapacityPlanner, PlannerConfig, PlannerStats};
+pub use evaluation::{rolling_origin, RollingOriginConfig, RollingOriginResult};
+pub use fleet::{EntityReport, FleetConfig, FleetService};
+pub use placement::{Arrival, PlacementOutcome, PlacementSimulator, PlacementStrategy, SimMachine};
+pub use pipeline::{prepare, run_model, PipelineConfig, PipelineRun, PreparedData, ScalerScope};
+pub use predictor::ResourcePredictor;
+pub use scenario::Scenario;

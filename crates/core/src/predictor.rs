@@ -1,0 +1,206 @@
+//! Online resource predictor: the component a cluster resource manager
+//! would embed. It owns a fitted model plus the exact preprocessing state
+//! (selected indicators, scaler, expansion) and serves rolling forecasts as
+//! new monitoring samples arrive, retraining periodically.
+
+use models::Forecaster;
+use tensor::Tensor;
+use timeseries::{Expansion, FrameError, TimeSeriesFrame};
+
+use crate::pipeline::{prepare, run_model, PipelineConfig, PipelineRun};
+use crate::scenario::Scenario;
+
+/// A live predictor bound to one entity's indicator stream.
+pub struct ResourcePredictor {
+    model: Box<dyn Forecaster>,
+    cfg: PipelineConfig,
+    /// Rolling raw history per original indicator (column order fixed).
+    names: Vec<String>,
+    history: Vec<Vec<f32>>,
+    /// Preprocessing state captured at the last (re)fit.
+    prepared: crate::pipeline::PreparedData,
+    samples_since_fit: usize,
+    /// Refit after this many new samples (0 disables periodic refits).
+    pub refit_every: usize,
+}
+
+impl ResourcePredictor {
+    /// Fit `model` on `bootstrap` history and return a live predictor.
+    pub fn fit(
+        mut model: Box<dyn Forecaster>,
+        bootstrap: &TimeSeriesFrame,
+        cfg: PipelineConfig,
+    ) -> Result<(ResourcePredictor, PipelineRun), FrameError> {
+        let prepared = prepare(bootstrap, &cfg)?;
+        let run = run_model(model.as_mut(), &prepared);
+        let names = bootstrap.names().to_vec();
+        let history = (0..bootstrap.num_columns())
+            .map(|j| bootstrap.column_at(j).to_vec())
+            .collect();
+        Ok((
+            ResourcePredictor {
+                model,
+                cfg,
+                names,
+                history,
+                prepared,
+                samples_since_fit: 0,
+                refit_every: 0,
+            },
+            run,
+        ))
+    }
+
+    /// Ingest one new monitoring sample (values in the bootstrap frame's
+    /// column order). Returns `true` if a periodic refit was triggered.
+    pub fn observe(&mut self, sample: &[f32]) -> Result<bool, FrameError> {
+        if sample.len() != self.names.len() {
+            return Err(FrameError(format!(
+                "sample has {} values, expected {}",
+                sample.len(),
+                self.names.len()
+            )));
+        }
+        for (col, &v) in self.history.iter_mut().zip(sample) {
+            col.push(v);
+        }
+        self.samples_since_fit += 1;
+        if self.refit_every > 0 && self.samples_since_fit >= self.refit_every {
+            self.refit()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Refit model and preprocessing on the full accumulated history.
+    pub fn refit(&mut self) -> Result<PipelineRun, FrameError> {
+        let frame = self.current_frame()?;
+        self.prepared = prepare(&frame, &self.cfg)?;
+        let run = run_model(self.model.as_mut(), &self.prepared);
+        self.samples_since_fit = 0;
+        Ok(run)
+    }
+
+    /// Forecast the next `horizon` target values (normalised units) from
+    /// the most recent window of history.
+    pub fn forecast_normalized(&self) -> Result<Vec<f32>, FrameError> {
+        let frame = self.current_frame()?;
+        // Re-apply the fitted preprocessing to the tail of the stream.
+        let selected: Vec<&str> = self.prepared.selected.iter().map(String::as_str).collect();
+        let screened = frame.select(&selected)?;
+        let normalized = self.prepared.scaler.transform(&screened);
+        let expanded = match self.cfg.scenario {
+            Scenario::MulExp => Expansion::Horizontal {
+                copies: self.cfg.expansion_copies,
+            }
+            .apply(&normalized)?,
+            _ => normalized,
+        };
+        let w = self.cfg.window;
+        if expanded.len() < w {
+            return Err(FrameError(format!(
+                "need {w} preprocessed samples, have {}",
+                expanded.len()
+            )));
+        }
+        let tail = expanded.slice_rows(expanded.len() - w, expanded.len())?;
+        let f = tail.num_columns();
+        let mut x = vec![0.0f32; w * f];
+        for t in 0..w {
+            for j in 0..f {
+                x[t * f + j] = tail.column_at(j)[t];
+            }
+        }
+        let pred = self.model.predict(&Tensor::from_vec(x, &[1, w, f]));
+        Ok(pred.into_vec())
+    }
+
+    /// Forecast in raw (de-normalised) target units.
+    pub fn forecast(&self) -> Result<Vec<f32>, FrameError> {
+        let normalized = self.forecast_normalized()?;
+        Ok(self.prepared.denormalize(&self.cfg.target, &normalized))
+    }
+
+    /// Samples currently buffered.
+    pub fn history_len(&self) -> usize {
+        self.history.first().map_or(0, Vec::len)
+    }
+
+    fn current_frame(&self) -> Result<TimeSeriesFrame, FrameError> {
+        TimeSeriesFrame::new(
+            self.names
+                .iter()
+                .cloned()
+                .zip(self.history.iter().cloned())
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudtrace::{ContainerConfig, WorkloadClass};
+    use models::NaiveForecaster;
+
+    fn bootstrap() -> TimeSeriesFrame {
+        cloudtrace::container::generate_container(
+            &ContainerConfig::new(WorkloadClass::OnlineService, 600, 3).with_diurnal_period(300),
+        )
+    }
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig {
+            window: 12,
+            scenario: Scenario::MulExp,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fit_then_forecast() {
+        let (predictor, run) =
+            ResourcePredictor::fit(Box::new(NaiveForecaster::new()), &bootstrap(), cfg()).unwrap();
+        assert!(run.test_metrics.mse.is_finite());
+        let fc = predictor.forecast().unwrap();
+        assert_eq!(fc.len(), 1);
+        assert!(fc[0].is_finite());
+        // Raw forecast is in utilisation units.
+        assert!((0.0..=1.5).contains(&fc[0]), "forecast {fc:?} out of range");
+    }
+
+    #[test]
+    fn observe_extends_history_and_shifts_forecast() {
+        let (mut predictor, _) =
+            ResourcePredictor::fit(Box::new(NaiveForecaster::new()), &bootstrap(), cfg()).unwrap();
+        let before = predictor.history_len();
+        // Push a burst of high samples; persistence forecast must follow.
+        for _ in 0..15 {
+            predictor.observe(&[0.95; 8]).unwrap();
+        }
+        assert_eq!(predictor.history_len(), before + 15);
+        let fc = predictor.forecast().unwrap();
+        assert!(fc[0] > 0.7, "forecast did not track new samples: {fc:?}");
+    }
+
+    #[test]
+    fn observe_validates_sample_width() {
+        let (mut predictor, _) =
+            ResourcePredictor::fit(Box::new(NaiveForecaster::new()), &bootstrap(), cfg()).unwrap();
+        assert!(predictor.observe(&[0.5; 3]).is_err());
+    }
+
+    #[test]
+    fn periodic_refit_fires() {
+        let (mut predictor, _) =
+            ResourcePredictor::fit(Box::new(NaiveForecaster::new()), &bootstrap(), cfg()).unwrap();
+        predictor.refit_every = 10;
+        let mut refits = 0;
+        for i in 0..25 {
+            if predictor.observe(&[0.4 + 0.001 * i as f32; 8]).unwrap() {
+                refits += 1;
+            }
+        }
+        assert_eq!(refits, 2);
+    }
+}

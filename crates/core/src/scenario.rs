@@ -1,0 +1,46 @@
+//! The three input scenarios of the paper's evaluation (§V-B).
+
+/// How much of the indicator set feeds the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Univariate: only the prediction target's own history.
+    Uni,
+    /// Multivariate: the top half of all indicators by |PCC| with the target.
+    Mul,
+    /// Multivariate + horizontal time-dimension expansion (Fig. 4b) — the
+    /// paper's headline configuration.
+    MulExp,
+}
+
+impl Scenario {
+    pub const ALL: [Scenario; 3] = [Scenario::Uni, Scenario::Mul, Scenario::MulExp];
+
+    /// Display name matching Table II's row labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::Uni => "Uni",
+            Scenario::Mul => "Mul",
+            Scenario::MulExp => "Mul-Exp",
+        }
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Scenario::Uni.label(), "Uni");
+        assert_eq!(Scenario::Mul.label(), "Mul");
+        assert_eq!(Scenario::MulExp.label(), "Mul-Exp");
+        assert_eq!(format!("{}", Scenario::MulExp), "Mul-Exp");
+        assert_eq!(Scenario::ALL.len(), 3);
+    }
+}

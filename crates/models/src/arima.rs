@@ -1,0 +1,408 @@
+//! ARIMA(p, d, q) baseline, estimated with the Hannan–Rissanen two-stage
+//! procedure: a long autoregression (via Levinson–Durbin) supplies residual
+//! estimates, then one ridge-regularised OLS fits the AR and MA
+//! coefficients jointly. Forecasting is the standard recursion with future
+//! innovations set to zero, followed by un-differencing.
+
+use std::time::Instant;
+
+use tensor::{linalg, stats, Tensor};
+use timeseries::WindowedDataset;
+
+use crate::forecaster::{FitReport, Forecaster};
+
+/// ARIMA hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArimaConfig {
+    /// Autoregressive order.
+    pub p: usize,
+    /// Differencing order (0 or 1 cover utilisation traces).
+    pub d: usize,
+    /// Moving-average order.
+    pub q: usize,
+    /// Ridge added to the OLS normal equations.
+    pub ridge: f32,
+}
+
+impl Default for ArimaConfig {
+    fn default() -> Self {
+        Self {
+            p: 3,
+            d: 1,
+            q: 1,
+            ridge: 1e-4,
+        }
+    }
+}
+
+/// Fitted ARIMA model implementing [`Forecaster`]. Only the target column
+/// of each window is consulted — ARIMA is the paper's univariate baseline.
+#[derive(Debug, Clone)]
+pub struct ArimaForecaster {
+    config: ArimaConfig,
+    phi: Vec<f64>,
+    theta: Vec<f64>,
+    intercept: f64,
+    target_index: usize,
+    horizon: usize,
+    fitted: bool,
+}
+
+impl ArimaForecaster {
+    pub fn new(config: ArimaConfig) -> Self {
+        Self {
+            config,
+            phi: Vec::new(),
+            theta: Vec::new(),
+            intercept: 0.0,
+            target_index: 0,
+            horizon: 1,
+            fitted: false,
+        }
+    }
+
+    /// The estimated AR coefficients.
+    pub fn phi(&self) -> &[f64] {
+        &self.phi
+    }
+
+    /// The estimated MA coefficients.
+    pub fn theta(&self) -> &[f64] {
+        &self.theta
+    }
+
+    /// Fit directly on a raw univariate series (used by tests and by the
+    /// windowed [`Forecaster::fit`] after reconstructing the series).
+    pub fn fit_series(&mut self, series: &[f32]) {
+        let z = difference(series, self.config.d);
+        let (p, q) = (self.config.p, self.config.q);
+        assert!(
+            z.len() > (p + q + 2).max(8),
+            "series too short for ARIMA({p},{},{q})",
+            self.config.d
+        );
+
+        if q == 0 {
+            // Pure AR: Yule–Walker via Levinson–Durbin is exact and fast.
+            let acov = stats::autocovariance(&z, p);
+            if let Ok((phi, _)) = linalg::levinson_durbin(&acov, p) {
+                self.phi = phi;
+                self.theta.clear();
+                let mean = stats::mean(&z);
+                self.intercept = mean * (1.0 - self.phi.iter().sum::<f64>());
+                self.fitted = true;
+                return;
+            }
+        }
+
+        // Stage 1: long AR to estimate innovations.
+        let long_order = (p + q + 4).min(z.len() / 4).max(1);
+        let acov = stats::autocovariance(&z, long_order);
+        let long_phi = match linalg::levinson_durbin(&acov, long_order) {
+            Ok((phi, _)) => phi,
+            Err(_) => vec![0.0; long_order],
+        };
+        let mean = stats::mean(&z);
+        let mut resid = vec![0.0f64; z.len()];
+        for t in long_order..z.len() {
+            let mut pred = mean;
+            for (k, &ph) in long_phi.iter().enumerate() {
+                pred += ph * (z[t - 1 - k] as f64 - mean);
+            }
+            resid[t] = z[t] as f64 - pred;
+        }
+
+        // Stage 2: OLS of z_t on lagged z and lagged residuals + intercept.
+        let start = long_order + p.max(q);
+        let rows = z.len() - start;
+        let cols = p + q + 1;
+        let mut design = Vec::with_capacity(rows * cols);
+        let mut target = Vec::with_capacity(rows);
+        for t in start..z.len() {
+            for k in 1..=p {
+                design.push(z[t - k]);
+            }
+            for k in 1..=q {
+                design.push(resid[t - k] as f32);
+            }
+            design.push(1.0);
+            target.push(z[t]);
+        }
+        let beta = linalg::least_squares(
+            &Tensor::from_vec(design, &[rows, cols]),
+            &Tensor::from_vec(target, &[rows]),
+            self.config.ridge,
+        );
+        match beta {
+            Ok(beta) => {
+                let b = beta.as_slice();
+                self.phi = b[..p].iter().map(|&x| x as f64).collect();
+                self.theta = b[p..p + q].iter().map(|&x| x as f64).collect();
+                self.intercept = b[p + q] as f64;
+            }
+            Err(_) => {
+                // Degenerate design (constant series): fall back to a
+                // random-walk model.
+                self.phi = vec![0.0; p];
+                self.theta = vec![0.0; q];
+                self.intercept = mean;
+            }
+        }
+        self.fitted = true;
+    }
+
+    /// Forecast `horizon` values following a raw history window.
+    pub fn forecast(&self, history: &[f32], horizon: usize) -> Vec<f32> {
+        assert!(self.fitted, "forecast before fit");
+        let d = self.config.d;
+        assert!(history.len() > d + self.config.p, "history too short");
+        let z = difference(history, d);
+        let (p, q) = (self.config.p, self.config.q);
+
+        // Reconstruct in-sample residuals along the window (zero-initialised).
+        let mut resid = vec![0.0f64; z.len()];
+        for t in 0..z.len() {
+            let mut pred = self.intercept;
+            for (k, &ph) in self.phi.iter().enumerate() {
+                if t > k {
+                    pred += ph * z[t - 1 - k] as f64;
+                }
+            }
+            for (k, &th) in self.theta.iter().enumerate() {
+                if t > k {
+                    pred += th * resid[t - 1 - k];
+                }
+            }
+            resid[t] = z[t] as f64 - pred;
+        }
+
+        // Recursive forecast in differenced space.
+        let mut zext: Vec<f64> = z.iter().map(|&v| v as f64).collect();
+        let mut rext = resid;
+        for _ in 0..horizon {
+            let t = zext.len();
+            let mut pred = self.intercept;
+            for (k, &ph) in self.phi.iter().enumerate() {
+                if t > k {
+                    pred += ph * zext[t - 1 - k];
+                }
+            }
+            for (k, &th) in self.theta.iter().enumerate() {
+                if t > k {
+                    pred += th * rext[t - 1 - k];
+                }
+            }
+            let _ = p;
+            let _ = q;
+            zext.push(pred);
+            rext.push(0.0);
+        }
+
+        // Un-difference back to the original scale.
+        let mut out = Vec::with_capacity(horizon);
+        if d == 0 {
+            for h in 0..horizon {
+                out.push(zext[z.len() + h] as f32);
+            }
+        } else {
+            // Repeated cumulative sums from the last observed values.
+            let mut lasts: Vec<f64> = Vec::with_capacity(d);
+            let mut cur: Vec<f32> = history.to_vec();
+            for _ in 0..d {
+                lasts.push(*cur.last().unwrap() as f64);
+                cur = difference(&cur, 1);
+            }
+            for h in 0..horizon {
+                let mut v = zext[z.len() + h];
+                for l in lasts.iter_mut().rev() {
+                    v += *l;
+                    *l = v;
+                }
+                out.push(v as f32);
+            }
+        }
+        out
+    }
+}
+
+/// Apply `d` rounds of first differencing.
+fn difference(series: &[f32], d: usize) -> Vec<f32> {
+    let mut cur = series.to_vec();
+    for _ in 0..d {
+        cur = cur.windows(2).map(|w| w[1] - w[0]).collect();
+    }
+    cur
+}
+
+/// Stitch the original target series back together from overlapping windows
+/// (window 0's history plus every sample's first target value, plus the
+/// final sample's full horizon).
+pub(crate) fn reconstruct_target_series(ds: &WindowedDataset) -> Vec<f32> {
+    let (n, window, f) = (ds.x.shape()[0], ds.window, ds.num_features());
+    let mut series = Vec::with_capacity(window + n + ds.horizon - 1);
+    for t in 0..window {
+        series.push(ds.x.as_slice()[t * f + ds.target_index]);
+    }
+    for i in 0..n {
+        series.push(ds.y.at(&[i, 0]));
+    }
+    for h in 1..ds.horizon {
+        series.push(ds.y.at(&[n - 1, h]));
+    }
+    series
+}
+
+impl Forecaster for ArimaForecaster {
+    fn name(&self) -> &str {
+        "ARIMA"
+    }
+
+    fn fit(&mut self, train: &WindowedDataset, _valid: Option<&WindowedDataset>) -> FitReport {
+        let start = Instant::now();
+        self.target_index = train.target_index;
+        self.horizon = train.horizon;
+        let series = reconstruct_target_series(train);
+        self.fit_series(&series);
+        // Report in-sample one-step MSE as the single "epoch" loss.
+        let (truth, pred) = self.evaluate(train);
+        FitReport {
+            train_loss: vec![timeseries::metrics::mse(&truth, &pred)],
+            valid_loss: Vec::new(),
+            fit_time: start.elapsed(),
+            stopped_early: false,
+        }
+    }
+
+    fn predict(&self, x: &Tensor) -> Tensor {
+        let (n, window, f) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let mut out = Vec::with_capacity(n * self.horizon);
+        for i in 0..n {
+            let history: Vec<f32> = (0..window)
+                .map(|t| x.as_slice()[(i * window + t) * f + self.target_index])
+                .collect();
+            out.extend(self.forecast(&history, self.horizon));
+        }
+        Tensor::from_vec(out, &[n, self.horizon])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Rng;
+    use timeseries::{make_windows, TimeSeriesFrame};
+
+    fn ar1_series(phi: f32, n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Rng::seed_from(seed);
+        let mut x = 0.0f32;
+        (0..n)
+            .map(|_| {
+                x = phi * x + rng.normal(0.0, 0.1);
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pure_ar_recovers_coefficient() {
+        let series = ar1_series(0.8, 4000, 1);
+        let mut m = ArimaForecaster::new(ArimaConfig {
+            p: 1,
+            d: 0,
+            q: 0,
+            ridge: 0.0,
+        });
+        m.fit_series(&series);
+        assert!((m.phi()[0] - 0.8).abs() < 0.05, "phi {:?}", m.phi());
+    }
+
+    #[test]
+    fn differencing_helper() {
+        assert_eq!(difference(&[1.0, 3.0, 6.0, 10.0], 1), vec![2.0, 3.0, 4.0]);
+        assert_eq!(difference(&[1.0, 3.0, 6.0, 10.0], 2), vec![1.0, 1.0]);
+        assert_eq!(difference(&[5.0, 5.0], 0), vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn forecast_of_linear_trend_continues_it() {
+        // A straight line is perfectly captured by d=1 with zero noise.
+        let series: Vec<f32> = (0..200).map(|i| 0.5 + 0.01 * i as f32).collect();
+        let mut m = ArimaForecaster::new(ArimaConfig {
+            p: 2,
+            d: 1,
+            q: 0,
+            ridge: 1e-6,
+        });
+        m.fit_series(&series);
+        let fc = m.forecast(&series[170..200], 3);
+        for (h, &v) in fc.iter().enumerate() {
+            let expected = 0.5 + 0.01 * (200 + h) as f32;
+            assert!((v - expected).abs() < 0.01, "h={h}: {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn constant_series_forecasts_constant() {
+        let series = vec![0.4f32; 100];
+        let mut m = ArimaForecaster::new(ArimaConfig::default());
+        m.fit_series(&series);
+        let fc = m.forecast(&series[70..100], 5);
+        for &v in &fc {
+            assert!((v - 0.4).abs() < 1e-3, "constant forecast drifted: {v}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_original_series() {
+        let series: Vec<f32> = (0..30).map(|i| (i as f32 * 0.37).sin()).collect();
+        let frame = TimeSeriesFrame::from_columns(&[("cpu", series.clone())]).unwrap();
+        let ds = make_windows(&frame, "cpu", 5, 2).unwrap();
+        let rebuilt = reconstruct_target_series(&ds);
+        assert_eq!(rebuilt.len(), series.len());
+        for (a, b) in rebuilt.iter().zip(&series) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn windowed_fit_and_predict_beat_naive_on_ar_process() {
+        let series = ar1_series(0.9, 1200, 7);
+        let frame = TimeSeriesFrame::from_columns(&[("cpu", series)]).unwrap();
+        let ds = make_windows(&frame, "cpu", 20, 1).unwrap();
+        let (train, _, test) = timeseries::split_windows(&ds, timeseries::SplitRatios::PAPER);
+        let mut arima = ArimaForecaster::new(ArimaConfig {
+            p: 2,
+            d: 0,
+            q: 1,
+            ridge: 1e-4,
+        });
+        let report = arima.fit(&train, None);
+        assert!(report.train_loss[0].is_finite());
+        let (truth, pred) = arima.evaluate(&test);
+        let arima_mse = timeseries::metrics::mse(&truth, &pred);
+
+        let mut naive = crate::forecaster::NaiveForecaster::new();
+        naive.fit(&train, None);
+        let (truth_n, pred_n) = naive.evaluate(&test);
+        let naive_mse = timeseries::metrics::mse(&truth_n, &pred_n);
+        assert!(
+            arima_mse < naive_mse,
+            "ARIMA ({arima_mse:.5}) lost to persistence ({naive_mse:.5})"
+        );
+    }
+
+    #[test]
+    fn multistep_forecast_has_right_length() {
+        let series = ar1_series(0.7, 500, 9);
+        let mut m = ArimaForecaster::new(ArimaConfig::default());
+        m.fit_series(&series);
+        assert_eq!(m.forecast(&series[460..500], 7).len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "forecast before fit")]
+    fn forecast_requires_fit() {
+        let m = ArimaForecaster::new(ArimaConfig::default());
+        m.forecast(&[0.0; 30], 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! GRU forecaster — a related-work recurrent baseline (§VI-B) included in
+//! the extended model zoo next to the paper's five Table-II models.
+
+use autograd::layers::{Dropout, Gru, Linear};
+use autograd::{Graph, ParamStore, SequenceModel, Var};
+use tensor::{Rng, Tensor};
+use timeseries::WindowedDataset;
+
+use crate::forecaster::{FitReport, Forecaster};
+use crate::neural::{self, NeuralTrainSpec};
+
+/// GRU architecture and training knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GruConfig {
+    pub hidden: usize,
+    pub layers: usize,
+    pub dropout: f32,
+    pub spec: NeuralTrainSpec,
+}
+
+impl Default for GruConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            layers: 2,
+            dropout: 0.1,
+            spec: NeuralTrainSpec::default(),
+        }
+    }
+}
+
+struct GruNetwork {
+    store: ParamStore,
+    gru: Gru,
+    dropout: Dropout,
+    head: Linear,
+    horizon: usize,
+}
+
+impl SequenceModel for GruNetwork {
+    fn forward(&self, g: &mut Graph, x: &Tensor, training: bool, rng: &mut Rng) -> Var {
+        let steps = neural::time_step_inputs(g, x);
+        let last = self.gru.forward_last(g, &steps);
+        let dropped = self.dropout.apply(g, last, training, rng);
+        self.head.forward(g, dropped)
+    }
+
+    fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn horizon(&self) -> usize {
+        self.horizon
+    }
+}
+
+/// GRU as a [`Forecaster`].
+pub struct GruForecaster {
+    config: GruConfig,
+    network: Option<GruNetwork>,
+}
+
+impl GruForecaster {
+    pub fn new(config: GruConfig) -> Self {
+        Self {
+            config,
+            network: None,
+        }
+    }
+
+    fn build(&self, features: usize, horizon: usize) -> GruNetwork {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(self.config.spec.seed.wrapping_add(0x6EF));
+        let gru = Gru::new(
+            &mut store,
+            "gru",
+            features,
+            self.config.hidden,
+            self.config.layers,
+            &mut rng,
+        );
+        let head = Linear::with_init(
+            &mut store,
+            "head",
+            self.config.hidden,
+            horizon,
+            autograd::Init::Constant(0.0),
+            true,
+            &mut rng,
+        );
+        GruNetwork {
+            store,
+            gru,
+            dropout: Dropout::new(self.config.dropout),
+            head,
+            horizon,
+        }
+    }
+}
+
+impl Forecaster for GruForecaster {
+    fn name(&self) -> &str {
+        "GRU"
+    }
+
+    fn fit(&mut self, train: &WindowedDataset, valid: Option<&WindowedDataset>) -> FitReport {
+        let mut net = self.build(train.num_features(), train.horizon);
+        let report = neural::fit_network(&mut net, self.config.spec, train, valid);
+        self.network = Some(net);
+        report
+    }
+
+    fn predict(&self, x: &Tensor) -> Tensor {
+        let net = self.network.as_ref().expect("predict before fit");
+        neural::predict_network(net, x, self.config.spec.batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::{make_windows, TimeSeriesFrame};
+
+    #[test]
+    fn learns_a_sine_wave() {
+        let series: Vec<f32> = (0..400)
+            .map(|i| 0.5 + 0.4 * (i as f32 * 0.3).sin())
+            .collect();
+        let frame = TimeSeriesFrame::from_columns(&[("cpu", series)]).unwrap();
+        let ds = make_windows(&frame, "cpu", 8, 1).unwrap();
+        let mut model = GruForecaster::new(GruConfig {
+            hidden: 16,
+            layers: 1,
+            dropout: 0.0,
+            spec: NeuralTrainSpec {
+                epochs: 25,
+                learning_rate: 5e-3,
+                ..Default::default()
+            },
+        });
+        let report = model.fit(&ds, None);
+        assert!(report.final_train_loss() < report.train_loss[0]);
+        let (truth, pred) = model.evaluate(&ds);
+        let mse = timeseries::metrics::mse(&truth, &pred);
+        assert!(mse < 0.01, "GRU failed to learn a sine: mse {mse}");
+    }
+
+    #[test]
+    fn multistep_prediction_shape() {
+        let series: Vec<f32> = (0..150).map(|i| (i % 9) as f32 / 9.0).collect();
+        let frame = TimeSeriesFrame::from_columns(&[("cpu", series)]).unwrap();
+        let ds = make_windows(&frame, "cpu", 6, 3).unwrap();
+        let mut model = GruForecaster::new(GruConfig {
+            hidden: 8,
+            layers: 1,
+            spec: NeuralTrainSpec {
+                epochs: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        model.fit(&ds, None);
+        let pred = model.predict(&ds.x);
+        assert_eq!(pred.shape(), &[ds.len(), 3]);
+        assert!(pred.all_finite());
+    }
+}

@@ -1,0 +1,184 @@
+//! Ridge linear regression on flattened windows — the linear-regression
+//! workload estimator of the related work (§VI-A, Yang et al.) and a strong
+//! cheap baseline: with the lag-0 target among the features it can express
+//! persistence exactly and then improve on it.
+
+use std::time::Instant;
+
+use tensor::{linalg, Tensor};
+use timeseries::WindowedDataset;
+
+use crate::forecaster::{FitReport, Forecaster};
+
+/// Ridge-regression hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearConfig {
+    /// L2 penalty on the weights (the intercept column is penalised too,
+    /// negligibly, which keeps the solver a single OLS call).
+    pub ridge: f32,
+}
+
+impl Default for LinearConfig {
+    fn default() -> Self {
+        Self { ridge: 1e-2 }
+    }
+}
+
+/// Fitted ridge regressor; one weight vector per horizon step.
+#[derive(Debug, Clone)]
+pub struct LinearForecaster {
+    config: LinearConfig,
+    /// `[flat_features + 1]` weights (intercept last) per horizon step.
+    weights: Vec<Tensor>,
+    horizon: usize,
+    flat_features: usize,
+}
+
+impl LinearForecaster {
+    pub fn new(config: LinearConfig) -> Self {
+        Self {
+            config,
+            weights: Vec::new(),
+            horizon: 1,
+            flat_features: 0,
+        }
+    }
+
+    /// The fitted weight vector (intercept last) for horizon step `h`.
+    pub fn weights(&self, h: usize) -> &Tensor {
+        &self.weights[h]
+    }
+}
+
+fn design_matrix(x: &Tensor) -> (Tensor, usize, usize) {
+    let (n, window, f) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let flat = window * f;
+    let mut rows = Vec::with_capacity(n * (flat + 1));
+    for i in 0..n {
+        rows.extend_from_slice(&x.as_slice()[i * flat..(i + 1) * flat]);
+        rows.push(1.0);
+    }
+    (Tensor::from_vec(rows, &[n, flat + 1]), n, flat)
+}
+
+impl Forecaster for LinearForecaster {
+    fn name(&self) -> &str {
+        "Linear"
+    }
+
+    fn fit(&mut self, train: &WindowedDataset, _valid: Option<&WindowedDataset>) -> FitReport {
+        let start = Instant::now();
+        let (design, n, flat) = design_matrix(&train.x);
+        self.horizon = train.horizon;
+        self.flat_features = flat;
+        self.weights = (0..self.horizon)
+            .map(|h| {
+                let target: Vec<f32> = (0..n).map(|i| train.y.at(&[i, h])).collect();
+                linalg::least_squares(&design, &Tensor::from_vec(target, &[n]), self.config.ridge)
+                    .expect("ridge solve")
+            })
+            .collect();
+        let (truth, pred) = self.evaluate(train);
+        FitReport {
+            train_loss: vec![timeseries::metrics::mse(&truth, &pred)],
+            valid_loss: Vec::new(),
+            fit_time: start.elapsed(),
+            stopped_early: false,
+        }
+    }
+
+    fn predict(&self, x: &Tensor) -> Tensor {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        let (design, n, flat) = design_matrix(x);
+        assert_eq!(flat, self.flat_features, "feature width changed since fit");
+        let mut out = vec![0.0f32; n * self.horizon];
+        for (h, w) in self.weights.iter().enumerate() {
+            let pred = tensor::matmul::matvec(&design, w);
+            for i in 0..n {
+                out[i * self.horizon + h] = pred.as_slice()[i];
+            }
+        }
+        Tensor::from_vec(out, &[n, self.horizon])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::{make_windows, TimeSeriesFrame};
+
+    #[test]
+    fn recovers_an_exact_linear_rule() {
+        // cpu is an exact linear function of the exogenous column's recent
+        // past; an autoregressive construction would converge to a fixed
+        // point and leave the design matrix rank-deficient.
+        let mut rng = tensor::Rng::seed_from(5);
+        let n = 200;
+        let x: Vec<f32> = (0..n).map(|_| rng.uniform(0.0, 1.0)).collect();
+        let cpu: Vec<f32> = (0..n)
+            .map(|t| {
+                if t < 2 {
+                    0.5
+                } else {
+                    0.6 * x[t - 1] + 0.3 * x[t - 2] + 0.05
+                }
+            })
+            .collect();
+        let frame = TimeSeriesFrame::from_columns(&[("cpu", cpu), ("x", x)]).unwrap();
+        let ds = make_windows(&frame, "cpu", 4, 1).unwrap();
+        let mut m = LinearForecaster::new(LinearConfig { ridge: 1e-6 });
+        // cpu lags are exact combinations of x lags, so the solver will
+        // escalate the ridge; the fit must still be essentially exact.
+        let report = m.fit(&ds, None);
+        assert!(
+            report.train_loss[0] < 1e-4,
+            "train mse {}",
+            report.train_loss[0]
+        );
+        let (truth, pred) = m.evaluate(&ds);
+        assert!(timeseries::metrics::mse(&truth, &pred) < 1e-4);
+    }
+
+    #[test]
+    fn multivariate_weights_find_the_informative_column() {
+        // Target equals the helper column one step back; cpu history is noise.
+        let n = 150;
+        let helper: Vec<f32> = (0..n).map(|i| ((i * 13) % 29) as f32 / 29.0).collect();
+        let cpu: Vec<f32> = (0..n)
+            .map(|i| if i == 0 { 0.0 } else { helper[i - 1] })
+            .collect();
+        let frame = TimeSeriesFrame::from_columns(&[("cpu", cpu), ("helper", helper)]).unwrap();
+        let ds = make_windows(&frame, "cpu", 3, 1).unwrap();
+        let mut m = LinearForecaster::new(LinearConfig::default());
+        m.fit(&ds, None);
+        let (truth, pred) = m.evaluate(&ds);
+        assert!(timeseries::metrics::mse(&truth, &pred) < 1e-3);
+        // The dominant weight must sit on the last helper value
+        // (feature index: (window-1)*f + 1 = 2*2+1 = 5).
+        let w = m.weights(0).as_slice();
+        let (argmax, _) = w[..w.len() - 1]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap();
+        assert_eq!(argmax, 5, "weights {w:?}");
+    }
+
+    #[test]
+    fn multi_horizon_shapes() {
+        let series: Vec<f32> = (0..120).map(|i| (i % 11) as f32 / 11.0).collect();
+        let frame = TimeSeriesFrame::from_columns(&[("cpu", series)]).unwrap();
+        let ds = make_windows(&frame, "cpu", 5, 3).unwrap();
+        let mut m = LinearForecaster::new(LinearConfig::default());
+        m.fit(&ds, None);
+        let pred = m.predict(&ds.x);
+        assert_eq!(pred.shape(), &[ds.len(), 3]);
+        assert!(pred.all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_requires_fit() {
+        LinearForecaster::new(LinearConfig::default()).predict(&Tensor::zeros(&[1, 3, 1]));
+    }
+}

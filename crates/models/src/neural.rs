@@ -1,0 +1,159 @@
+//! Shared plumbing for the deep forecasters: input-layout helpers and the
+//! adapter that turns an `autograd::SequenceModel` into a [`Forecaster`].
+
+use std::time::Instant;
+
+use autograd::optim::Adam;
+use autograd::{Graph, LossKind, SequenceModel, TrainConfig, Var};
+use tensor::{Rng, Tensor};
+use timeseries::WindowedDataset;
+
+use crate::forecaster::FitReport;
+
+/// Training hyper-parameters shared by every deep model. Mirrors the
+/// paper's Keras setup: Adam, MSE loss, `EarlyStopping(patience=10)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeuralTrainSpec {
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub learning_rate: f32,
+    pub clip_norm: f32,
+    pub patience: usize,
+    pub seed: u64,
+}
+
+impl Default for NeuralTrainSpec {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            clip_norm: 5.0,
+            patience: 10,
+            seed: 0,
+        }
+    }
+}
+
+impl NeuralTrainSpec {
+    pub(crate) fn to_train_config(self) -> TrainConfig {
+        TrainConfig {
+            epochs: self.epochs,
+            batch_size: self.batch_size,
+            loss: LossKind::Mse,
+            clip_norm: Some(self.clip_norm),
+            patience: Some(self.patience),
+            shuffle: true,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Fit a network and convert the history into a [`FitReport`].
+pub(crate) fn fit_network<M: SequenceModel>(
+    net: &mut M,
+    spec: NeuralTrainSpec,
+    train: &WindowedDataset,
+    valid: Option<&WindowedDataset>,
+) -> FitReport {
+    let start = Instant::now();
+    let mut opt = Adam::new(spec.learning_rate);
+    let history = autograd::fit(
+        net,
+        &train.x,
+        &train.y,
+        valid.map(|v| (&v.x, &v.y)),
+        &mut opt,
+        &spec.to_train_config(),
+    );
+    FitReport {
+        train_loss: history.train_loss,
+        valid_loss: history.valid_loss,
+        fit_time: start.elapsed(),
+        stopped_early: history.stopped_early,
+    }
+}
+
+/// Run inference through the [`SequenceModel`] interface.
+pub(crate) fn predict_network<M: SequenceModel>(net: &M, x: &Tensor, batch: usize) -> Tensor {
+    let mut rng = Rng::seed_from(0);
+    autograd::predict(net, x, batch, &mut rng)
+}
+
+/// Slice a `[batch, time, features]` window batch into per-step
+/// `[batch, features]` input leaves for recurrent models.
+pub(crate) fn time_step_inputs(g: &mut Graph, x: &Tensor) -> Vec<Var> {
+    let (b, t, f) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    (0..t)
+        .map(|step| {
+            let mut data = vec![0.0f32; b * f];
+            for bi in 0..b {
+                data[bi * f..(bi + 1) * f]
+                    .copy_from_slice(&x.as_slice()[(bi * t + step) * f..(bi * t + step) * f + f]);
+            }
+            g.input(Tensor::from_vec(data, &[b, f]))
+        })
+        .collect()
+}
+
+/// Rearrange `[batch, time, features]` into the `[batch, channels, time]`
+/// layout convolutional models consume.
+pub(crate) fn to_channels_time(x: &Tensor) -> Tensor {
+    let (b, t, f) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let src = x.as_slice();
+    let mut out = vec![0.0f32; b * f * t];
+    for bi in 0..b {
+        for ti in 0..t {
+            for fi in 0..f {
+                out[(bi * f + fi) * t + ti] = src[(bi * t + ti) * f + fi];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, f, t])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograd::ParamStore;
+
+    #[test]
+    fn channels_time_layout() {
+        // x[b][t][f] with distinguishable entries.
+        let x = Tensor::arange(2 * 3 * 2).into_reshape(&[2, 3, 2]).unwrap();
+        let ct = to_channels_time(&x);
+        assert_eq!(ct.shape(), &[2, 2, 3]);
+        // x[0, t, 0] = 0, 2, 4 should become channel 0 of item 0.
+        assert_eq!(ct.at(&[0, 0, 0]), 0.0);
+        assert_eq!(ct.at(&[0, 0, 1]), 2.0);
+        assert_eq!(ct.at(&[0, 0, 2]), 4.0);
+        // x[1, t, 1] = 7, 9, 11 -> channel 1 of item 1.
+        assert_eq!(ct.at(&[1, 1, 0]), 7.0);
+        assert_eq!(ct.at(&[1, 1, 2]), 11.0);
+    }
+
+    #[test]
+    fn time_step_inputs_slice_correctly() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let x = Tensor::arange(2 * 3 * 2).into_reshape(&[2, 3, 2]).unwrap();
+        let steps = time_step_inputs(&mut g, &x);
+        assert_eq!(steps.len(), 3);
+        // Step 1 holds x[:, 1, :] = [[2, 3], [8, 9]].
+        assert_eq!(g.value(steps[1]).as_slice(), &[2.0, 3.0, 8.0, 9.0]);
+        assert_eq!(g.value(steps[1]).shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn spec_converts_to_train_config() {
+        let spec = NeuralTrainSpec {
+            epochs: 7,
+            patience: 3,
+            ..Default::default()
+        };
+        let cfg = spec.to_train_config();
+        assert_eq!(cfg.epochs, 7);
+        assert_eq!(cfg.patience, Some(3));
+        assert_eq!(cfg.loss, LossKind::Mse);
+    }
+}

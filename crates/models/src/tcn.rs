@@ -1,0 +1,376 @@
+//! Temporal Convolutional Network backbone (Bai et al. 2018, paper §III-D):
+//! a stack of residual blocks of dilated causal convolutions with weight
+//! normalisation, ReLU and spatial dropout. RPTCN builds on this backbone;
+//! it is also exposed as a plain `TCN` forecaster for the component
+//! ablation.
+
+use autograd::layers::{CausalConv1d, Dropout, Linear};
+use autograd::{Graph, ParamStore, SequenceModel, Var};
+use tensor::{Rng, Tensor};
+use timeseries::WindowedDataset;
+
+use crate::forecaster::{FitReport, Forecaster};
+use crate::neural::{self, NeuralTrainSpec};
+
+/// One TCN residual block (paper Fig. 6): two dilated causal convolutions,
+/// each followed by ReLU and spatial dropout, plus a 1×1 convolution on the
+/// skip path when channel counts differ; the block output is
+/// `ReLU(x + F(x))` (paper eq. 5).
+pub struct TemporalBlock {
+    conv1: CausalConv1d,
+    conv2: CausalConv1d,
+    downsample: Option<CausalConv1d>,
+    dropout: Dropout,
+}
+
+impl TemporalBlock {
+    #[allow(clippy::too_many_arguments)] // block hyper-parameters
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        dilation: usize,
+        dropout: f32,
+        weight_norm: bool,
+        rng: &mut Rng,
+    ) -> Self {
+        let conv1 = CausalConv1d::new(
+            store,
+            &format!("{name}.conv1"),
+            in_ch,
+            out_ch,
+            kernel,
+            dilation,
+            weight_norm,
+            rng,
+        );
+        let conv2 = CausalConv1d::new(
+            store,
+            &format!("{name}.conv2"),
+            out_ch,
+            out_ch,
+            kernel,
+            dilation,
+            weight_norm,
+            rng,
+        );
+        let downsample = (in_ch != out_ch).then(|| {
+            CausalConv1d::new(
+                store,
+                &format!("{name}.down"),
+                in_ch,
+                out_ch,
+                1,
+                1,
+                false,
+                rng,
+            )
+        });
+        Self {
+            conv1,
+            conv2,
+            downsample,
+            dropout: Dropout::new(dropout),
+        }
+    }
+
+    /// `[batch, in_ch, T] -> [batch, out_ch, T]`.
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool, rng: &mut Rng) -> Var {
+        let h = self.conv1.forward(g, x);
+        let h = g.relu(h);
+        let h = self.dropout.apply_spatial(g, h, training, rng);
+        let h = self.conv2.forward(g, h);
+        let h = g.relu(h);
+        let h = self.dropout.apply_spatial(g, h, training, rng);
+        let res = match &self.downsample {
+            Some(d) => d.forward(g, x),
+            None => x,
+        };
+        let sum = g.add(res, h);
+        g.relu(sum)
+    }
+
+    /// Receptive-field contribution of this block: `2·(k−1)·d`.
+    pub fn receptive_contribution(&self) -> usize {
+        2 * (self.conv1.receptive_field() - 1)
+    }
+}
+
+/// Stack of [`TemporalBlock`]s with exponentially growing dilations
+/// `1, 2, 4, …` (paper Fig. 5 uses `[1, 2, 4]`).
+pub struct TcnBackbone {
+    blocks: Vec<TemporalBlock>,
+    out_channels: usize,
+}
+
+impl TcnBackbone {
+    #[allow(clippy::too_many_arguments)] // backbone hyper-parameters
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_features: usize,
+        channels: usize,
+        levels: usize,
+        kernel: usize,
+        dropout: f32,
+        weight_norm: bool,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(levels >= 1);
+        let blocks = (0..levels)
+            .map(|l| {
+                let in_ch = if l == 0 { in_features } else { channels };
+                TemporalBlock::new(
+                    store,
+                    &format!("{name}.block{l}"),
+                    in_ch,
+                    channels,
+                    kernel,
+                    1 << l,
+                    dropout,
+                    weight_norm,
+                    rng,
+                )
+            })
+            .collect();
+        Self {
+            blocks,
+            out_channels: channels,
+        }
+    }
+
+    /// `[batch, features, T] -> [batch, channels, T]`.
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool, rng: &mut Rng) -> Var {
+        let mut h = x;
+        for block in &self.blocks {
+            h = block.forward(g, h, training, rng);
+        }
+        h
+    }
+
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Total receptive field: `1 + Σ 2·(k−1)·2^l`.
+    pub fn receptive_field(&self) -> usize {
+        1 + self
+            .blocks
+            .iter()
+            .map(TemporalBlock::receptive_contribution)
+            .sum::<usize>()
+    }
+}
+
+/// Plain-TCN architecture knobs (shared by RPTCN, which extends them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcnConfig {
+    pub channels: usize,
+    pub levels: usize,
+    pub kernel: usize,
+    pub dropout: f32,
+    pub weight_norm: bool,
+    pub spec: NeuralTrainSpec,
+}
+
+impl Default for TcnConfig {
+    fn default() -> Self {
+        Self {
+            channels: 16,
+            levels: 4,
+            kernel: 3,
+            dropout: 0.1,
+            weight_norm: true,
+            spec: NeuralTrainSpec {
+                learning_rate: 2e-3,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+struct TcnNetwork {
+    store: ParamStore,
+    backbone: TcnBackbone,
+    head: Linear,
+    horizon: usize,
+}
+
+impl SequenceModel for TcnNetwork {
+    fn forward(&self, g: &mut Graph, x: &Tensor, training: bool, rng: &mut Rng) -> Var {
+        let time = x.shape()[1];
+        let ct = g.input(neural::to_channels_time(x));
+        let seq = self.backbone.forward(g, ct, training, rng);
+        let last = g.select_time(seq, time - 1);
+        self.head.forward(g, last)
+    }
+
+    fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn horizon(&self) -> usize {
+        self.horizon
+    }
+}
+
+/// Vanilla TCN forecaster (backbone + dense head, no FC/attention) — the
+/// ablation reference RPTCN is compared against.
+pub struct TcnForecaster {
+    config: TcnConfig,
+    network: Option<TcnNetwork>,
+}
+
+impl TcnForecaster {
+    pub fn new(config: TcnConfig) -> Self {
+        Self {
+            config,
+            network: None,
+        }
+    }
+
+    fn build(&self, features: usize, horizon: usize) -> TcnNetwork {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(self.config.spec.seed.wrapping_add(0x7C4));
+        let backbone = TcnBackbone::new(
+            &mut store,
+            "tcn",
+            features,
+            self.config.channels,
+            self.config.levels,
+            self.config.kernel,
+            self.config.dropout,
+            self.config.weight_norm,
+            &mut rng,
+        );
+        let head = Linear::with_init(
+            &mut store,
+            "head",
+            self.config.channels,
+            horizon,
+            autograd::Init::Constant(0.0),
+            true,
+            &mut rng,
+        );
+        TcnNetwork {
+            store,
+            backbone,
+            head,
+            horizon,
+        }
+    }
+
+    /// Receptive field of the configured backbone.
+    pub fn receptive_field(&self) -> usize {
+        1 + (0..self.config.levels)
+            .map(|l| 2 * (self.config.kernel - 1) * (1 << l))
+            .sum::<usize>()
+    }
+}
+
+impl Forecaster for TcnForecaster {
+    fn name(&self) -> &str {
+        "TCN"
+    }
+
+    fn fit(&mut self, train: &WindowedDataset, valid: Option<&WindowedDataset>) -> FitReport {
+        let mut net = self.build(train.num_features(), train.horizon);
+        let report = neural::fit_network(&mut net, self.config.spec, train, valid);
+        self.network = Some(net);
+        report
+    }
+
+    fn predict(&self, x: &Tensor) -> Tensor {
+        let net = self.network.as_ref().expect("predict before fit");
+        neural::predict_network(net, x, self.config.spec.batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::{make_windows, TimeSeriesFrame};
+
+    #[test]
+    fn receptive_field_formula() {
+        let cfg = TcnConfig {
+            levels: 3,
+            kernel: 3,
+            ..Default::default()
+        };
+        // 1 + 2*2*(1+2+4) = 29
+        assert_eq!(TcnForecaster::new(cfg).receptive_field(), 29);
+        let cfg = TcnConfig {
+            levels: 4,
+            kernel: 3,
+            ..Default::default()
+        };
+        assert_eq!(TcnForecaster::new(cfg).receptive_field(), 61);
+    }
+
+    #[test]
+    fn backbone_preserves_time_length_and_causality() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(1);
+        let backbone = TcnBackbone::new(&mut store, "t", 2, 4, 2, 3, 0.0, true, &mut rng);
+        assert_eq!(backbone.receptive_field(), 1 + 4 + 8);
+
+        let x1 = Tensor::rand_normal(&[1, 2, 12], 0.0, 1.0, &mut rng);
+        let mut x2 = x1.clone();
+        for c in 0..2 {
+            let v = x2.at(&[0, c, 11]) + 10.0;
+            x2.set(&[0, c, 11], v);
+        }
+        let run = |xd: &Tensor| {
+            let mut g = Graph::new(&store);
+            let mut r = Rng::seed_from(0);
+            let xi = g.input(xd.clone());
+            let out = backbone.forward(&mut g, xi, false, &mut r);
+            g.value(out).clone()
+        };
+        let y1 = run(&x1);
+        let y2 = run(&x2);
+        assert_eq!(y1.shape(), &[1, 4, 12]);
+        // Perturbing the last step must not change earlier outputs.
+        for c in 0..4 {
+            for t in 0..11 {
+                assert_eq!(
+                    y1.at(&[0, c, t]),
+                    y2.at(&[0, c, t]),
+                    "future leaked at t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tcn_learns_a_periodic_signal() {
+        let series: Vec<f32> = (0..400)
+            .map(|i| 0.5 + 0.4 * (i as f32 * 0.25).sin())
+            .collect();
+        let frame = TimeSeriesFrame::from_columns(&[("cpu", series)]).unwrap();
+        let ds = make_windows(&frame, "cpu", 16, 1).unwrap();
+        let mut model = TcnForecaster::new(TcnConfig {
+            channels: 8,
+            levels: 3,
+            dropout: 0.0,
+            spec: NeuralTrainSpec {
+                epochs: 20,
+                learning_rate: 3e-3,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let report = model.fit(&ds, None);
+        assert!(report.final_train_loss() < report.train_loss[0] * 0.5);
+        let (truth, pred) = model.evaluate(&ds);
+        let mse = timeseries::metrics::mse(&truth, &pred);
+        assert!(mse < 0.01, "TCN mse {mse}");
+    }
+}

@@ -1,0 +1,287 @@
+//! Small dense linear-algebra routines: Cholesky factorisation, triangular
+//! solves, ridge-regularised ordinary least squares and Levinson–Durbin
+//! recursion. These back the ARIMA estimator and a few statistics helpers —
+//! the systems here are tiny (tens of unknowns), so clarity beats blocking.
+
+use crate::matmul::{matmul_at_b, matvec, transpose};
+use crate::tensor::Tensor;
+
+/// Error from a linear-algebra routine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinalgError(pub String);
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "linalg error: {}", self.0)
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Cholesky factorisation `A = L·Lᵀ` of a symmetric positive-definite matrix,
+/// returning the lower-triangular factor `L`.
+pub fn cholesky(a: &Tensor) -> Result<Tensor, LinalgError> {
+    assert_eq!(a.rank(), 2);
+    let n = a.shape()[0];
+    assert_eq!(a.shape()[1], n, "cholesky requires a square matrix");
+    let src = a.as_slice();
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = src[i * n + j] as f64;
+            for k in 0..j {
+                s -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return Err(LinalgError(format!(
+                        "matrix not positive definite (pivot {i} = {s:.3e})"
+                    )));
+                }
+                l[i * n + j] = s.sqrt();
+            } else {
+                l[i * n + j] = s / l[j * n + j];
+            }
+        }
+    }
+    Ok(Tensor::from_vec(
+        l.into_iter().map(|x| x as f32).collect(),
+        &[n, n],
+    ))
+}
+
+/// Solve `L·y = b` for lower-triangular `L` by forward substitution.
+pub fn solve_lower(l: &Tensor, b: &Tensor) -> Tensor {
+    let n = l.shape()[0];
+    assert_eq!(b.shape(), &[n], "solve_lower rhs shape mismatch");
+    let dl = l.as_slice();
+    let db = b.as_slice();
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut s = db[i] as f64;
+        for (j, &yj) in y.iter().enumerate().take(i) {
+            s -= dl[i * n + j] as f64 * yj;
+        }
+        y[i] = s / dl[i * n + i] as f64;
+    }
+    Tensor::from_vec(y.into_iter().map(|x| x as f32).collect(), &[n])
+}
+
+/// Solve `U·x = b` for upper-triangular `U` by back substitution.
+pub fn solve_upper(u: &Tensor, b: &Tensor) -> Tensor {
+    let n = u.shape()[0];
+    assert_eq!(b.shape(), &[n], "solve_upper rhs shape mismatch");
+    let du = u.as_slice();
+    let db = b.as_slice();
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut s = db[i] as f64;
+        for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+            s -= du[i * n + j] as f64 * xj;
+        }
+        x[i] = s / du[i * n + i] as f64;
+    }
+    Tensor::from_vec(x.into_iter().map(|x| x as f32).collect(), &[n])
+}
+
+/// Solve the symmetric positive-definite system `A·x = b` via Cholesky.
+pub fn solve_spd(a: &Tensor, b: &Tensor) -> Result<Tensor, LinalgError> {
+    let l = cholesky(a)?;
+    let y = solve_lower(&l, b);
+    Ok(solve_upper(&transpose(&l), &y))
+}
+
+/// Ridge-regularised ordinary least squares: minimise
+/// `‖X·β − y‖² + ridge·‖β‖²` via the normal equations.
+///
+/// A tiny default `ridge` keeps the normal equations well-conditioned when
+/// columns of `X` are nearly collinear (common with lagged features).
+pub fn least_squares(x: &Tensor, y: &Tensor, ridge: f32) -> Result<Tensor, LinalgError> {
+    assert_eq!(x.rank(), 2, "least_squares design matrix must be rank-2");
+    let (n, p) = (x.shape()[0], x.shape()[1]);
+    assert_eq!(y.shape(), &[n], "least_squares target length mismatch");
+    if n < p {
+        return Err(LinalgError(format!(
+            "underdetermined system: {n} rows, {p} cols"
+        )));
+    }
+    let xtx = matmul_at_b(x, x);
+    let xty = matvec(&transpose(x), y);
+    // Lagged/expanded features are frequently collinear, which makes XᵀX
+    // singular to f32 precision. Escalate the ridge (relative to the mean
+    // diagonal magnitude) until the Cholesky succeeds; the caller's `ridge`
+    // is the starting point.
+    let mean_diag: f32 = (0..p).map(|i| xtx.at(&[i, i])).sum::<f32>() / p as f32;
+    let mut lambda = ridge.max(0.0);
+    for attempt in 0..8 {
+        let mut regularised = xtx.clone();
+        for i in 0..p {
+            let v = regularised.at(&[i, i]) + lambda;
+            regularised.set(&[i, i], v);
+        }
+        match solve_spd(&regularised, &xty) {
+            Ok(beta) => return Ok(beta),
+            Err(e) if attempt == 7 => return Err(e),
+            Err(_) => {
+                lambda = (lambda * 10.0).max(mean_diag.abs() * 1e-6).max(1e-10);
+            }
+        }
+    }
+    unreachable!("ridge escalation loop always returns")
+}
+
+/// Levinson–Durbin recursion: fit an AR(p) model to an autocovariance
+/// sequence `acov[0..=p]`, returning `(coefficients, innovation variance)`.
+///
+/// The coefficients follow the convention
+/// `x_t = φ_1 x_{t-1} + … + φ_p x_{t-p} + ε_t`.
+pub fn levinson_durbin(acov: &[f64], p: usize) -> Result<(Vec<f64>, f64), LinalgError> {
+    if acov.len() < p + 1 {
+        return Err(LinalgError(format!(
+            "need {} autocovariances for AR({p}), got {}",
+            p + 1,
+            acov.len()
+        )));
+    }
+    if acov[0] <= 0.0 {
+        return Err(LinalgError("zero-variance series".into()));
+    }
+    let mut phi = vec![0.0f64; p];
+    let mut prev = vec![0.0f64; p];
+    let mut err = acov[0];
+    for k in 0..p {
+        let mut acc = acov[k + 1];
+        for j in 0..k {
+            acc -= prev[j] * acov[k - j];
+        }
+        let reflection = acc / err;
+        phi[k] = reflection;
+        for j in 0..k {
+            phi[j] = prev[j] - reflection * prev[k - 1 - j];
+        }
+        err *= 1.0 - reflection * reflection;
+        if err <= 0.0 {
+            // Perfectly predictable series; clamp to avoid negative variance.
+            err = 1e-12;
+        }
+        prev[..=k].copy_from_slice(&phi[..=k]);
+    }
+    Ok((phi, err))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::matmul;
+    use crate::rng::Rng;
+
+    fn t(v: &[f32], s: &[usize]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), s)
+    }
+
+    #[test]
+    fn cholesky_of_known_matrix() {
+        // A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]]
+        let a = t(&[4.0, 2.0, 2.0, 3.0], &[2, 2]);
+        let l = cholesky(&a).unwrap();
+        assert!((l.at(&[0, 0]) - 2.0).abs() < 1e-6);
+        assert!((l.at(&[1, 0]) - 1.0).abs() < 1e-6);
+        assert!((l.at(&[1, 1]) - 2.0f32.sqrt()).abs() < 1e-6);
+        assert_eq!(l.at(&[0, 1]), 0.0);
+        // Reconstruction.
+        let rec = matmul(&l, &transpose(&l));
+        assert!(rec.allclose(&a, 1e-5));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = t(&[1.0, 2.0, 2.0, 1.0], &[2, 2]);
+        assert!(cholesky(&a).is_err());
+    }
+
+    #[test]
+    fn spd_solve_recovers_solution() {
+        let mut rng = Rng::seed_from(1);
+        let m = Tensor::rand_normal(&[6, 6], 0.0, 1.0, &mut rng);
+        // A = MᵀM + I is SPD.
+        let mut a = matmul_at_b(&m, &m);
+        for i in 0..6 {
+            let v = a.at(&[i, i]) + 1.0;
+            a.set(&[i, i], v);
+        }
+        let x_true = Tensor::rand_normal(&[6], 0.0, 1.0, &mut rng);
+        let b = matvec(&a, &x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        assert!(x.allclose(&x_true, 1e-3));
+    }
+
+    #[test]
+    fn triangular_solves() {
+        let l = t(&[2.0, 0.0, 1.0, 3.0], &[2, 2]);
+        let y = solve_lower(&l, &t(&[4.0, 10.0], &[2]));
+        assert!(y.allclose(&t(&[2.0, 8.0 / 3.0], &[2]), 1e-6));
+        let u = transpose(&l);
+        let x = solve_upper(&u, &t(&[7.0, 6.0], &[2]));
+        // U = [[2,1],[0,3]]; x2 = 2, x1 = (7-2)/2 = 2.5
+        assert!(x.allclose(&t(&[2.5, 2.0], &[2]), 1e-6));
+    }
+
+    #[test]
+    fn least_squares_recovers_line() {
+        // y = 3x + 1 with no noise.
+        let xs: Vec<f32> = (0..20).map(|i| i as f32 / 4.0).collect();
+        let mut design = Vec::new();
+        let mut ys = Vec::new();
+        for &x in &xs {
+            design.extend_from_slice(&[x, 1.0]);
+            ys.push(3.0 * x + 1.0);
+        }
+        let beta = least_squares(
+            &Tensor::from_vec(design, &[20, 2]),
+            &Tensor::from_vec(ys, &[20]),
+            1e-6,
+        )
+        .unwrap();
+        assert!((beta.as_slice()[0] - 3.0).abs() < 1e-3);
+        assert!((beta.as_slice()[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn least_squares_underdetermined_errors() {
+        let x = Tensor::zeros(&[2, 5]);
+        let y = Tensor::zeros(&[2]);
+        assert!(least_squares(&x, &y, 0.0).is_err());
+    }
+
+    #[test]
+    fn levinson_recovers_ar1() {
+        // AR(1) with phi = 0.7, sigma^2 = 1 has acov[k] = phi^k / (1 - phi^2).
+        let phi = 0.7f64;
+        let var = 1.0 / (1.0 - phi * phi);
+        let acov: Vec<f64> = (0..5).map(|k| var * phi.powi(k)).collect();
+        let (coef, err) = levinson_durbin(&acov, 1).unwrap();
+        assert!((coef[0] - 0.7).abs() < 1e-9);
+        assert!((err - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn levinson_recovers_ar2() {
+        // For AR(2), build autocovariances from the Yule-Walker equations with
+        // phi = (0.5, -0.25), sigma^2 = 1.
+        let (p1, p2) = (0.5f64, -0.25f64);
+        // r1 = p1/(1-p2) * r0 ; r0 from variance formula.
+        let r0 = (1.0 - p2) / ((1.0 + p2) * ((1.0 - p2).powi(2) - p1 * p1));
+        let r1 = p1 / (1.0 - p2) * r0;
+        let r2 = p1 * r1 + p2 * r0;
+        let r3 = p1 * r2 + p2 * r1;
+        let (coef, _) = levinson_durbin(&[r0, r1, r2, r3], 2).unwrap();
+        assert!((coef[0] - p1).abs() < 1e-9, "{coef:?}");
+        assert!((coef[1] - p2).abs() < 1e-9, "{coef:?}");
+    }
+
+    #[test]
+    fn levinson_needs_enough_lags() {
+        assert!(levinson_durbin(&[1.0, 0.5], 3).is_err());
+        assert!(levinson_durbin(&[0.0, 0.0], 1).is_err());
+    }
+}

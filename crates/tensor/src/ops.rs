@@ -1,0 +1,278 @@
+//! Elementwise tensor arithmetic with NumPy-style broadcasting.
+//!
+//! The binary kernels special-case the two layouts that dominate neural-net
+//! workloads — identical shapes and bias-style row broadcasts — and fall back
+//! to a generic strided odometer walk for everything else.
+
+use crate::shape::{self, ShapeError};
+use crate::tensor::Tensor;
+
+/// Apply `f` elementwise to two broadcast-compatible tensors.
+pub fn zip_broadcast(
+    a: &Tensor,
+    b: &Tensor,
+    f: impl Fn(f32, f32) -> f32,
+) -> Result<Tensor, ShapeError> {
+    if a.shape() == b.shape() {
+        let data = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| f(x, y))
+            .collect();
+        return Ok(Tensor::from_vec(data, a.shape()));
+    }
+    let out_shape = shape::broadcast_shape(a.shape(), b.shape())?;
+    let sa = shape::broadcast_strides(a.shape(), &out_shape);
+    let sb = shape::broadcast_strides(b.shape(), &out_shape);
+    let n = shape::num_elements(&out_shape);
+    let mut out = vec![0.0f32; n];
+    let mut index = vec![0usize; out_shape.len()];
+    let (da, db) = (a.as_slice(), b.as_slice());
+    for slot in out.iter_mut() {
+        let mut ia = 0usize;
+        let mut ib = 0usize;
+        for (axis, &i) in index.iter().enumerate() {
+            ia += i * sa[axis];
+            ib += i * sb[axis];
+        }
+        *slot = f(da[ia], db[ib]);
+        for axis in (0..out_shape.len()).rev() {
+            index[axis] += 1;
+            if index[axis] < out_shape[axis] {
+                break;
+            }
+            index[axis] = 0;
+        }
+    }
+    Ok(Tensor::from_vec(out, &out_shape))
+}
+
+macro_rules! binary_op {
+    ($name:ident, $f:expr, $doc:literal) => {
+        #[doc = $doc]
+        ///
+        /// # Panics
+        /// Panics when the shapes are not broadcast-compatible; use
+        /// [`zip_broadcast`] for a fallible variant.
+        pub fn $name(a: &Tensor, b: &Tensor) -> Tensor {
+            zip_broadcast(a, b, $f).expect(concat!(stringify!($name), ": incompatible shapes"))
+        }
+    };
+}
+
+binary_op!(add, |x, y| x + y, "Elementwise sum with broadcasting.");
+binary_op!(
+    sub,
+    |x, y| x - y,
+    "Elementwise difference with broadcasting."
+);
+binary_op!(
+    mul,
+    |x, y| x * y,
+    "Elementwise (Hadamard) product with broadcasting."
+);
+binary_op!(div, |x, y| x / y, "Elementwise quotient with broadcasting.");
+binary_op!(
+    maximum,
+    |x: f32, y: f32| x.max(y),
+    "Elementwise maximum with broadcasting."
+);
+binary_op!(
+    minimum,
+    |x: f32, y: f32| x.min(y),
+    "Elementwise minimum with broadcasting."
+);
+
+/// `a + s` for a scalar `s`.
+pub fn add_scalar(a: &Tensor, s: f32) -> Tensor {
+    a.map(|x| x + s)
+}
+
+/// `a * s` for a scalar `s`.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    a.map(|x| x * s)
+}
+
+/// Elementwise negation.
+pub fn neg(a: &Tensor) -> Tensor {
+    a.map(|x| -x)
+}
+
+/// Elementwise natural exponential.
+pub fn exp(a: &Tensor) -> Tensor {
+    a.map(f32::exp)
+}
+
+/// Elementwise natural logarithm.
+pub fn ln(a: &Tensor) -> Tensor {
+    a.map(f32::ln)
+}
+
+/// Elementwise square root.
+pub fn sqrt(a: &Tensor) -> Tensor {
+    a.map(f32::sqrt)
+}
+
+/// Elementwise square.
+pub fn square(a: &Tensor) -> Tensor {
+    a.map(|x| x * x)
+}
+
+/// Elementwise absolute value.
+pub fn abs(a: &Tensor) -> Tensor {
+    a.map(f32::abs)
+}
+
+/// Rectified linear unit: `max(x, 0)`.
+pub fn relu(a: &Tensor) -> Tensor {
+    a.map(|x| x.max(0.0))
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(a: &Tensor) -> Tensor {
+    a.map(f32::tanh)
+}
+
+/// Logistic sigmoid `1 / (1 + e^-x)`, numerically stable on both tails.
+pub fn sigmoid(a: &Tensor) -> Tensor {
+    a.map(stable_sigmoid)
+}
+
+#[inline]
+pub(crate) fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+/// Clamp every element into `[lo, hi]`.
+pub fn clamp(a: &Tensor, lo: f32, hi: f32) -> Tensor {
+    a.map(|x| x.clamp(lo, hi))
+}
+
+/// Fused multiply-accumulate: `out += alpha * a`, shapes must match exactly.
+pub fn axpy(out: &mut Tensor, alpha: f32, a: &Tensor) {
+    assert_eq!(out.shape(), a.shape(), "axpy shape mismatch");
+    for (o, &x) in out.as_mut_slice().iter_mut().zip(a.as_slice()) {
+        *o += alpha * x;
+    }
+}
+
+/// Dot product of two 1-D tensors, accumulated in f64 for accuracy.
+pub fn dot(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "dot shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| x as f64 * y as f64)
+        .sum::<f64>() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32], s: &[usize]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), s)
+    }
+
+    #[test]
+    fn same_shape_arithmetic() {
+        let a = t(&[1.0, 2.0, 3.0], &[3]);
+        let b = t(&[4.0, 5.0, 6.0], &[3]);
+        assert_eq!(add(&a, &b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(sub(&b, &a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(mul(&a, &b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(div(&b, &a).as_slice(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn row_broadcast_matches_manual() {
+        let m = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let row = t(&[10.0, 20.0, 30.0], &[3]);
+        assert_eq!(
+            add(&m, &row).as_slice(),
+            &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]
+        );
+    }
+
+    #[test]
+    fn col_broadcast_matches_manual() {
+        let m = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let col = t(&[10.0, 100.0], &[2, 1]);
+        assert_eq!(
+            mul(&m, &col).as_slice(),
+            &[10.0, 20.0, 30.0, 400.0, 500.0, 600.0]
+        );
+    }
+
+    #[test]
+    fn scalar_broadcast() {
+        let m = t(&[1.0, 2.0], &[2]);
+        let s = Tensor::scalar(3.0);
+        assert_eq!(mul(&m, &s).as_slice(), &[3.0, 6.0]);
+        assert_eq!(mul(&s, &m).as_slice(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn incompatible_shapes_error() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[1.0, 2.0, 3.0], &[3]);
+        assert!(zip_broadcast(&a, &b, |x, y| x + y).is_err());
+    }
+
+    #[test]
+    fn unary_ops() {
+        let a = t(&[-1.0, 0.0, 4.0], &[3]);
+        assert_eq!(relu(&a).as_slice(), &[0.0, 0.0, 4.0]);
+        assert_eq!(neg(&a).as_slice(), &[1.0, 0.0, -4.0]);
+        assert_eq!(abs(&a).as_slice(), &[1.0, 0.0, 4.0]);
+        assert_eq!(square(&a).as_slice(), &[1.0, 0.0, 16.0]);
+        assert_eq!(sqrt(&t(&[4.0, 9.0], &[2])).as_slice(), &[2.0, 3.0]);
+        assert_eq!(clamp(&a, -0.5, 2.0).as_slice(), &[-0.5, 0.0, 2.0]);
+        assert_eq!(add_scalar(&a, 1.0).as_slice(), &[0.0, 1.0, 5.0]);
+        assert_eq!(scale(&a, 2.0).as_slice(), &[-2.0, 0.0, 8.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_on_extremes() {
+        let a = t(&[-100.0, 0.0, 100.0], &[3]);
+        let s = sigmoid(&a);
+        assert!(s.all_finite());
+        assert!((s.as_slice()[0] - 0.0).abs() < 1e-6);
+        assert!((s.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!((s.as_slice()[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_exp_ln_roundtrip() {
+        let a = t(&[0.5, 1.0, 2.0], &[3]);
+        let r = ln(&exp(&a));
+        assert!(r.allclose(&a, 1e-5));
+        assert!((tanh(&t(&[0.0], &[1])).as_slice()[0]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn axpy_and_dot() {
+        let mut out = t(&[1.0, 1.0], &[2]);
+        axpy(&mut out, 2.0, &t(&[3.0, 4.0], &[2]));
+        assert_eq!(out.as_slice(), &[7.0, 9.0]);
+        assert_eq!(
+            dot(&t(&[1.0, 2.0, 3.0], &[3]), &t(&[4.0, 5.0, 6.0], &[3])),
+            32.0
+        );
+    }
+
+    #[test]
+    fn maximum_minimum() {
+        let a = t(&[1.0, 5.0], &[2]);
+        let b = t(&[3.0, 2.0], &[2]);
+        assert_eq!(maximum(&a, &b).as_slice(), &[3.0, 5.0]);
+        assert_eq!(minimum(&a, &b).as_slice(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Shape arithmetic: row-major strides, index linearisation and NumPy-style
+//! broadcasting rules shared by every tensor kernel.
+
+use std::fmt;
+
+/// Error raised when two shapes cannot be combined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    msg: String,
+}
+
+impl ShapeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Total number of elements described by `shape`.
+///
+/// An empty shape describes a scalar and has one element.
+pub fn num_elements(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major (C-order) strides for `shape`.
+///
+/// The last axis is contiguous; `strides[i]` is the linear distance between
+/// consecutive indices along axis `i`.
+pub fn row_major_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Linearise a multi-dimensional `index` into a flat offset under row-major
+/// layout. Panics in debug builds if the index is out of bounds.
+pub fn linear_index(shape: &[usize], index: &[usize]) -> usize {
+    debug_assert_eq!(shape.len(), index.len(), "index rank mismatch");
+    let mut offset = 0;
+    let mut stride = 1;
+    for axis in (0..shape.len()).rev() {
+        debug_assert!(index[axis] < shape[axis], "index out of bounds");
+        offset += index[axis] * stride;
+        stride *= shape[axis];
+    }
+    offset
+}
+
+/// Compute the broadcast shape of `a` and `b` under NumPy rules: shapes are
+/// right-aligned and each pair of axes must be equal or one of them `1`.
+pub fn broadcast_shape(a: &[usize], b: &[usize]) -> Result<Vec<usize>, ShapeError> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let da = if i < rank - a.len() {
+            1
+        } else {
+            a[i - (rank - a.len())]
+        };
+        let db = if i < rank - b.len() {
+            1
+        } else {
+            b[i - (rank - b.len())]
+        };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return Err(ShapeError::new(format!(
+                "cannot broadcast {a:?} with {b:?} (axis {i}: {da} vs {db})"
+            )));
+        };
+    }
+    Ok(out)
+}
+
+/// Strides for reading a tensor of shape `from` as if it had the broadcast
+/// shape `to`: broadcast axes get stride 0 so the same element is re-read.
+pub fn broadcast_strides(from: &[usize], to: &[usize]) -> Vec<usize> {
+    debug_assert!(from.len() <= to.len());
+    let base = row_major_strides(from);
+    let mut out = vec![0usize; to.len()];
+    let offset = to.len() - from.len();
+    for i in 0..from.len() {
+        out[offset + i] = if from[i] == to[offset + i] {
+            base[i]
+        } else {
+            0
+        };
+    }
+    out
+}
+
+/// True when `shape` can be broadcast to `target` without copying axes of
+/// `target` down.
+pub fn broadcastable_to(shape: &[usize], target: &[usize]) -> bool {
+    if shape.len() > target.len() {
+        return false;
+    }
+    let offset = target.len() - shape.len();
+    shape
+        .iter()
+        .enumerate()
+        .all(|(i, &d)| d == target[offset + i] || d == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_of_2x3x4() {
+        assert_eq!(row_major_strides(&[2, 3, 4]), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn strides_of_scalar() {
+        assert_eq!(row_major_strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn linear_index_matches_manual() {
+        assert_eq!(linear_index(&[2, 3, 4], &[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(linear_index(&[5], &[4]), 4);
+    }
+
+    #[test]
+    fn broadcast_same_shape() {
+        assert_eq!(broadcast_shape(&[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_scalar_with_matrix() {
+        assert_eq!(broadcast_shape(&[], &[4, 5]).unwrap(), vec![4, 5]);
+    }
+
+    #[test]
+    fn broadcast_row_vector() {
+        assert_eq!(broadcast_shape(&[3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shape(&[2, 1], &[1, 3]).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_incompatible_fails() {
+        assert!(broadcast_shape(&[2, 3], &[4, 3]).is_err());
+    }
+
+    #[test]
+    fn broadcast_strides_zero_on_expanded_axes() {
+        assert_eq!(broadcast_strides(&[3], &[2, 3]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[2, 1], &[2, 3]), vec![1, 0]);
+    }
+
+    #[test]
+    fn broadcastable_to_checks() {
+        assert!(broadcastable_to(&[3], &[2, 3]));
+        assert!(broadcastable_to(&[1, 3], &[2, 3]));
+        assert!(!broadcastable_to(&[2], &[2, 3]));
+        assert!(!broadcastable_to(&[2, 3, 4], &[3, 4]));
+    }
+
+    #[test]
+    fn num_elements_counts() {
+        assert_eq!(num_elements(&[2, 3, 4]), 24);
+        assert_eq!(num_elements(&[]), 1);
+        assert_eq!(num_elements(&[0, 7]), 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Descriptive statistics on `f32` slices: moments, Pearson correlation,
+//! quantiles and autocovariance. All accumulation happens in `f64`.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f32]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divide by n); 0 for slices shorter than 2.
+pub fn variance(xs: &[f32]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f32]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Population covariance of two equal-length slices.
+pub fn covariance(xs: &[f32], ys: &[f32]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "covariance length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter()
+        .zip(ys)
+        .map(|(&x, &y)| (x as f64 - mx) * (y as f64 - my))
+        .sum::<f64>()
+        / xs.len() as f64
+}
+
+/// Pearson correlation coefficient (eq. 2 of the paper). Returns 0 when either
+/// series is constant, which makes screening degenerate indicators safe.
+pub fn pearson(xs: &[f32], ys: &[f32]) -> f64 {
+    let sx = std_dev(xs);
+    let sy = std_dev(ys);
+    if sx < 1e-12 || sy < 1e-12 {
+        return 0.0;
+    }
+    (covariance(xs, ys) / (sx * sy)).clamp(-1.0, 1.0)
+}
+
+/// Quantile via linear interpolation between order statistics
+/// (the same `linear` rule NumPy defaults to). `q` must lie in `[0, 1]`.
+pub fn quantile(xs: &[f32], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile q out of [0,1]");
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo] as f64
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+    }
+}
+
+/// The five-number summary used by a boxplot: (min, q1, median, q3, max).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+}
+
+/// Boxplot statistics for a slice.
+pub fn box_stats(xs: &[f32]) -> BoxStats {
+    BoxStats {
+        min: quantile(xs, 0.0),
+        q1: quantile(xs, 0.25),
+        median: quantile(xs, 0.5),
+        q3: quantile(xs, 0.75),
+        max: quantile(xs, 1.0),
+    }
+}
+
+/// Biased sample autocovariance sequence `acov[0..=max_lag]` (divide by n),
+/// the standard estimator fed into Levinson–Durbin.
+pub fn autocovariance(xs: &[f32], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    assert!(
+        max_lag < n,
+        "max_lag {max_lag} must be below series length {n}"
+    );
+    let m = mean(xs);
+    (0..=max_lag)
+        .map(|lag| {
+            (0..n - lag)
+                .map(|t| (xs[t] as f64 - m) * (xs[t + lag] as f64 - m))
+                .sum::<f64>()
+                / n as f64
+        })
+        .collect()
+}
+
+/// Autocorrelation sequence normalised by lag-0 autocovariance.
+pub fn autocorrelation(xs: &[f32], max_lag: usize) -> Vec<f64> {
+    let acov = autocovariance(xs, max_lag);
+    let v = acov[0];
+    if v < 1e-15 {
+        return vec![0.0; max_lag + 1];
+    }
+    acov.iter().map(|&c| c / v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_of_known_data() {
+        let xs = [2.0f32, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0f32, 2.0, 3.0, 4.0];
+        let ys: Vec<f32> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-9);
+        let neg: Vec<f32> = xs.iter().map(|&x| -x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_independent_near_zero() {
+        let xs = [1.0f32, 2.0, 3.0, 4.0];
+        let ys = [1.0f32, -1.0, 1.0, -1.0];
+        assert!(pearson(&xs, &ys).abs() < 0.5);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0f32, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+        assert_eq!(quantile(&xs, 0.25), 1.75);
+    }
+
+    #[test]
+    fn box_stats_ordering() {
+        let xs = [5.0f32, 1.0, 4.0, 2.0, 3.0];
+        let b = box_stats(&xs);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.max, 5.0);
+        assert!(b.min <= b.q1 && b.q1 <= b.median && b.median <= b.q3 && b.q3 <= b.max);
+    }
+
+    #[test]
+    fn autocorrelation_of_white_noise_decays() {
+        let mut rng = crate::rng::Rng::seed_from(123);
+        let xs: Vec<f32> = (0..2000).map(|_| rng.uniform(-0.5, 0.5)).collect();
+        let ac = autocorrelation(&xs, 5);
+        assert!((ac[0] - 1.0).abs() < 1e-12);
+        for &a in &ac[1..] {
+            assert!(a.abs() < 0.2, "lagged autocorrelation too high: {a}");
+        }
+    }
+
+    #[test]
+    fn autocovariance_lag0_is_variance() {
+        let xs = [2.0f32, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let acov = autocovariance(&xs, 2);
+        assert!((acov[0] - variance(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_autocorrelation_is_zero() {
+        let xs = [3.0f32; 10];
+        let ac = autocorrelation(&xs, 3);
+        assert!(ac.iter().all(|&a| a == 0.0));
+    }
+}

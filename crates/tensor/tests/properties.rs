@@ -1,0 +1,133 @@
+//! Property-based tests for the tensor crate's algebraic invariants.
+
+use proptest::prelude::*;
+use tensor::{linalg, matmul, ops, reduce, stats, Rng, Tensor};
+
+/// Strategy: a vector of finite floats in a tame range.
+fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len)
+}
+
+/// Strategy: matrix dims in a small range plus matching data.
+fn matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1usize..8, 1usize..8).prop_flat_map(|(m, n)| vec_f32(m * n).prop_map(move |data| (m, n, data)))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((m, n, data) in matrix(), seed in 0u64..1000) {
+        let a = Tensor::from_vec(data, &[m, n]);
+        let mut rng = Rng::seed_from(seed);
+        let b = Tensor::rand_uniform(&[m, n], -10.0, 10.0, &mut rng);
+        prop_assert!(ops::add(&a, &b).allclose(&ops::add(&b, &a), 1e-6));
+    }
+
+    #[test]
+    fn add_zero_is_identity((m, n, data) in matrix()) {
+        let a = Tensor::from_vec(data, &[m, n]);
+        prop_assert!(ops::add(&a, &Tensor::zeros(&[m, n])).allclose(&a, 0.0));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(v in vec_f32(24)) {
+        let a = Tensor::from_vec(v.clone(), &[4, 6]);
+        let b = Tensor::from_vec(v.iter().map(|x| x * 0.5 + 1.0).collect(), &[4, 6]);
+        let c = Tensor::from_vec(v.iter().map(|x| x - 2.0).collect(), &[4, 6]);
+        let lhs = ops::mul(&a, &ops::add(&b, &c));
+        let rhs = ops::add(&ops::mul(&a, &b), &ops::mul(&a, &c));
+        prop_assert!(lhs.allclose(&rhs, 1e-2));
+    }
+
+    #[test]
+    fn broadcast_add_matches_materialised((m, n, data) in matrix(), row in vec_f32(8)) {
+        let a = Tensor::from_vec(data, &[m, n]);
+        let r = Tensor::from_vec(row[..n].to_vec(), &[n]);
+        let fast = ops::add(&a, &r);
+        let slow = ops::add(&a, &r.broadcast_to(&[m, n]).unwrap());
+        prop_assert!(fast.allclose(&slow, 0.0));
+    }
+
+    #[test]
+    fn matmul_associates(seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::rand_uniform(&[3, 4], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform(&[4, 5], -2.0, 2.0, &mut rng);
+        let c = Tensor::rand_uniform(&[5, 2], -2.0, 2.0, &mut rng);
+        let lhs = matmul::matmul(&matmul::matmul(&a, &b), &c);
+        let rhs = matmul::matmul(&a, &matmul::matmul(&b, &c));
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(seed in 0u64..500) {
+        // (AB)^T = B^T A^T
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::rand_uniform(&[4, 6], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform(&[6, 3], -2.0, 2.0, &mut rng);
+        let lhs = matmul::transpose(&matmul::matmul(&a, &b));
+        let rhs = matmul::matmul(&matmul::transpose(&b), &matmul::transpose(&a));
+        prop_assert!(lhs.allclose(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn sum_axis_total_invariant((m, n, data) in matrix()) {
+        let a = Tensor::from_vec(data, &[m, n]);
+        let total = reduce::sum(&a);
+        prop_assert!((reduce::sum(&reduce::sum_axis(&a, 0)) - total).abs() < 1e-2);
+        prop_assert!((reduce::sum(&reduce::sum_axis(&a, 1)) - total).abs() < 1e-2);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions((m, n, data) in matrix()) {
+        let a = Tensor::from_vec(data, &[m, n]);
+        let s = reduce::softmax_rows(&a);
+        prop_assert!(s.all_finite());
+        for i in 0..m {
+            let row_sum: f32 = s.row(i).as_slice().iter().sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(i).as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn pearson_bounded_and_scale_invariant(v in vec_f32(32), scale in 0.1f32..10.0) {
+        let ys: Vec<f32> = v.iter().map(|&x| x * scale + 3.0).collect();
+        let r = stats::pearson(&v, &ys);
+        prop_assert!((-1.0..=1.0).contains(&r));
+        // Positive affine transform preserves correlation with any third series.
+        let zs: Vec<f32> = v.iter().enumerate().map(|(i, &x)| x + i as f32).collect();
+        let r1 = stats::pearson(&v, &zs);
+        let r2 = stats::pearson(&ys, &zs);
+        prop_assert!((r1 - r2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(v in vec_f32(20)) {
+        let q25 = stats::quantile(&v, 0.25);
+        let q50 = stats::quantile(&v, 0.5);
+        let q75 = stats::quantile(&v, 0.75);
+        prop_assert!(q25 <= q50 && q50 <= q75);
+    }
+
+    #[test]
+    fn spd_solve_roundtrip(seed in 0u64..300) {
+        let mut rng = Rng::seed_from(seed);
+        let m = Tensor::rand_uniform(&[5, 5], -1.0, 1.0, &mut rng);
+        let mut a = matmul::matmul_at_b(&m, &m);
+        for i in 0..5 {
+            let v = a.at(&[i, i]) + 1.0;
+            a.set(&[i, i], v);
+        }
+        let x_true = Tensor::rand_uniform(&[5], -1.0, 1.0, &mut rng);
+        let b = matmul::matvec(&a, &x_true);
+        let x = linalg::solve_spd(&a, &b).unwrap();
+        prop_assert!(x.allclose(&x_true, 1e-2));
+    }
+
+    #[test]
+    fn reshape_preserves_sum(v in vec_f32(24)) {
+        let a = Tensor::from_vec(v, &[2, 3, 4]);
+        let b = a.reshape(&[6, 4]).unwrap();
+        prop_assert_eq!(reduce::sum(&a), reduce::sum(&b));
+    }
+}

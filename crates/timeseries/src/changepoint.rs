@@ -1,0 +1,276 @@
+//! Online change-point detection — CUSUM and Page–Hinkley.
+//!
+//! The paper's central difficulty is *mutation points*: abrupt, persistent
+//! level shifts in resource usage. Prediction models try to anticipate
+//! them; these detectors provide the complementary capability a resource
+//! manager also needs — flagging, with bounded delay, that a shift has
+//! happened (e.g. to trigger an out-of-band model refit, which is exactly
+//! how `rptcn::ResourcePredictor::refit` gets driven in practice).
+
+/// A detected change point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChangePoint {
+    /// Sample index at which the detector fired.
+    pub at: usize,
+    /// Direction of the shift.
+    pub upward: bool,
+    /// Detector statistic at the firing sample.
+    pub score: f64,
+}
+
+/// Two-sided CUSUM detector with reference value `k` (half the shift
+/// magnitude worth caring about) and decision threshold `h`, both in units
+/// of the data. The detector self-centres on a running mean so it needs no
+/// a-priori baseline.
+#[derive(Debug, Clone)]
+pub struct Cusum {
+    k: f64,
+    h: f64,
+    pos: f64,
+    neg: f64,
+    mean: f64,
+    count: usize,
+    /// Samples used to establish the baseline before detection starts.
+    warmup: usize,
+}
+
+impl Cusum {
+    pub fn new(k: f64, h: f64) -> Self {
+        assert!(k >= 0.0 && h > 0.0);
+        Self {
+            k,
+            h,
+            pos: 0.0,
+            neg: 0.0,
+            mean: 0.0,
+            count: 0,
+            warmup: 16,
+        }
+    }
+
+    pub fn with_warmup(mut self, warmup: usize) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Feed one sample; returns a change point when the statistic crosses
+    /// the threshold. The detector re-anchors after each detection.
+    pub fn update(&mut self, index: usize, x: f64) -> Option<ChangePoint> {
+        self.count += 1;
+        // Running mean as the in-control reference.
+        self.mean += (x - self.mean) / self.count as f64;
+        if self.count <= self.warmup {
+            return None;
+        }
+        let dev = x - self.mean;
+        self.pos = (self.pos + dev - self.k).max(0.0);
+        self.neg = (self.neg - dev - self.k).max(0.0);
+        if self.pos > self.h || self.neg > self.h {
+            let upward = self.pos > self.h;
+            let score = self.pos.max(self.neg);
+            // Re-anchor on the new regime.
+            self.pos = 0.0;
+            self.neg = 0.0;
+            self.mean = x;
+            self.count = 1;
+            return Some(ChangePoint {
+                at: index,
+                upward,
+                score,
+            });
+        }
+        None
+    }
+
+    /// Run over a whole series, returning every detection.
+    pub fn detect(series: &[f32], k: f64, h: f64) -> Vec<ChangePoint> {
+        let mut detector = Cusum::new(k, h);
+        series
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &x)| detector.update(i, x as f64))
+            .collect()
+    }
+}
+
+/// Page–Hinkley test for upward mean shifts: accumulates deviations from
+/// the running mean minus a drift allowance `delta` and fires when the
+/// excursion from the minimum exceeds `lambda`.
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    delta: f64,
+    lambda: f64,
+    cumulative: f64,
+    minimum: f64,
+    mean: f64,
+    count: usize,
+    warmup: usize,
+}
+
+impl PageHinkley {
+    pub fn new(delta: f64, lambda: f64) -> Self {
+        assert!(delta >= 0.0 && lambda > 0.0);
+        Self {
+            delta,
+            lambda,
+            cumulative: 0.0,
+            minimum: 0.0,
+            mean: 0.0,
+            count: 0,
+            warmup: 16,
+        }
+    }
+
+    pub fn with_warmup(mut self, warmup: usize) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Feed one sample; fires on a sustained upward shift.
+    pub fn update(&mut self, index: usize, x: f64) -> Option<ChangePoint> {
+        self.count += 1;
+        self.mean += (x - self.mean) / self.count as f64;
+        if self.count <= self.warmup {
+            return None;
+        }
+        self.cumulative += x - self.mean - self.delta;
+        self.minimum = self.minimum.min(self.cumulative);
+        let excursion = self.cumulative - self.minimum;
+        if excursion > self.lambda {
+            let score = excursion;
+            self.cumulative = 0.0;
+            self.minimum = 0.0;
+            self.mean = x;
+            self.count = 1;
+            return Some(ChangePoint {
+                at: index,
+                upward: true,
+                score,
+            });
+        }
+        None
+    }
+
+    /// Run over a whole series.
+    pub fn detect(series: &[f32], delta: f64, lambda: f64) -> Vec<ChangePoint> {
+        let mut detector = PageHinkley::new(delta, lambda);
+        series
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &x)| detector.update(i, x as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flat at `lo`, stepping to `hi` at `at` with mild noise.
+    fn step_series(n: usize, at: usize, lo: f32, hi: f32) -> Vec<f32> {
+        let mut rng = tensor::Rng::seed_from(9);
+        (0..n)
+            .map(|t| (if t < at { lo } else { hi }) + rng.normal(0.0, 0.01))
+            .collect()
+    }
+
+    #[test]
+    fn cusum_fires_shortly_after_a_step() {
+        let series = step_series(400, 200, 0.3, 0.6);
+        let hits = Cusum::detect(&series, 0.02, 0.5);
+        assert!(!hits.is_empty(), "CUSUM missed a 0.3 step");
+        let first = hits[0];
+        assert!(first.upward);
+        assert!(
+            (200..225).contains(&first.at),
+            "detection delay too long: fired at {}",
+            first.at
+        );
+    }
+
+    #[test]
+    fn cusum_stays_quiet_on_stationary_noise() {
+        let mut rng = tensor::Rng::seed_from(10);
+        let series: Vec<f32> = (0..1000).map(|_| 0.4 + rng.normal(0.0, 0.01)).collect();
+        let hits = Cusum::detect(&series, 0.02, 0.5);
+        assert!(hits.is_empty(), "false alarms: {hits:?}");
+    }
+
+    #[test]
+    fn cusum_detects_downward_shifts_too() {
+        let series = step_series(400, 200, 0.7, 0.35);
+        let hits = Cusum::detect(&series, 0.02, 0.5);
+        assert!(!hits.is_empty());
+        assert!(!hits[0].upward, "direction wrong: {:?}", hits[0]);
+    }
+
+    #[test]
+    fn cusum_reanchors_and_finds_multiple_changes() {
+        let mut series = step_series(300, 150, 0.3, 0.6);
+        series.extend(step_series(300, 150, 0.6, 0.3));
+        let hits = Cusum::detect(&series, 0.02, 0.5);
+        assert!(hits.len() >= 2, "expected two detections, got {hits:?}");
+        assert!(hits[0].upward);
+        assert!(hits.iter().any(|c| !c.upward));
+    }
+
+    #[test]
+    fn page_hinkley_fires_on_upward_shift_only() {
+        let up = step_series(400, 200, 0.3, 0.6);
+        let hits = PageHinkley::detect(&up, 0.005, 0.5);
+        assert!(!hits.is_empty(), "PH missed the upward step");
+        assert!((200..240).contains(&hits[0].at), "fired at {}", hits[0].at);
+
+        let down = step_series(400, 200, 0.7, 0.4);
+        let hits = PageHinkley::detect(&down, 0.005, 0.5);
+        assert!(hits.is_empty(), "PH is one-sided but fired: {hits:?}");
+    }
+
+    #[test]
+    fn warmup_suppresses_early_fires() {
+        let series = step_series(100, 2, 0.1, 0.9);
+        let mut det = Cusum::new(0.02, 0.5).with_warmup(50);
+        let mut first = None;
+        for (i, &x) in series.iter().enumerate() {
+            if let Some(cp) = det.update(i, x as f64) {
+                first = Some(cp.at);
+                break;
+            }
+        }
+        assert!(first.is_none_or(|at| at > 50));
+    }
+
+    #[test]
+    fn detects_the_generators_mutation_points() {
+        // End-to-end: the synthetic container's configured mutation should
+        // be found within a modest delay.
+        let frame = {
+            use cloudtrace_stub::*;
+            generate(600, 350, 0.4)
+        };
+        let hits = Cusum::detect(&frame, 0.02, 0.6);
+        assert!(!hits.is_empty(), "missed the generator mutation");
+        assert!(
+            (350..395).contains(&hits[0].at),
+            "fired at {} (mutation at 350)",
+            hits[0].at
+        );
+    }
+
+    /// Local stand-in that mimics `cloudtrace`'s mutation shape without a
+    /// cyclic dev-dependency (timeseries must not depend on cloudtrace).
+    mod cloudtrace_stub {
+        pub fn generate(n: usize, at: usize, height: f32) -> Vec<f32> {
+            let mut rng = tensor::Rng::seed_from(11);
+            let mut level = 0.3f32;
+            (0..n)
+                .map(|t| {
+                    if t == at {
+                        level += height;
+                    }
+                    (level + rng.normal(0.0, 0.02)).clamp(0.0, 1.0)
+                })
+                .collect()
+        }
+    }
+}

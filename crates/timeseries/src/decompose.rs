@@ -1,0 +1,209 @@
+//! Classical seasonal-trend decomposition by moving averages — the analysis
+//! tool behind the paper's §II observations ("the average CPU usage has a
+//! certain periodicity") and a diagnostic for how much of a trace a
+//! periodicity-only model could ever explain.
+
+/// Result of an additive decomposition `x = trend + seasonal + residual`.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    pub trend: Vec<f32>,
+    pub seasonal: Vec<f32>,
+    pub residual: Vec<f32>,
+    pub period: usize,
+}
+
+impl Decomposition {
+    /// Fraction of the (trend-removed) variance explained by seasonality:
+    /// `1 − var(residual) / var(x − trend)`, clamped to `[0, 1]`.
+    /// ≈1 means the series is essentially periodic; ≈0 means the paper's
+    /// "high-dynamic, no regularity" regime.
+    pub fn seasonal_strength(&self) -> f64 {
+        let detrended: Vec<f32> = self
+            .seasonal
+            .iter()
+            .zip(&self.residual)
+            .map(|(&s, &r)| s + r)
+            .collect();
+        let var_det = tensor::stats::variance(&detrended);
+        if var_det < 1e-15 {
+            return 0.0;
+        }
+        (1.0 - tensor::stats::variance(&self.residual) / var_det).clamp(0.0, 1.0)
+    }
+}
+
+/// Centred moving average of window `w` (odd or even, handled as in the
+/// classical decomposition: even windows use a 2×w average). Edges shrink
+/// the window symmetrically instead of dropping samples.
+pub fn moving_average(xs: &[f32], w: usize) -> Vec<f32> {
+    assert!(w >= 1, "window must be positive");
+    let n = xs.len();
+    let half = w / 2;
+    (0..n)
+        .map(|t| {
+            let lo = t.saturating_sub(half);
+            let hi = (t + half + 1).min(n);
+            tensor::stats::mean(&xs[lo..hi]) as f32
+        })
+        .collect()
+}
+
+/// Additive decomposition with the given seasonal `period`.
+///
+/// 1. Trend = centred moving average over one period.
+/// 2. Seasonal = per-phase mean of the detrended series, de-meaned.
+/// 3. Residual = the rest.
+pub fn decompose_additive(xs: &[f32], period: usize) -> Decomposition {
+    assert!(period >= 2, "period must be at least 2");
+    assert!(xs.len() >= 2 * period, "need at least two full periods");
+    let n = xs.len();
+    let trend = moving_average(xs, period);
+    let detrended: Vec<f32> = xs.iter().zip(&trend).map(|(&x, &t)| x - t).collect();
+
+    // Per-phase means.
+    let mut phase_sum = vec![0.0f64; period];
+    let mut phase_count = vec![0usize; period];
+    for (t, &d) in detrended.iter().enumerate() {
+        phase_sum[t % period] += d as f64;
+        phase_count[t % period] += 1;
+    }
+    let mut phase_mean: Vec<f64> = phase_sum
+        .iter()
+        .zip(&phase_count)
+        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    // Seasonal components must sum to zero over a period.
+    let grand = phase_mean.iter().sum::<f64>() / period as f64;
+    for p in &mut phase_mean {
+        *p -= grand;
+    }
+
+    let seasonal: Vec<f32> = (0..n).map(|t| phase_mean[t % period] as f32).collect();
+    let residual: Vec<f32> = (0..n).map(|t| xs[t] - trend[t] - seasonal[t]).collect();
+    Decomposition {
+        trend,
+        seasonal,
+        residual,
+        period,
+    }
+}
+
+/// Estimate the dominant period by scanning autocorrelation peaks in
+/// `[min_period, max_period]`. Returns `None` when no lag achieves an
+/// autocorrelation above `threshold` (an aperiodic, high-dynamic series).
+pub fn estimate_period(
+    xs: &[f32],
+    min_period: usize,
+    max_period: usize,
+    threshold: f64,
+) -> Option<usize> {
+    assert!(min_period >= 2 && max_period > min_period);
+    if xs.len() < max_period + 2 {
+        return None;
+    }
+    let ac = tensor::stats::autocorrelation(xs, max_period);
+    let mut best: Option<(usize, f64)> = None;
+    for lag in min_period..=max_period {
+        let v = ac[lag];
+        // Local-peak requirement keeps harmonics from winning.
+        if v > threshold
+            && v >= ac[lag - 1]
+            && (lag + 1 > max_period || v >= ac[lag + 1])
+            && best.is_none_or(|(_, bv)| v > bv)
+        {
+            best = Some((lag, v));
+        }
+    }
+    best.map(|(lag, _)| lag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic_series(n: usize, period: usize, amp: f32, trend_slope: f32) -> Vec<f32> {
+        (0..n)
+            .map(|t| {
+                0.5 + trend_slope * t as f32
+                    + amp * ((t % period) as f32 / period as f32 * std::f32::consts::TAU).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn moving_average_smooths_and_preserves_constants() {
+        let xs = vec![3.0f32; 20];
+        assert_eq!(moving_average(&xs, 5), xs);
+        let noisy: Vec<f32> = (0..40)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
+        let sm = moving_average(&noisy, 10);
+        // Interior points hover near the mean.
+        for &v in &sm[5..35] {
+            assert!((v - 0.5).abs() < 0.06, "not smoothed: {v}");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn decomposition_reconstructs_exactly() {
+        let xs = periodic_series(120, 12, 0.2, 0.001);
+        let d = decompose_additive(&xs, 12);
+        for t in 0..xs.len() {
+            let rebuilt = d.trend[t] + d.seasonal[t] + d.residual[t];
+            assert!((rebuilt - xs[t]).abs() < 1e-5);
+        }
+        assert_eq!(d.period, 12);
+    }
+
+    #[test]
+    fn seasonal_component_sums_to_zero_per_period() {
+        let xs = periodic_series(96, 8, 0.3, 0.0);
+        let d = decompose_additive(&xs, 8);
+        let s: f32 = d.seasonal[..8].iter().sum();
+        assert!(s.abs() < 1e-4);
+    }
+
+    #[test]
+    fn strong_seasonality_detected() {
+        let xs = periodic_series(240, 24, 0.3, 0.0);
+        let d = decompose_additive(&xs, 24);
+        assert!(
+            d.seasonal_strength() > 0.8,
+            "strength {}",
+            d.seasonal_strength()
+        );
+    }
+
+    #[test]
+    fn white_noise_has_weak_seasonality() {
+        let mut rng = tensor::Rng::seed_from(1);
+        let xs: Vec<f32> = (0..300).map(|_| rng.uniform(0.0, 1.0)).collect();
+        let d = decompose_additive(&xs, 24);
+        assert!(
+            d.seasonal_strength() < 0.35,
+            "strength {}",
+            d.seasonal_strength()
+        );
+    }
+
+    #[test]
+    fn period_estimation_finds_the_cycle() {
+        let xs = periodic_series(400, 25, 0.3, 0.0);
+        let p = estimate_period(&xs, 5, 60, 0.3).expect("period");
+        assert!((24..=26).contains(&p), "estimated {p}");
+    }
+
+    #[test]
+    fn period_estimation_rejects_noise() {
+        let mut rng = tensor::Rng::seed_from(2);
+        let xs: Vec<f32> = (0..400).map(|_| rng.uniform(0.0, 1.0)).collect();
+        assert_eq!(estimate_period(&xs, 5, 60, 0.3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "two full periods")]
+    fn too_short_series_panics() {
+        decompose_additive(&[0.0; 10], 8);
+    }
+}

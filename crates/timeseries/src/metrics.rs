@@ -1,0 +1,184 @@
+//! Forecast-accuracy metrics (paper §IV-D plus the usual extras).
+
+/// Mean squared error (paper eq. 9).
+pub fn mse(truth: &[f32], pred: &[f32]) -> f64 {
+    paired(truth, pred);
+    if truth.is_empty() {
+        return 0.0;
+    }
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(&t, &p)| ((t - p) as f64).powi(2))
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Mean absolute error (paper eq. 10).
+pub fn mae(truth: &[f32], pred: &[f32]) -> f64 {
+    paired(truth, pred);
+    if truth.is_empty() {
+        return 0.0;
+    }
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(&t, &p)| ((t - p) as f64).abs())
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(truth: &[f32], pred: &[f32]) -> f64 {
+    mse(truth, pred).sqrt()
+}
+
+/// Mean absolute percentage error (%). Pairs whose true value is ~0 are
+/// skipped, as is conventional for utilisation traces that touch zero.
+pub fn mape(truth: &[f32], pred: &[f32]) -> f64 {
+    paired(truth, pred);
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for (&t, &p) in truth.iter().zip(pred) {
+        if t.abs() > 1e-8 {
+            total += ((t - p) / t).abs() as f64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        100.0 * total / count as f64
+    }
+}
+
+/// Symmetric MAPE (%), bounded in `[0, 200]`.
+pub fn smape(truth: &[f32], pred: &[f32]) -> f64 {
+    paired(truth, pred);
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for (&t, &p) in truth.iter().zip(pred) {
+        let denom = (t.abs() + p.abs()) as f64;
+        if denom > 1e-12 {
+            total += 2.0 * ((t - p).abs() as f64) / denom;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        100.0 * total / count as f64
+    }
+}
+
+/// Coefficient of determination. 1 is perfect; 0 matches predicting the
+/// mean; negative is worse than the mean.
+pub fn r2(truth: &[f32], pred: &[f32]) -> f64 {
+    paired(truth, pred);
+    if truth.len() < 2 {
+        return 0.0;
+    }
+    let mean = tensor::stats::mean(truth);
+    let ss_tot: f64 = truth.iter().map(|&t| (t as f64 - mean).powi(2)).sum();
+    if ss_tot < 1e-15 {
+        return 0.0;
+    }
+    let ss_res: f64 = truth
+        .iter()
+        .zip(pred)
+        .map(|(&t, &p)| ((t - p) as f64).powi(2))
+        .sum();
+    1.0 - ss_res / ss_tot
+}
+
+/// A full metric report for one model/scenario cell (as a Table II entry).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricReport {
+    pub mse: f64,
+    pub mae: f64,
+    pub rmse: f64,
+    pub mape: f64,
+    pub smape: f64,
+    pub r2: f64,
+}
+
+/// Compute every metric at once.
+pub fn report(truth: &[f32], pred: &[f32]) -> MetricReport {
+    MetricReport {
+        mse: mse(truth, pred),
+        mae: mae(truth, pred),
+        rmse: rmse(truth, pred),
+        mape: mape(truth, pred),
+        smape: smape(truth, pred),
+        r2: r2(truth, pred),
+    }
+}
+
+fn paired(truth: &[f32], pred: &[f32]) {
+    assert_eq!(truth.len(), pred.len(), "metric inputs must pair up");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let t = [0.1f32, 0.5, 0.9];
+        let r = report(&t, &t);
+        assert_eq!(r.mse, 0.0);
+        assert_eq!(r.mae, 0.0);
+        assert_eq!(r.rmse, 0.0);
+        assert_eq!(r.mape, 0.0);
+        assert_eq!(r.smape, 0.0);
+        assert!((r.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_values() {
+        let t = [1.0f32, 2.0];
+        let p = [2.0f32, 4.0];
+        assert!((mse(&t, &p) - 2.5).abs() < 1e-12);
+        assert!((mae(&t, &p) - 1.5).abs() < 1e-12);
+        assert!((rmse(&t, &p) - 2.5f64.sqrt()).abs() < 1e-12);
+        assert!((mape(&t, &p) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_skips_zero_truth() {
+        let t = [0.0f32, 2.0];
+        let p = [5.0f32, 3.0];
+        assert!((mape(&t, &p) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smape_is_bounded() {
+        let t = [1.0f32, -1.0, 0.5];
+        let p = [-1.0f32, 1.0, -0.5];
+        let s = smape(&t, &p);
+        assert!((s - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let t = [1.0f32, 2.0, 3.0, 4.0];
+        let p = [2.5f32; 4];
+        assert!(r2(&t, &p).abs() < 1e-12);
+        // Worse than the mean is negative.
+        let bad = [10.0f32; 4];
+        assert!(r2(&t, &bad) < 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(mse(&[], &[]), 0.0);
+        assert_eq!(mae(&[], &[]), 0.0);
+        assert_eq!(mape(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_lengths_panic() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+}

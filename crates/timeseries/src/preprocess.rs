@@ -1,0 +1,353 @@
+//! Data cleaning and normalisation (paper §III-A, Algorithm 1 steps 1–2).
+
+use crate::frame::TimeSeriesFrame;
+
+/// How the cleaning stage repairs missing (`NaN`/infinite) samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairPolicy {
+    /// Drop every row containing an invalid value in any column — the
+    /// paper's "screen the records with complete information".
+    DropRows,
+    /// Linearly interpolate between the nearest valid neighbours (edges are
+    /// extended with the nearest valid value).
+    Interpolate,
+    /// Carry the last valid observation forward (first valid backward at
+    /// the start).
+    ForwardFill,
+}
+
+/// Clean a frame: repair or drop invalid samples, returning a frame for
+/// which [`TimeSeriesFrame::is_clean`] holds, plus how many samples were
+/// touched.
+pub fn clean(frame: &TimeSeriesFrame, policy: RepairPolicy) -> (TimeSeriesFrame, usize) {
+    match policy {
+        RepairPolicy::DropRows => {
+            let n = frame.len();
+            let keep: Vec<usize> = (0..n)
+                .filter(|&i| (0..frame.num_columns()).all(|j| frame.column_at(j)[i].is_finite()))
+                .collect();
+            let dropped = n - keep.len();
+            let cols = frame
+                .names()
+                .iter()
+                .enumerate()
+                .map(|(j, name)| {
+                    let col = frame.column_at(j);
+                    (name.clone(), keep.iter().map(|&i| col[i]).collect())
+                })
+                .collect();
+            (TimeSeriesFrame::new(cols).expect("clean frame"), dropped)
+        }
+        RepairPolicy::Interpolate | RepairPolicy::ForwardFill => {
+            let mut repaired = 0usize;
+            let cols = frame
+                .names()
+                .iter()
+                .enumerate()
+                .map(|(j, name)| {
+                    let mut col = frame.column_at(j).to_vec();
+                    repaired += match policy {
+                        RepairPolicy::Interpolate => interpolate_gaps(&mut col),
+                        _ => forward_fill(&mut col),
+                    };
+                    (name.clone(), col)
+                })
+                .collect();
+            (TimeSeriesFrame::new(cols).expect("clean frame"), repaired)
+        }
+    }
+}
+
+fn interpolate_gaps(col: &mut [f32]) -> usize {
+    let n = col.len();
+    let mut repaired = 0;
+    let mut i = 0;
+    while i < n {
+        if col[i].is_finite() {
+            i += 1;
+            continue;
+        }
+        // Find the invalid run [i, j).
+        let mut j = i;
+        while j < n && !col[j].is_finite() {
+            j += 1;
+        }
+        let left = if i > 0 { Some(col[i - 1]) } else { None };
+        let right = if j < n { Some(col[j]) } else { None };
+        for (step, slot) in col[i..j].iter_mut().enumerate() {
+            *slot = match (left, right) {
+                (Some(l), Some(r)) => {
+                    let frac = (step + 1) as f32 / (j - i + 1) as f32;
+                    l + (r - l) * frac
+                }
+                (Some(l), None) => l,
+                (None, Some(r)) => r,
+                (None, None) => 0.0,
+            };
+            repaired += 1;
+        }
+        i = j;
+    }
+    repaired
+}
+
+fn forward_fill(col: &mut [f32]) -> usize {
+    let mut repaired = 0;
+    let mut last_valid: Option<f32> = None;
+    for v in col.iter_mut() {
+        if v.is_finite() {
+            last_valid = Some(*v);
+        } else if let Some(l) = last_valid {
+            *v = l;
+            repaired += 1;
+        }
+    }
+    // Leading gap: backward-fill from the first valid value.
+    if let Some(first_valid) = col.iter().copied().find(|v| v.is_finite()) {
+        for v in col.iter_mut() {
+            if !v.is_finite() {
+                *v = first_valid;
+                repaired += 1;
+            } else {
+                break;
+            }
+        }
+    } else {
+        for v in col.iter_mut() {
+            *v = 0.0;
+            repaired += 1;
+        }
+    }
+    repaired
+}
+
+/// Min-max normalisation to `[0, 1]` (paper eq. 1), fit per column.
+#[derive(Debug, Clone)]
+pub struct MinMaxScaler {
+    mins: Vec<f32>,
+    maxs: Vec<f32>,
+    names: Vec<String>,
+}
+
+impl MinMaxScaler {
+    /// Learn per-column min/max from a frame.
+    pub fn fit(frame: &TimeSeriesFrame) -> Self {
+        let mut mins = Vec::with_capacity(frame.num_columns());
+        let mut maxs = Vec::with_capacity(frame.num_columns());
+        for j in 0..frame.num_columns() {
+            let col = frame.column_at(j);
+            mins.push(col.iter().copied().fold(f32::INFINITY, f32::min));
+            maxs.push(col.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+        }
+        Self {
+            mins,
+            maxs,
+            names: frame.names().to_vec(),
+        }
+    }
+
+    /// Apply `(x - min) / (max - min)`. Constant columns map to 0.
+    pub fn transform(&self, frame: &TimeSeriesFrame) -> TimeSeriesFrame {
+        self.apply(frame, |v, min, max| {
+            let range = max - min;
+            if range.abs() < 1e-12 {
+                0.0
+            } else {
+                (v - min) / range
+            }
+        })
+    }
+
+    /// Undo the normalisation for the named column.
+    pub fn inverse_transform_column(&self, name: &str, values: &[f32]) -> Vec<f32> {
+        let j = self
+            .names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("scaler does not know column '{name}'"));
+        let (min, max) = (self.mins[j], self.maxs[j]);
+        values.iter().map(|&v| v * (max - min) + min).collect()
+    }
+
+    /// `(min, max)` learned for the named column.
+    pub fn bounds(&self, name: &str) -> Option<(f32, f32)> {
+        let j = self.names.iter().position(|n| n == name)?;
+        Some((self.mins[j], self.maxs[j]))
+    }
+
+    fn apply(&self, frame: &TimeSeriesFrame, f: impl Fn(f32, f32, f32) -> f32) -> TimeSeriesFrame {
+        assert_eq!(
+            frame.names(),
+            self.names.as_slice(),
+            "scaler/frame column mismatch"
+        );
+        let cols = frame
+            .names()
+            .iter()
+            .enumerate()
+            .map(|(j, name)| {
+                let data = frame
+                    .column_at(j)
+                    .iter()
+                    .map(|&v| f(v, self.mins[j], self.maxs[j]))
+                    .collect();
+                (name.clone(), data)
+            })
+            .collect();
+        TimeSeriesFrame::new(cols).expect("scaled frame")
+    }
+}
+
+/// Z-score standardisation, offered as the alternative normalisation for the
+/// preprocessing ablation.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    names: Vec<String>,
+}
+
+impl StandardScaler {
+    pub fn fit(frame: &TimeSeriesFrame) -> Self {
+        let mut means = Vec::new();
+        let mut stds = Vec::new();
+        for j in 0..frame.num_columns() {
+            let col = frame.column_at(j);
+            means.push(tensor::stats::mean(col));
+            stds.push(tensor::stats::std_dev(col).max(1e-12));
+        }
+        Self {
+            means,
+            stds,
+            names: frame.names().to_vec(),
+        }
+    }
+
+    pub fn transform(&self, frame: &TimeSeriesFrame) -> TimeSeriesFrame {
+        assert_eq!(frame.names(), self.names.as_slice());
+        let cols = frame
+            .names()
+            .iter()
+            .enumerate()
+            .map(|(j, name)| {
+                let data = frame
+                    .column_at(j)
+                    .iter()
+                    .map(|&v| ((v as f64 - self.means[j]) / self.stds[j]) as f32)
+                    .collect();
+                (name.clone(), data)
+            })
+            .collect();
+        TimeSeriesFrame::new(cols).expect("scaled frame")
+    }
+
+    pub fn inverse_transform_column(&self, name: &str, values: &[f32]) -> Vec<f32> {
+        let j = self
+            .names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("scaler does not know column '{name}'"));
+        values
+            .iter()
+            .map(|&v| (v as f64 * self.stds[j] + self.means[j]) as f32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dirty() -> TimeSeriesFrame {
+        TimeSeriesFrame::from_columns(&[
+            ("cpu", vec![0.1, f32::NAN, 0.3, 0.4]),
+            ("mem", vec![0.5, 0.6, f32::INFINITY, 0.8]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn drop_rows_removes_incomplete_records() {
+        let (clean_frame, dropped) = clean(&dirty(), RepairPolicy::DropRows);
+        assert_eq!(dropped, 2);
+        assert_eq!(clean_frame.len(), 2);
+        assert!(clean_frame.is_clean());
+        assert_eq!(clean_frame.column("cpu").unwrap(), &[0.1, 0.4]);
+    }
+
+    #[test]
+    fn interpolation_fills_gaps_linearly() {
+        let (c, repaired) = clean(&dirty(), RepairPolicy::Interpolate);
+        assert_eq!(repaired, 2);
+        assert!(c.is_clean());
+        assert!((c.column("cpu").unwrap()[1] - 0.2).abs() < 1e-6);
+        assert!((c.column("mem").unwrap()[2] - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interpolation_handles_edge_gaps() {
+        let f = TimeSeriesFrame::from_columns(&[("x", vec![f32::NAN, 2.0, f32::NAN])]).unwrap();
+        let (c, repaired) = clean(&f, RepairPolicy::Interpolate);
+        assert_eq!(repaired, 2);
+        assert_eq!(c.column("x").unwrap(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn forward_fill_carries_values() {
+        let f =
+            TimeSeriesFrame::from_columns(&[("x", vec![f32::NAN, 1.0, f32::NAN, f32::NAN, 4.0])])
+                .unwrap();
+        let (c, repaired) = clean(&f, RepairPolicy::ForwardFill);
+        assert_eq!(repaired, 3);
+        assert_eq!(c.column("x").unwrap(), &[1.0, 1.0, 1.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn all_invalid_column_becomes_zero() {
+        let f = TimeSeriesFrame::from_columns(&[("x", vec![f32::NAN, f32::NAN])]).unwrap();
+        let (c, _) = clean(&f, RepairPolicy::ForwardFill);
+        assert_eq!(c.column("x").unwrap(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn minmax_scales_to_unit_interval_and_inverts() {
+        let f = TimeSeriesFrame::from_columns(&[("cpu", vec![10.0, 20.0, 30.0])]).unwrap();
+        let scaler = MinMaxScaler::fit(&f);
+        let s = scaler.transform(&f);
+        assert_eq!(s.column("cpu").unwrap(), &[0.0, 0.5, 1.0]);
+        let back = scaler.inverse_transform_column("cpu", s.column("cpu").unwrap());
+        assert_eq!(back, vec![10.0, 20.0, 30.0]);
+        assert_eq!(scaler.bounds("cpu"), Some((10.0, 30.0)));
+    }
+
+    #[test]
+    fn minmax_constant_column_maps_to_zero() {
+        let f = TimeSeriesFrame::from_columns(&[("c", vec![5.0, 5.0, 5.0])]).unwrap();
+        let s = MinMaxScaler::fit(&f).transform(&f);
+        assert_eq!(s.column("c").unwrap(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn minmax_transform_uses_training_bounds() {
+        // Fit on train, transform test: values can leave [0, 1]; that is the
+        // correct leak-free behaviour.
+        let train = TimeSeriesFrame::from_columns(&[("x", vec![0.0, 10.0])]).unwrap();
+        let test = TimeSeriesFrame::from_columns(&[("x", vec![20.0])]).unwrap();
+        let scaler = MinMaxScaler::fit(&train);
+        let s = scaler.transform(&test);
+        assert_eq!(s.column("x").unwrap(), &[2.0]);
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_std() {
+        let f = TimeSeriesFrame::from_columns(&[("x", vec![1.0, 2.0, 3.0, 4.0])]).unwrap();
+        let s = StandardScaler::fit(&f).transform(&f);
+        let col = s.column("x").unwrap();
+        assert!(tensor::stats::mean(col).abs() < 1e-6);
+        assert!((tensor::stats::std_dev(col) - 1.0).abs() < 1e-5);
+        let back = StandardScaler::fit(&f).inverse_transform_column("x", col);
+        for (a, b) in back.iter().zip(&[1.0, 2.0, 3.0, 4.0]) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Sliding-window supervised dataset construction: turn a multivariate frame
+//! into `(X, y)` pairs where `X` is a lookback window over all features and
+//! `y` is the next `horizon` values of the target column.
+
+use crate::frame::{FrameError, TimeSeriesFrame};
+use tensor::Tensor;
+
+/// A supervised windowed dataset.
+#[derive(Debug, Clone)]
+pub struct WindowedDataset {
+    /// `[n, window, features]` inputs.
+    pub x: Tensor,
+    /// `[n, horizon]` targets.
+    pub y: Tensor,
+    /// Feature (column) names, in the order of the feature axis.
+    pub feature_names: Vec<String>,
+    /// Index of the target column within the features.
+    pub target_index: usize,
+    pub window: usize,
+    pub horizon: usize,
+}
+
+impl WindowedDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.shape()[0]
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of input features.
+    pub fn num_features(&self) -> usize {
+        self.x.shape()[2]
+    }
+
+    /// Rows `[from, to)` as a new dataset (used by chronological splits).
+    pub fn slice(&self, from: usize, to: usize) -> WindowedDataset {
+        assert!(
+            from <= to && to <= self.len(),
+            "bad window slice {from}..{to}"
+        );
+        let rows: Vec<usize> = (from..to).collect();
+        WindowedDataset {
+            x: take_rows(&self.x, &rows),
+            y: take_rows(&self.y, &rows),
+            feature_names: self.feature_names.clone(),
+            target_index: self.target_index,
+            window: self.window,
+            horizon: self.horizon,
+        }
+    }
+}
+
+fn take_rows(t: &Tensor, rows: &[usize]) -> Tensor {
+    let shape = t.shape();
+    let row_len: usize = shape[1..].iter().product();
+    let mut out = Vec::with_capacity(rows.len() * row_len);
+    for &r in rows {
+        out.extend_from_slice(&t.as_slice()[r * row_len..(r + 1) * row_len]);
+    }
+    let mut new_shape = shape.to_vec();
+    new_shape[0] = rows.len();
+    Tensor::from_vec(out, &new_shape)
+}
+
+/// Build sliding windows over `frame`.
+///
+/// Sample `i` is `X[i] = frame[i .. i+window]` (all columns) with target
+/// `y[i] = target[i+window .. i+window+horizon]`, so targets are strictly in
+/// the future of their window — no leakage.
+pub fn make_windows(
+    frame: &TimeSeriesFrame,
+    target: &str,
+    window: usize,
+    horizon: usize,
+) -> Result<WindowedDataset, FrameError> {
+    if window == 0 || horizon == 0 {
+        return Err(FrameError("window and horizon must be positive".into()));
+    }
+    let target_index = frame
+        .column_index(target)
+        .ok_or_else(|| FrameError(format!("unknown target column '{target}'")))?;
+    let total = frame.len();
+    if total < window + horizon {
+        return Err(FrameError(format!(
+            "{total} rows cannot fit window {window} + horizon {horizon}"
+        )));
+    }
+    let n = total - window - horizon + 1;
+    let f = frame.num_columns();
+    let mut x = vec![0.0f32; n * window * f];
+    let mut y = vec![0.0f32; n * horizon];
+    let tcol = frame.column_at(target_index);
+    for i in 0..n {
+        for t in 0..window {
+            for (j, _) in frame.names().iter().enumerate() {
+                x[(i * window + t) * f + j] = frame.column_at(j)[i + t];
+            }
+        }
+        for h in 0..horizon {
+            y[i * horizon + h] = tcol[i + window + h];
+        }
+    }
+    Ok(WindowedDataset {
+        x: Tensor::from_vec(x, &[n, window, f]),
+        y: Tensor::from_vec(y, &[n, horizon]),
+        feature_names: frame.names().to_vec(),
+        target_index,
+        window,
+        horizon,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> TimeSeriesFrame {
+        TimeSeriesFrame::from_columns(&[
+            ("cpu", (0..10).map(|i| i as f32).collect()),
+            ("mem", (0..10).map(|i| i as f32 * 10.0).collect()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn window_contents_and_target_alignment() {
+        let ds = make_windows(&frame(), "cpu", 3, 2).unwrap();
+        assert_eq!(ds.len(), 6); // 10 - 3 - 2 + 1
+        assert_eq!(ds.x.shape(), &[6, 3, 2]);
+        assert_eq!(ds.y.shape(), &[6, 2]);
+        // Sample 0: window rows 0..3, targets rows 3..5.
+        assert_eq!(ds.x.at(&[0, 0, 0]), 0.0);
+        assert_eq!(ds.x.at(&[0, 2, 0]), 2.0);
+        assert_eq!(ds.x.at(&[0, 2, 1]), 20.0);
+        assert_eq!(ds.y.at(&[0, 0]), 3.0);
+        assert_eq!(ds.y.at(&[0, 1]), 4.0);
+        // Sample 5: window rows 5..8, target rows 8..10.
+        assert_eq!(ds.x.at(&[5, 0, 0]), 5.0);
+        assert_eq!(ds.y.at(&[5, 1]), 9.0);
+    }
+
+    #[test]
+    fn no_leakage_target_is_strictly_future() {
+        let ds = make_windows(&frame(), "cpu", 4, 1).unwrap();
+        for i in 0..ds.len() {
+            let last_in_window = ds.x.at(&[i, 3, 0]);
+            let target = ds.y.at(&[i, 0]);
+            assert_eq!(target, last_in_window + 1.0);
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_parameters() {
+        assert!(make_windows(&frame(), "cpu", 0, 1).is_err());
+        assert!(make_windows(&frame(), "cpu", 3, 0).is_err());
+        assert!(make_windows(&frame(), "nope", 3, 1).is_err());
+        assert!(make_windows(&frame(), "cpu", 9, 2).is_err());
+    }
+
+    #[test]
+    fn exact_fit_produces_one_sample() {
+        let ds = make_windows(&frame(), "cpu", 8, 2).unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn slice_preserves_metadata() {
+        let ds = make_windows(&frame(), "mem", 3, 1).unwrap();
+        let s = ds.slice(2, 5);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.target_index, 1);
+        assert_eq!(s.window, 3);
+        assert_eq!(s.x.at(&[0, 0, 0]), ds.x.at(&[2, 0, 0]));
+        assert_eq!(s.y.at(&[0, 0]), ds.y.at(&[2, 0]));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the preprocessing pipeline's invariants.
+
+use proptest::prelude::*;
+use timeseries::{
+    clean, expand, make_windows, metrics, split_windows, Expansion, MinMaxScaler, RepairPolicy,
+    SplitRatios, TimeSeriesFrame,
+};
+
+fn series(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-50.0f32..150.0, len)
+}
+
+fn frame2(len: usize) -> impl Strategy<Value = TimeSeriesFrame> {
+    (series(len), series(len))
+        .prop_map(|(a, b)| TimeSeriesFrame::from_columns(&[("cpu", a), ("mem", b)]).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn minmax_output_in_unit_interval(f in frame2(40)) {
+        let scaled = MinMaxScaler::fit(&f).transform(&f);
+        for j in 0..scaled.num_columns() {
+            for &v in scaled.column_at(j) {
+                prop_assert!((-1e-6..=1.0 + 1e-6).contains(&v), "out of range: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_inverse_roundtrips(f in frame2(30)) {
+        let scaler = MinMaxScaler::fit(&f);
+        let scaled = scaler.transform(&f);
+        let back = scaler.inverse_transform_column("cpu", scaled.column("cpu").unwrap());
+        let orig = f.column("cpu").unwrap();
+        for (a, b) in back.iter().zip(orig) {
+            // Tolerance scales with magnitude in f32.
+            prop_assert!((a - b).abs() <= 1e-3 + b.abs() * 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cleaning_always_produces_clean_frames(
+        mut vals in series(30),
+        nan_at in proptest::collection::vec(0usize..30, 0..8),
+        policy_idx in 0usize..3,
+    ) {
+        for &i in &nan_at {
+            vals[i] = f32::NAN;
+        }
+        let f = TimeSeriesFrame::from_columns(&[("x", vals)]).unwrap();
+        let policy = [RepairPolicy::DropRows, RepairPolicy::Interpolate, RepairPolicy::ForwardFill][policy_idx];
+        let (c, _) = clean(&f, policy);
+        prop_assert!(c.is_clean());
+        if policy != RepairPolicy::DropRows {
+            prop_assert_eq!(c.len(), 30);
+        }
+    }
+
+    #[test]
+    fn horizontal_expansion_preserves_alignment(f in frame2(25), copies in 1usize..5) {
+        let e = expand::expand_horizontal(&f, copies).unwrap();
+        prop_assert_eq!(e.len(), 25 - copies + 1);
+        prop_assert_eq!(e.num_columns(), 2 * copies);
+        // lag0 of each indicator equals the original tail.
+        let orig = f.column("cpu").unwrap();
+        let lag0 = e.column("cpu#lag0").unwrap();
+        prop_assert_eq!(lag0, &orig[copies - 1..]);
+        // Each lag-k column is the lag-0 column shifted by k.
+        for k in 1..copies {
+            let lagk = e.column(&format!("cpu#lag{k}")).unwrap();
+            prop_assert_eq!(lagk, &orig[copies - 1 - k..25 - k]);
+        }
+    }
+
+    #[test]
+    fn windows_never_leak_future(vals in series(40), window in 2usize..8, horizon in 1usize..4) {
+        prop_assume!(40 >= window + horizon);
+        let f = TimeSeriesFrame::from_columns(&[("cpu", vals.clone())]).unwrap();
+        let ds = make_windows(&f, "cpu", window, horizon).unwrap();
+        for i in 0..ds.len() {
+            for h in 0..horizon {
+                prop_assert_eq!(ds.y.at(&[i, h]), vals[i + window + h]);
+            }
+            for t in 0..window {
+                prop_assert_eq!(ds.x.at(&[i, t, 0]), vals[i + t]);
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_without_overlap(vals in series(60), window in 2usize..6) {
+        let f = TimeSeriesFrame::from_columns(&[("cpu", vals)]).unwrap();
+        let ds = make_windows(&f, "cpu", window, 1).unwrap();
+        let (tr, va, te) = split_windows(&ds, SplitRatios::PAPER);
+        prop_assert_eq!(tr.len() + va.len() + te.len(), ds.len());
+        // Recombining the splits reproduces the full target sequence.
+        let mut all: Vec<f32> = Vec::new();
+        all.extend(tr.y.as_slice());
+        all.extend(va.y.as_slice());
+        all.extend(te.y.as_slice());
+        prop_assert_eq!(all.as_slice(), ds.y.as_slice());
+    }
+
+    #[test]
+    fn mse_dominated_by_rmse_squared(a in series(20), b in series(20)) {
+        let mse = metrics::mse(&a, &b);
+        let rmse = metrics::rmse(&a, &b);
+        prop_assert!((rmse * rmse - mse).abs() < 1e-6 * (1.0 + mse));
+        prop_assert!(metrics::mae(&a, &b) <= rmse + 1e-6);
+    }
+
+    #[test]
+    fn expansion_enum_never_panics_on_valid_frames(f in frame2(30)) {
+        for e in [
+            Expansion::None,
+            Expansion::Horizontal { copies: 3 },
+            Expansion::CorrelationWeighted { target: "cpu".into(), max_copies: 3 },
+            Expansion::FirstDifference,
+        ] {
+            let out = e.apply(&f).unwrap();
+            prop_assert_eq!(out.len(), 30 - e.rows_consumed());
+        }
+    }
+
+    #[test]
+    fn first_difference_integrates_back(vals in series(25)) {
+        let f = TimeSeriesFrame::from_columns(&[("x", vals.clone())]).unwrap();
+        let e = expand::add_first_differences(&f).unwrap();
+        let x = e.column("x").unwrap();
+        let dx = e.column("d_x").unwrap();
+        // x[t] - dx[t] = original previous value.
+        for t in 0..e.len() {
+            prop_assert!((x[t] - dx[t] - vals[t]).abs() < 1e-4);
+        }
+    }
+}

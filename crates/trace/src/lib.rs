@@ -1,0 +1,35 @@
+//! # cloudtrace — synthetic Alibaba-v2018-style cluster trace generator
+//!
+//! The paper evaluates on Alibaba cluster trace v2018, which is a gated
+//! download. This crate generates the closest synthetic equivalent,
+//! calibrated to the characteristics the paper itself establishes:
+//!
+//! * **Fleet statistics (§II, Figs 2–3)** — fleet-average CPU in the
+//!   40–60 % band with diurnal periodicity; >80 % of machines under 50 %
+//!   mean CPU.
+//! * **Container dynamics (Fig 1)** — high-dynamic container CPU with
+//!   regime switches, bursts and persistent mutation points; machine series
+//!   smoother than container series.
+//! * **Indicator set and correlations (Table I, Fig 7)** — the eight
+//!   monitoring indicators with `mpki`, `cpi`, `mem_gps` tracking CPU most
+//!   closely, network moderately coupled, memory/disk mostly independent.
+//! * **Co-location interference (ref [19])** — CPI/MPKI inflation as a
+//!   superlinear function of host load.
+//!
+//! Entry point: [`Trace::generate`] with a [`TraceConfig`]; individual
+//! entities via [`container::generate_container`] /
+//! [`machine::generate_machine`].
+
+pub mod container;
+pub mod indicators;
+pub mod interference;
+pub mod machine;
+pub mod patterns;
+#[allow(clippy::module_inception)]
+mod trace;
+
+pub use container::{ContainerConfig, WorkloadClass};
+pub use indicators::Indicator;
+pub use interference::InterferenceModel;
+pub use machine::MachineConfig;
+pub use trace::{EntityTrace, Trace, TraceConfig};

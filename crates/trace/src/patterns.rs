@@ -1,0 +1,219 @@
+//! Signal kernels composed by the trace generator.
+//!
+//! Each kernel produces a full series so stateful processes (AR noise,
+//! Markov regimes, bursts) are straightforward. The generator sums kernels
+//! and clamps into `[0, 1]`.
+
+use tensor::Rng;
+
+/// Sinusoidal diurnal cycle: `amplitude · sin(2πt/period + phase)`.
+pub fn diurnal(len: usize, period: usize, amplitude: f32, phase: f32) -> Vec<f32> {
+    assert!(period > 0);
+    (0..len)
+        .map(|t| {
+            amplitude * ((2.0 * std::f32::consts::PI * t as f32 / period as f32) + phase).sin()
+        })
+        .collect()
+}
+
+/// First-order autoregressive noise: `x_t = φ·x_{t-1} + ε`, ε ~ N(0, σ).
+/// φ near 1 gives the slow wandering real utilisation shows.
+pub fn ar1_noise(len: usize, phi: f32, sigma: f32, rng: &mut Rng) -> Vec<f32> {
+    assert!((0.0..1.0).contains(&phi), "ar1 phi must be in [0,1)");
+    let mut out = Vec::with_capacity(len);
+    let mut x = 0.0f32;
+    for _ in 0..len {
+        x = phi * x + rng.normal(0.0, sigma);
+        out.push(x);
+    }
+    out
+}
+
+/// Poisson burst process: events arrive at `rate` per step; each adds a
+/// spike of height ~ Exp(1/`mean_height`) decaying geometrically with
+/// factor `decay`. Models the sudden load spikes of co-located batch jobs.
+pub fn bursts(len: usize, rate: f64, mean_height: f32, decay: f32, rng: &mut Rng) -> Vec<f32> {
+    assert!((0.0..1.0).contains(&decay));
+    let mut out = vec![0.0f32; len];
+    let mut level = 0.0f32;
+    for slot in out.iter_mut() {
+        let arrivals = rng.poisson(rate);
+        for _ in 0..arrivals {
+            level += rng.exponential(1.0 / mean_height.max(1e-6));
+        }
+        *slot = level;
+        level *= decay;
+    }
+    out
+}
+
+/// Two-state Markov regime process: emits `low` or `high`, switching with
+/// the given per-step probabilities. This is what makes container CPU
+/// "high-dynamic": long quiet stretches punctuated by sustained busy plateaus.
+pub fn regime_switch(
+    len: usize,
+    low: f32,
+    high: f32,
+    p_up: f64,
+    p_down: f64,
+    rng: &mut Rng,
+) -> Vec<f32> {
+    let mut out = Vec::with_capacity(len);
+    let mut busy = false;
+    for _ in 0..len {
+        if busy {
+            if rng.chance(p_down) {
+                busy = false;
+            }
+        } else if rng.chance(p_up) {
+            busy = true;
+        }
+        out.push(if busy { high } else { low });
+    }
+    out
+}
+
+/// A persistent step change (mutation point) of `height` starting at `at`,
+/// with a short linear ramp of `ramp` steps. Fig. 8's machine shows exactly
+/// this shape: an abrupt rise around sample 350 that then stays high.
+pub fn mutation(len: usize, at: usize, height: f32, ramp: usize) -> Vec<f32> {
+    (0..len)
+        .map(|t| {
+            if t < at {
+                0.0
+            } else if ramp > 0 && t < at + ramp {
+                height * (t - at + 1) as f32 / ramp as f32
+            } else {
+                height
+            }
+        })
+        .collect()
+}
+
+/// Bounded random-walk drift, reflecting at ±`bound`.
+pub fn random_walk(len: usize, step_sigma: f32, bound: f32, rng: &mut Rng) -> Vec<f32> {
+    let mut out = Vec::with_capacity(len);
+    let mut x = 0.0f32;
+    for _ in 0..len {
+        x += rng.normal(0.0, step_sigma);
+        if x > bound {
+            x = 2.0 * bound - x;
+        }
+        if x < -bound {
+            x = -2.0 * bound - x;
+        }
+        out.push(x);
+    }
+    out
+}
+
+/// Sum any number of component series and clamp each sample into
+/// `[lo, hi]` — the composition step of the generator.
+pub fn compose_clamped(base: f32, components: &[&[f32]], lo: f32, hi: f32) -> Vec<f32> {
+    let len = components.iter().map(|c| c.len()).min().unwrap_or(0);
+    (0..len)
+        .map(|t| {
+            let sum: f32 = base + components.iter().map(|c| c[t]).sum::<f32>();
+            sum.clamp(lo, hi)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_has_period() {
+        let d = diurnal(200, 50, 0.3, 0.0);
+        for t in 0..100 {
+            assert!((d[t] - d[t + 50]).abs() < 1e-5);
+        }
+        assert!(d.iter().all(|&v| v.abs() <= 0.3 + 1e-6));
+        assert_eq!(d[0], 0.0);
+    }
+
+    #[test]
+    fn ar1_noise_is_autocorrelated() {
+        let mut rng = Rng::seed_from(1);
+        let x = ar1_noise(5000, 0.95, 0.1, &mut rng);
+        let ac = tensor::stats::autocorrelation(&x, 1);
+        assert!(
+            ac[1] > 0.8,
+            "AR(0.95) lag-1 autocorrelation {:.3} too low",
+            ac[1]
+        );
+        let mut rng = Rng::seed_from(2);
+        let white = ar1_noise(5000, 0.0, 0.1, &mut rng);
+        let ac_white = tensor::stats::autocorrelation(&white, 1);
+        assert!(ac_white[1].abs() < 0.1);
+    }
+
+    #[test]
+    fn bursts_are_nonnegative_and_decay() {
+        let mut rng = Rng::seed_from(3);
+        let b = bursts(2000, 0.01, 0.4, 0.9, &mut rng);
+        assert!(b.iter().all(|&v| v >= 0.0));
+        let peak = b.iter().copied().fold(0.0f32, f32::max);
+        assert!(peak > 0.1, "no bursts fired");
+        // Sparse: most steps are near zero.
+        let quiet = b.iter().filter(|&&v| v < 0.05).count();
+        assert!(quiet > b.len() / 2, "bursts not sparse: {quiet}");
+    }
+
+    #[test]
+    fn regime_switch_emits_both_levels() {
+        let mut rng = Rng::seed_from(4);
+        let r = regime_switch(5000, 0.1, 0.8, 0.01, 0.02, &mut rng);
+        let lows = r.iter().filter(|&&v| v == 0.1).count();
+        let highs = r.iter().filter(|&&v| v == 0.8).count();
+        assert_eq!(lows + highs, 5000);
+        assert!(
+            lows > 500 && highs > 500,
+            "degenerate regimes: {lows}/{highs}"
+        );
+        // Dwell times are long (sustained plateaus, not flicker).
+        let switches = r.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(switches < 400, "too many switches: {switches}");
+    }
+
+    #[test]
+    fn mutation_is_zero_before_and_flat_after() {
+        let m = mutation(100, 30, 0.5, 10);
+        assert!(m[..30].iter().all(|&v| v == 0.0));
+        assert!((m[39] - 0.5).abs() < 1e-6);
+        assert!(m[40..].iter().all(|&v| v == 0.5));
+        // Ramp is monotone.
+        for t in 30..40 {
+            assert!(m[t] > m[t - 1]);
+        }
+    }
+
+    #[test]
+    fn mutation_without_ramp_is_a_step() {
+        let m = mutation(10, 5, 0.3, 0);
+        assert_eq!(m[4], 0.0);
+        assert_eq!(m[5], 0.3);
+    }
+
+    #[test]
+    fn random_walk_respects_bound() {
+        let mut rng = Rng::seed_from(5);
+        let w = random_walk(10_000, 0.05, 0.3, &mut rng);
+        assert!(w.iter().all(|&v| v.abs() <= 0.3 + 1e-5));
+        // It actually moves around.
+        let span =
+            w.iter().copied().fold(f32::MIN, f32::max) - w.iter().copied().fold(f32::MAX, f32::min);
+        assert!(span > 0.3);
+    }
+
+    #[test]
+    fn compose_clamps_and_sums() {
+        let a = vec![0.5f32, 0.9];
+        let b = vec![0.4f32, 0.4];
+        let out = compose_clamped(0.1, &[&a, &b], 0.0, 1.0);
+        assert_eq!(out, vec![1.0, 1.0]);
+        let out = compose_clamped(-1.0, &[&a], 0.0, 1.0);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+}

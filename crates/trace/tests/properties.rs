@@ -1,0 +1,87 @@
+//! Property-based tests for the trace generator: every generated entity
+//! must satisfy the structural invariants the downstream pipeline assumes,
+//! for any seed and workload class.
+
+use cloudtrace::{ContainerConfig, MachineConfig, WorkloadClass};
+use proptest::prelude::*;
+
+fn class(idx: usize) -> WorkloadClass {
+    [
+        WorkloadClass::OnlineService,
+        WorkloadClass::BatchJob,
+        WorkloadClass::HighDynamic,
+    ][idx % 3]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn containers_are_always_valid(seed in 0u64..10_000, class_idx in 0usize..3, steps in 200usize..800) {
+        let f = cloudtrace::container::generate_container(
+            &ContainerConfig::new(class(class_idx), steps, seed).with_diurnal_period(200),
+        );
+        prop_assert_eq!(f.len(), steps);
+        prop_assert_eq!(f.num_columns(), 8);
+        prop_assert!(f.is_clean());
+        for j in 0..8 {
+            for &v in f.column_at(j) {
+                prop_assert!((0.0..=1.0).contains(&v), "indicator out of [0,1]: {v}");
+            }
+        }
+        // CPU must actually vary — a constant trace breaks correlation
+        // screening downstream.
+        prop_assert!(tensor::stats::std_dev(f.column("cpu_util_percent").unwrap()) > 1e-3);
+    }
+
+    #[test]
+    fn machines_are_always_valid(seed in 0u64..10_000, mean in 0.15f32..0.7, steps in 200usize..800) {
+        let f = cloudtrace::machine::generate_machine(
+            &MachineConfig::new(steps, seed).with_mean_util(mean).with_diurnal_period(200),
+        );
+        prop_assert_eq!(f.len(), steps);
+        prop_assert!(f.is_clean());
+        let cpu_mean = tensor::stats::mean(f.column("cpu_util_percent").unwrap()) as f32;
+        // Long-run mean stays within a broad band of the target.
+        prop_assert!((cpu_mean - mean).abs() < 0.25, "target {mean} got {cpu_mean}");
+    }
+
+    #[test]
+    fn mutation_is_monotone_nondecreasing_in_effect(seed in 0u64..5_000) {
+        // A larger mutation height must produce a larger (or equal) level
+        // shift in the generated CPU.
+        let shift = |height: f32| -> f64 {
+            let f = cloudtrace::container::generate_container(
+                &ContainerConfig::new(WorkloadClass::OnlineService, 600, seed)
+                    .with_diurnal_period(200)
+                    .with_mutation(400, height),
+            );
+            let cpu = f.column("cpu_util_percent").unwrap();
+            tensor::stats::mean(&cpu[430..590]) - tensor::stats::mean(&cpu[200..390])
+        };
+        let small = shift(0.1);
+        let large = shift(0.45);
+        prop_assert!(large >= small - 0.05, "mutation effect not monotone: {small} vs {large}");
+    }
+
+    #[test]
+    fn activity_indicators_track_cpu(seed in 0u64..5_000) {
+        let f = cloudtrace::container::generate_container(
+            &ContainerConfig::new(WorkloadClass::HighDynamic, 1500, seed).with_diurnal_period(300),
+        );
+        let cpu = f.column("cpu_util_percent").unwrap();
+        for name in ["mpki", "cpi", "mem_gps"] {
+            let r = tensor::stats::pearson(f.column(name).unwrap(), cpu);
+            prop_assert!(r > 0.3, "{name} decoupled from cpu: pcc {r}");
+        }
+    }
+
+    #[test]
+    fn interference_factors_are_monotone(load_a in 0.0f32..1.0, load_b in 0.0f32..1.0) {
+        let m = cloudtrace::InterferenceModel::default();
+        let (lo, hi) = if load_a <= load_b { (load_a, load_b) } else { (load_b, load_a) };
+        prop_assert!(m.cpi_factor(lo) <= m.cpi_factor(hi));
+        prop_assert!(m.mpki_factor(lo) <= m.mpki_factor(hi));
+        prop_assert!(m.cpi_factor(lo) >= 1.0);
+    }
+}

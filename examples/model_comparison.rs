@@ -1,0 +1,89 @@
+//! Model comparison — a miniature Table II: train all five models of the
+//! paper on one container under the Mul-Exp scenario and print the test
+//! MSE/MAE side by side.
+//!
+//! ```sh
+//! cargo run --release --example model_comparison
+//! ```
+
+use cloudtrace::{ContainerConfig, WorkloadClass};
+use models::{
+    ArimaConfig, ArimaForecaster, CnnLstmConfig, CnnLstmForecaster, Forecaster, GbtConfig,
+    GbtForecaster, LstmConfig, LstmForecaster, NeuralTrainSpec, RptcnConfig, RptcnForecaster,
+};
+use rptcn::{prepare, run_model, PipelineConfig, Scenario};
+
+fn main() {
+    let frame = cloudtrace::container::generate_container(
+        &ContainerConfig::new(WorkloadClass::HighDynamic, 2500, 13).with_diurnal_period(720),
+    );
+
+    let spec = NeuralTrainSpec {
+        epochs: 20,
+        ..Default::default()
+    };
+    let uni = prepare(
+        &frame,
+        &PipelineConfig {
+            scenario: Scenario::Uni,
+            window: 30,
+            ..Default::default()
+        },
+    )
+    .expect("uni pipeline");
+    let mulexp = prepare(
+        &frame,
+        &PipelineConfig {
+            scenario: Scenario::MulExp,
+            window: 30,
+            ..Default::default()
+        },
+    )
+    .expect("mul-exp pipeline");
+
+    println!(
+        "{:<10} {:<8} {:>12} {:>12} {:>8}",
+        "model", "input", "MSE(1e-2)", "MAE(1e-2)", "epochs"
+    );
+    println!("{}", "-".repeat(56));
+
+    // ARIMA is univariate by construction.
+    let mut arima = ArimaForecaster::new(ArimaConfig::default());
+    let run = run_model(&mut arima, &uni);
+    print_row("ARIMA", "Uni", &run);
+
+    let mut models: Vec<Box<dyn Forecaster>> = vec![
+        Box::new(LstmForecaster::new(LstmConfig {
+            spec,
+            ..Default::default()
+        })),
+        Box::new(CnnLstmForecaster::new(CnnLstmConfig {
+            spec,
+            ..Default::default()
+        })),
+        Box::new(GbtForecaster::new(GbtConfig::default())),
+        Box::new(RptcnForecaster::new(RptcnConfig {
+            spec: NeuralTrainSpec {
+                learning_rate: 2e-3,
+                ..spec
+            },
+            ..Default::default()
+        })),
+    ];
+    for model in &mut models {
+        eprintln!("training {} ...", model.name());
+        let run = run_model(model.as_mut(), &mulexp);
+        print_row(model.name(), "Mul-Exp", &run);
+    }
+}
+
+fn print_row(name: &str, input: &str, run: &rptcn::PipelineRun) {
+    println!(
+        "{:<10} {:<8} {:>12.4} {:>12.4} {:>8}",
+        name,
+        input,
+        run.test_metrics.mse * 100.0,
+        run.test_metrics.mae * 100.0,
+        run.fit.train_loss.len(),
+    );
+}

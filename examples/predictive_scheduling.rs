@@ -1,0 +1,119 @@
+//! Prediction-aware container placement — the §II scheduling use-case:
+//! place arriving containers on the machine whose *predicted* load leaves
+//! the most headroom, and compare the overload time against reactive
+//! (current-load) and smoothed (recent-mean) schedulers.
+//!
+//! Forecasts come from a gradient-boosted predictor trained per machine on
+//! its own history — the same pipeline the paper's resource manager would
+//! run, kept cheap enough for a laptop demo.
+//!
+//! ```sh
+//! cargo run --release --example predictive_scheduling
+//! ```
+
+use cloudtrace::MachineConfig;
+use models::{Forecaster, GbtConfig, GbtForecaster};
+use rptcn::{
+    prepare, Arrival, PipelineConfig, PlacementSimulator, PlacementStrategy, Scenario, SimMachine,
+};
+use tensor::Rng;
+
+fn machines(n: usize, steps: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = Rng::seed_from(seed);
+    (0..n)
+        .map(|i| {
+            let mseed = seed + i as u64 * 31;
+            let frame = cloudtrace::machine::generate_machine(
+                &MachineConfig::new(steps, mseed)
+                    .with_mean_util(cloudtrace::machine::sample_mean_util(&mut rng))
+                    .with_diurnal_period(600),
+            );
+            frame.column("cpu_util_percent").unwrap().to_vec()
+        })
+        .collect()
+}
+
+/// Train a one-step forecaster per machine and roll it over the series.
+fn model_forecasts(backgrounds: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    backgrounds
+        .iter()
+        .enumerate()
+        .map(|(i, cpu)| {
+            let frame =
+                timeseries::TimeSeriesFrame::from_columns(&[("cpu_util_percent", cpu.clone())])
+                    .unwrap();
+            let cfg = PipelineConfig {
+                scenario: Scenario::Uni,
+                window: 30,
+                ..Default::default()
+            };
+            let data = prepare(&frame, &cfg).expect("pipeline");
+            let mut model = GbtForecaster::new(GbtConfig {
+                n_rounds: 60,
+                seed: i as u64,
+                ..Default::default()
+            });
+            model.fit(&data.train, Some(&data.valid));
+            // Roll the model over the whole series (where a window fits);
+            // earlier steps fall back to the current value.
+            let mut out = cpu.clone();
+            let window = 30;
+            let all = timeseries::make_windows(&frame, "cpu_util_percent", window, 1).unwrap();
+            let preds = model.predict(&all.x);
+            for (w, slot) in preds.as_slice().iter().enumerate() {
+                out[w + window - 1] = *slot;
+            }
+            out
+        })
+        .collect()
+}
+
+fn main() {
+    let steps = 1500;
+    let backgrounds = machines(6, steps, 77);
+    println!("training one per-machine forecaster for the predictive scheduler ...");
+    let forecasts = model_forecasts(&backgrounds);
+
+    // A burst of medium-lived containers arriving through the run.
+    let mut rng = Rng::seed_from(3);
+    let arrivals: Vec<Arrival> = (0..40)
+        .map(|_| {
+            let at = rng.below(steps - 300);
+            let len = 100 + rng.below(200);
+            Arrival {
+                at,
+                demand: vec![rng.uniform(0.1, 0.3); len],
+            }
+        })
+        .collect();
+
+    println!(
+        "placing {} containers on {} machines over {steps} intervals\n",
+        arrivals.len(),
+        backgrounds.len()
+    );
+    println!(
+        "{:<14} {:>14} {:>10} {:>10}",
+        "strategy", "overload_steps", "rate", "peak"
+    );
+    for (name, strategy, fc) in [
+        ("current-load", PlacementStrategy::CurrentLoad, None),
+        ("recent-mean", PlacementStrategy::RecentMean, None),
+        ("predicted", PlacementStrategy::Predicted, Some(&forecasts)),
+    ] {
+        let sim_machines: Vec<SimMachine> = backgrounds
+            .iter()
+            .map(|b| SimMachine::new(b.clone()))
+            .collect();
+        let mut sim = PlacementSimulator::new(sim_machines, 0.9);
+        let outcome = sim.run(&arrivals, strategy, fc.map(|f| f.as_slice()));
+        println!(
+            "{:<14} {:>14} {:>9.2}% {:>10.3}",
+            name,
+            outcome.overloaded_steps,
+            100.0 * outcome.overload_rate(),
+            outcome.peak_load
+        );
+    }
+    println!("\nreading: forecast-driven placement trades fewer overloaded machine-intervals for the same workload.");
+}

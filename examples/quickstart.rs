@@ -1,0 +1,74 @@
+//! Quickstart: generate a synthetic high-dynamic container trace, run the
+//! paper's Algorithm-1 pipeline (clean → normalise → PCC screen → expand →
+//! window), train RPTCN and report test accuracy against a persistence
+//! baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cloudtrace::{ContainerConfig, WorkloadClass};
+use models::{NaiveForecaster, NeuralTrainSpec, RptcnConfig, RptcnForecaster};
+use rptcn::{prepare, run_model, PipelineConfig, Scenario};
+
+fn main() {
+    // 1. A container's monitoring history: 8 indicators, 10 s samples.
+    let frame = cloudtrace::container::generate_container(
+        &ContainerConfig::new(WorkloadClass::HighDynamic, 2500, 42).with_diurnal_period(720),
+    );
+    println!(
+        "generated container trace: {} samples x {} indicators",
+        frame.len(),
+        frame.num_columns()
+    );
+
+    // 2. Algorithm 1, steps 1-5: the Mul-Exp scenario of the paper.
+    let cfg = PipelineConfig {
+        scenario: Scenario::MulExp,
+        window: 30,
+        ..Default::default()
+    };
+    let data = prepare(&frame, &cfg).expect("pipeline");
+    println!(
+        "kept indicators {:?}; {} features after horizontal expansion",
+        data.selected,
+        data.train.num_features()
+    );
+    println!(
+        "windows: {} train / {} valid / {} test",
+        data.train.len(),
+        data.valid.len(),
+        data.test.len()
+    );
+
+    // 3. Train RPTCN (TCN + FC + attention) with early stopping.
+    let mut model = RptcnForecaster::new(RptcnConfig {
+        spec: NeuralTrainSpec {
+            epochs: 20,
+            learning_rate: 2e-3,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let run = run_model(&mut model, &data);
+    println!(
+        "RPTCN: test MSE {:.4}x1e-2, MAE {:.4}x1e-2 ({} epochs, early-stopped: {})",
+        run.test_metrics.mse * 100.0,
+        run.test_metrics.mae * 100.0,
+        run.fit.train_loss.len(),
+        run.fit.stopped_early
+    );
+
+    // 4. Sanity floor: persistence.
+    let naive_run = run_model(&mut NaiveForecaster::new(), &data);
+    println!(
+        "Naive: test MSE {:.4}x1e-2, MAE {:.4}x1e-2",
+        naive_run.test_metrics.mse * 100.0,
+        naive_run.test_metrics.mae * 100.0
+    );
+
+    // 5. A forecast in raw utilisation units for the next interval.
+    let last_pred = run.predictions.last().copied().unwrap_or(0.0);
+    let raw = data.denormalize("cpu_util_percent", &[last_pred]);
+    println!("next-interval CPU forecast: {:.1}%", raw[0] * 100.0);
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+cd /root/repo
+./target/release/fig8_pred_vs_true --out experiments > experiments/fig8_pred_vs_true.txt 2>>experiments/progress.log
+./target/release/fig9_10_convergence --out experiments > experiments/fig9_10_convergence.txt 2>>experiments/progress.log
+./target/release/ablation_components --entities 1 --out experiments > experiments/ablation_components.txt 2>>experiments/progress.log
+./target/release/ablation_expansion --entities 1 --out experiments > experiments/ablation_expansion.txt 2>>experiments/progress.log
+./target/release/ablation_vertical_vs_horizontal --entities 1 --out experiments > experiments/ablation_vertical_vs_horizontal.txt 2>>experiments/progress.log
+./target/release/ablation_receptive_field --quick --out experiments > experiments/ablation_receptive_field.txt 2>>experiments/progress.log
+./target/release/ablation_horizon --entities 1 --quick --out experiments > experiments/ablation_horizon.txt 2>>experiments/progress.log
+./target/release/table2_extended --entities 1 --quick --out experiments > experiments/table2_extended.txt 2>>experiments/progress.log
+./target/release/fig2_cpu_boxplot --out experiments > experiments/fig2_cpu_boxplot.txt 2>>experiments/progress.log
+./target/release/fig3_underused --out experiments > experiments/fig3_underused.txt 2>>experiments/progress.log
+echo TRIMMED_DONE >> experiments/progress.log

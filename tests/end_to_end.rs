@@ -1,0 +1,147 @@
+//! Cross-crate integration tests: the full Algorithm-1 path from raw trace
+//! generation through training and evaluation, for every model family.
+
+use cloudtrace::{ContainerConfig, MachineConfig, WorkloadClass};
+use models::{
+    ArimaConfig, ArimaForecaster, GbtConfig, GbtForecaster, NaiveForecaster, NeuralTrainSpec,
+    RptcnConfig, RptcnForecaster,
+};
+use rptcn::{prepare, run_model, PipelineConfig, Scenario};
+use timeseries::TimeSeriesFrame;
+
+fn container_frame(seed: u64) -> TimeSeriesFrame {
+    cloudtrace::container::generate_container(
+        &ContainerConfig::new(WorkloadClass::HighDynamic, 1200, seed).with_diurnal_period(400),
+    )
+}
+
+fn quick_cfg(scenario: Scenario) -> PipelineConfig {
+    PipelineConfig {
+        scenario,
+        window: 16,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn full_pipeline_all_scenarios_with_gbt() {
+    let frame = container_frame(1);
+    for scenario in Scenario::ALL {
+        let data = prepare(&frame, &quick_cfg(scenario)).unwrap();
+        let mut model = GbtForecaster::new(GbtConfig {
+            n_rounds: 30,
+            ..Default::default()
+        });
+        let run = run_model(&mut model, &data);
+        assert!(run.test_metrics.mse.is_finite(), "{scenario}: bad mse");
+        assert!(run.test_metrics.mse > 0.0);
+        assert_eq!(run.truth.len(), data.test.len());
+    }
+}
+
+#[test]
+fn trained_models_beat_the_mean_predictor() {
+    // R² > 0 means better than predicting the training mean — a weak but
+    // unambiguous bar every real model must clear on an AR-ish trace.
+    let frame = container_frame(2);
+    let data = prepare(&frame, &quick_cfg(Scenario::Mul)).unwrap();
+    let mut gbt = GbtForecaster::new(GbtConfig {
+        n_rounds: 40,
+        ..Default::default()
+    });
+    let run = run_model(&mut gbt, &data);
+    assert!(run.test_metrics.r2 > 0.0, "GBT r2 {}", run.test_metrics.r2);
+
+    let uni = prepare(&frame, &quick_cfg(Scenario::Uni)).unwrap();
+    let mut arima = ArimaForecaster::new(ArimaConfig::default());
+    let run = run_model(&mut arima, &uni);
+    assert!(
+        run.test_metrics.r2 > 0.0,
+        "ARIMA r2 {}",
+        run.test_metrics.r2
+    );
+}
+
+#[test]
+fn rptcn_trains_end_to_end() {
+    // A 1200-sample regime-switching trace has heavy occupancy shift
+    // between the chronological splits, so this quick-config test asserts
+    // training behaviour (convergence, finiteness, sane outputs) rather
+    // than a beat-persistence bar; `tests/table2_shape.rs` holds the
+    // accuracy-shape assertions at realistic sizes.
+    let frame = container_frame(3);
+    let data = prepare(&frame, &quick_cfg(Scenario::MulExp)).unwrap();
+    let mut model = RptcnForecaster::new(RptcnConfig {
+        channels: 8,
+        levels: 3,
+        fc_dim: 16,
+        spec: NeuralTrainSpec {
+            epochs: 12,
+            learning_rate: 2e-3,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let run = run_model(&mut model, &data);
+    assert!(run.fit.train_loss.iter().all(|l| l.is_finite()));
+    assert!(
+        run.fit.final_train_loss() < run.fit.train_loss[0] * 0.6,
+        "training barely converged: {:?} -> {:?}",
+        run.fit.train_loss[0],
+        run.fit.final_train_loss()
+    );
+    // Clamped predictions stay in the physical range.
+    assert!(run.predictions.iter().all(|p| (0.0..=1.2).contains(p)));
+    assert!(run.test_metrics.mse < 0.1, "mse {}", run.test_metrics.mse);
+
+    let mut naive = NaiveForecaster::new();
+    let naive_run = run_model(&mut naive, &data);
+    assert!(naive_run.test_metrics.mse.is_finite());
+}
+
+#[test]
+fn machine_and_container_pipelines_share_the_same_code_path() {
+    let machine = cloudtrace::machine::generate_machine(
+        &MachineConfig::new(1200, 4).with_diurnal_period(400),
+    );
+    let container = container_frame(4);
+    for frame in [machine, container] {
+        let data = prepare(&frame, &quick_cfg(Scenario::Mul)).unwrap();
+        assert_eq!(data.selected[0], "cpu_util_percent");
+        assert_eq!(data.selected.len(), 4);
+        let mut model = NaiveForecaster::new();
+        let run = run_model(&mut model, &data);
+        assert!(run.test_metrics.mse.is_finite());
+    }
+}
+
+#[test]
+fn predictions_respect_chronology() {
+    // Retraining on a longer prefix must not change earlier test targets:
+    // guards against accidental shuffling or leakage in the split.
+    let frame = container_frame(5);
+    let d1 = prepare(&frame, &quick_cfg(Scenario::Uni)).unwrap();
+    let longer = frame.slice_rows(0, frame.len()).unwrap();
+    let d2 = prepare(&longer, &quick_cfg(Scenario::Uni)).unwrap();
+    assert_eq!(d1.test.y.as_slice(), d2.test.y.as_slice());
+}
+
+#[test]
+fn csv_roundtrip_feeds_the_pipeline() {
+    // Export a generated trace, reload it, and run the pipeline on the
+    // reloaded copy — the downstream-user path for real trace files.
+    let frame = container_frame(6);
+    let dir = std::env::temp_dir().join("rptcn_e2e_csv");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("container.csv");
+    frame.write_csv(&path).unwrap();
+    let reloaded = TimeSeriesFrame::read_csv(&path).unwrap();
+    let data = prepare(&reloaded, &quick_cfg(Scenario::Mul)).unwrap();
+    let mut model = GbtForecaster::new(GbtConfig {
+        n_rounds: 10,
+        ..Default::default()
+    });
+    let run = run_model(&mut model, &data);
+    assert!(run.test_metrics.mse.is_finite());
+    std::fs::remove_file(&path).ok();
+}
