@@ -33,5 +33,5 @@ pub use conv_kernels::{conv1d_backward_input, conv1d_backward_weight, conv1d_for
 pub use graph::{Graph, Var};
 pub use init::Init;
 pub use loss::LossKind;
-pub use params::{Gradients, ParamId, ParamStore};
+pub use params::{Gradients, ParamId, ParamStore, RestoreError};
 pub use train::{fit, predict, SequenceModel, TrainConfig, TrainHistory};

@@ -2,6 +2,21 @@
 
 use tensor::Tensor;
 
+/// Error raised when a snapshot or named-tensor table does not match the
+/// store it is being restored into (wrong length, unknown name, shape
+/// mismatch). Restoring mismatched weights would silently corrupt a model,
+/// so every import path validates and reports instead of asserting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreError(pub String);
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parameter restore failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 /// Opaque handle to one parameter tensor inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParamId(pub(crate) usize);
@@ -69,13 +84,87 @@ impl ParamStore {
         self.values.clone()
     }
 
-    /// Restore a snapshot taken with [`ParamStore::snapshot`].
-    pub fn restore(&mut self, snapshot: &[Tensor]) {
-        assert_eq!(snapshot.len(), self.values.len(), "snapshot size mismatch");
+    /// Restore a snapshot taken with [`ParamStore::snapshot`]. Rejects
+    /// snapshots whose length or tensor shapes do not match this store.
+    pub fn restore(&mut self, snapshot: &[Tensor]) -> Result<(), RestoreError> {
+        if snapshot.len() != self.values.len() {
+            return Err(RestoreError(format!(
+                "snapshot has {} tensors, store has {}",
+                snapshot.len(),
+                self.values.len()
+            )));
+        }
+        for (i, s) in snapshot.iter().enumerate() {
+            if s.shape() != self.values[i].shape() {
+                return Err(RestoreError(format!(
+                    "parameter '{}' has shape {:?}, snapshot has {:?}",
+                    self.names[i],
+                    self.values[i].shape(),
+                    s.shape()
+                )));
+            }
+        }
         for (v, s) in self.values.iter_mut().zip(snapshot) {
-            assert_eq!(v.shape(), s.shape(), "snapshot shape mismatch");
             *v = s.clone();
         }
+        Ok(())
+    }
+
+    /// Export every parameter as a `(name, value)` table — the portable
+    /// form checkpoint files serialise. Names follow registration order.
+    pub fn export_named(&self) -> Vec<(String, Tensor)> {
+        self.names
+            .iter()
+            .cloned()
+            .zip(self.values.iter().cloned())
+            .collect()
+    }
+
+    /// Import a named-tensor table produced by [`ParamStore::export_named`]
+    /// on an identically built store. Entries are matched by *name* (not
+    /// position), so a checkpoint survives registration-order refactors as
+    /// long as layer names stay stable. Every entry must resolve to a
+    /// registered parameter of the same shape, every parameter must be
+    /// covered exactly once, and nothing is written until the whole table
+    /// validates — a failed import leaves the store untouched.
+    pub fn import_named(&mut self, entries: &[(String, Tensor)]) -> Result<(), RestoreError> {
+        if entries.len() != self.values.len() {
+            return Err(RestoreError(format!(
+                "checkpoint has {} tensors, store has {}",
+                entries.len(),
+                self.values.len()
+            )));
+        }
+        let mut resolved = vec![usize::MAX; self.values.len()];
+        for (slot, (name, value)) in resolved.iter_mut().zip(entries) {
+            let idx = self
+                .names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| RestoreError(format!("unknown parameter '{name}'")))?;
+            if value.shape() != self.values[idx].shape() {
+                return Err(RestoreError(format!(
+                    "parameter '{name}' has shape {:?}, checkpoint has {:?}",
+                    self.values[idx].shape(),
+                    value.shape()
+                )));
+            }
+            *slot = idx;
+        }
+        let mut seen = vec![false; self.values.len()];
+        for &idx in &resolved {
+            if seen[idx] {
+                return Err(RestoreError(format!(
+                    "duplicate parameter '{}' in checkpoint",
+                    self.names[idx]
+                )));
+            }
+            seen[idx] = true;
+        }
+        for (&idx, (_, value)) in resolved.iter().zip(entries) {
+            self.values[idx] = value.clone();
+        }
+        Ok(())
     }
 
     /// Iterate over `(id, value)` pairs.
@@ -176,8 +265,79 @@ mod tests {
         let snap = store.snapshot();
         store.value_mut(id).map_inplace(|x| x * 5.0);
         assert_eq!(store.value(id).as_slice(), &[5.0; 4]);
-        store.restore(&snap);
+        store.restore(&snap).unwrap();
         assert_eq!(store.value(id).as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn restore_rejects_length_and_shape_mismatch() {
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::ones(&[4]));
+        assert!(store.restore(&[]).is_err());
+        assert!(store.restore(&[Tensor::ones(&[3])]).is_err());
+        // A failed restore leaves the original values intact.
+        assert_eq!(store.value(ParamId(0)).as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn named_export_import_roundtrip() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::ones(&[2, 2]));
+        let b = store.register("b", Tensor::zeros(&[2]));
+        let exported = store.export_named();
+        assert_eq!(exported.len(), 2);
+        store.value_mut(w).map_inplace(|x| x + 7.0);
+        store.value_mut(b).map_inplace(|x| x - 3.0);
+        store.import_named(&exported).unwrap();
+        assert_eq!(store.value(w).as_slice(), &[1.0; 4]);
+        assert_eq!(store.value(b).as_slice(), &[0.0; 2]);
+    }
+
+    #[test]
+    fn import_named_matches_by_name_not_position() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::ones(&[2]));
+        let b = store.register("b", Tensor::zeros(&[3]));
+        // Reversed order relative to registration.
+        let table = vec![
+            ("b".to_string(), Tensor::full(&[3], 9.0)),
+            ("w".to_string(), Tensor::full(&[2], 5.0)),
+        ];
+        store.import_named(&table).unwrap();
+        assert_eq!(store.value(w).as_slice(), &[5.0; 2]);
+        assert_eq!(store.value(b).as_slice(), &[9.0; 3]);
+    }
+
+    #[test]
+    fn import_named_rejects_bad_tables() {
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::ones(&[2]));
+        store.register("b", Tensor::zeros(&[3]));
+        // Unknown name.
+        let unknown = vec![
+            ("w".to_string(), Tensor::ones(&[2])),
+            ("nope".to_string(), Tensor::ones(&[3])),
+        ];
+        assert!(store.import_named(&unknown).is_err());
+        // Wrong shape.
+        let misshapen = vec![
+            ("w".to_string(), Tensor::ones(&[5])),
+            ("b".to_string(), Tensor::ones(&[3])),
+        ];
+        assert!(store.import_named(&misshapen).is_err());
+        // Duplicate entry.
+        let duplicated = vec![
+            ("w".to_string(), Tensor::ones(&[2])),
+            ("w".to_string(), Tensor::ones(&[2])),
+        ];
+        assert!(store.import_named(&duplicated).is_err());
+        // Wrong count.
+        assert!(store
+            .import_named(&[("w".to_string(), Tensor::ones(&[2]))])
+            .is_err());
+        // Nothing was clobbered by the failed imports.
+        assert_eq!(store.value(ParamId(0)).as_slice(), &[1.0; 2]);
+        assert_eq!(store.value(ParamId(1)).as_slice(), &[0.0; 3]);
     }
 
     #[test]

@@ -166,7 +166,10 @@ pub fn fit<M: SequenceModel>(
         }
     }
     if let Some(snap) = best_snapshot {
-        model.params_mut().restore(&snap);
+        model
+            .params_mut()
+            .restore(&snap)
+            .expect("early-stopping snapshot was taken from this very store");
     }
     history
 }

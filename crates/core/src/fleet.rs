@@ -60,6 +60,18 @@ pub struct EntityReport {
     pub online_mse: f64,
 }
 
+/// Deterministic per-entity refit phase: FNV-1a of the id. Entities with
+/// the same cadence land on different phases, spreading retraining cost
+/// evenly over time instead of spiking every `refit_every` samples.
+fn stagger_offset(id: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h as usize
+}
+
 /// Manages one [`ResourcePredictor`] per entity.
 pub struct FleetService {
     config: FleetConfig,
@@ -84,12 +96,14 @@ impl FleetService {
     }
 
     /// Onboard an entity: fit its predictor on `bootstrap` history.
-    /// Retraining cadence is staggered by the entity's index so the fleet
-    /// never retrains everything in the same interval.
+    /// Retraining cadence is staggered by a hash of the entity id so the
+    /// fleet never retrains everything in the same interval. The predictor
+    /// is the single owner of the cadence; the fleet only configures it
+    /// here, through [`ResourcePredictor::set_refit_schedule`].
     pub fn add_entity(
         &mut self,
         id: impl Into<String>,
-        model: Box<dyn Forecaster>,
+        model: Box<dyn Forecaster + Send>,
         bootstrap: &TimeSeriesFrame,
         pipeline: PipelineConfig,
     ) -> Result<(), FrameError> {
@@ -98,10 +112,7 @@ impl FleetService {
             .column_index(&pipeline.target)
             .ok_or_else(|| FrameError(format!("target '{}' missing", pipeline.target)))?;
         let (mut predictor, _) = ResourcePredictor::fit(model, bootstrap, pipeline)?;
-        if self.config.refit_every > 0 {
-            // Stagger: entity i refits offset by i * cadence / fleet-size.
-            predictor.refit_every = self.config.refit_every;
-        }
+        predictor.set_refit_schedule(self.config.refit_every, stagger_offset(&id));
         self.entities.push(Entity {
             id,
             predictor,
@@ -219,7 +230,12 @@ mod tests {
         let full = frame(1, 700);
         let bootstrap = full.slice_rows(0, 500).unwrap();
         fleet
-            .add_entity("c_0", Box::new(NaiveForecaster::new()), &bootstrap, pipeline())
+            .add_entity(
+                "c_0",
+                Box::new(NaiveForecaster::new()),
+                &bootstrap,
+                pipeline(),
+            )
             .unwrap();
         assert_eq!(fleet.len(), 1);
 
@@ -252,7 +268,12 @@ mod tests {
         );
         let bootstrap = full.slice_rows(0, 600).unwrap();
         fleet
-            .add_entity("c_0", Box::new(NaiveForecaster::new()), &bootstrap, pipeline())
+            .add_entity(
+                "c_0",
+                Box::new(NaiveForecaster::new()),
+                &bootstrap,
+                pipeline(),
+            )
             .unwrap();
         for t in 600..900 {
             let sample: Vec<f32> = (0..full.num_columns())

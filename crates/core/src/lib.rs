@@ -37,7 +37,9 @@ pub mod scenario;
 pub use allocator::{CapacityPlanner, PlannerConfig, PlannerStats};
 pub use evaluation::{rolling_origin, RollingOriginConfig, RollingOriginResult};
 pub use fleet::{EntityReport, FleetConfig, FleetService};
+pub use pipeline::{
+    prepare, run_model, FittedPreprocess, PipelineConfig, PipelineRun, PreparedData, ScalerScope,
+};
 pub use placement::{Arrival, PlacementOutcome, PlacementSimulator, PlacementStrategy, SimMachine};
-pub use pipeline::{prepare, run_model, PipelineConfig, PipelineRun, PreparedData, ScalerScope};
-pub use predictor::ResourcePredictor;
+pub use predictor::{PredictorState, ResourcePredictor};
 pub use scenario::Scenario;

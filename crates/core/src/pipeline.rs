@@ -81,6 +81,35 @@ impl PreparedData {
         self.scaler
             .inverse_transform_column(target_original, values)
     }
+
+    /// Extract the state a live predictor must keep after fitting — the
+    /// windowed datasets are training artifacts and can be dropped.
+    pub fn fitted(&self) -> FittedPreprocess {
+        FittedPreprocess {
+            scaler: self.scaler.clone(),
+            selected: self.selected.clone(),
+            expanded_target: self.expanded_target.clone(),
+        }
+    }
+}
+
+/// The preprocessing state captured at fit time that online serving needs:
+/// which indicators survived screening, the fitted scaler, and the expanded
+/// target name. Unlike [`PreparedData`] it carries no datasets, so it is
+/// cheap to clone and small enough to checkpoint.
+#[derive(Debug, Clone)]
+pub struct FittedPreprocess {
+    pub scaler: MinMaxScaler,
+    pub selected: Vec<String>,
+    pub expanded_target: String,
+}
+
+impl FittedPreprocess {
+    /// De-normalise predictions back to raw utilisation units.
+    pub fn denormalize(&self, target_original: &str, values: &[f32]) -> Vec<f32> {
+        self.scaler
+            .inverse_transform_column(target_original, values)
+    }
 }
 
 /// Run Algorithm 1 steps 1–5 on a raw entity frame.

@@ -120,7 +120,9 @@ impl PlacementSimulator {
             }
             PlacementStrategy::Predicted => {
                 let f = forecasts.expect("Predicted strategy requires forecasts");
-                f[m].get(t).copied().unwrap_or_else(|| self.machines[m].load_at(t))
+                f[m].get(t)
+                    .copied()
+                    .unwrap_or_else(|| self.machines[m].load_at(t))
             }
         }
     }
@@ -196,9 +198,7 @@ mod tests {
             .iter()
             .map(|m| {
                 let n = m.background.len();
-                (0..n)
-                    .map(|t| m.background[(t + 5).min(n - 1)])
-                    .collect()
+                (0..n).map(|t| m.background[(t + 5).min(n - 1)]).collect()
             })
             .collect()
     }
@@ -289,10 +289,7 @@ mod tests {
     fn predicted_without_forecasts_panics() {
         // Two machines so the comparator (and the forecast lookup) runs.
         let mut sim = PlacementSimulator::new(
-            vec![
-                SimMachine::new(vec![0.1; 5]),
-                SimMachine::new(vec![0.2; 5]),
-            ],
+            vec![SimMachine::new(vec![0.1; 5]), SimMachine::new(vec![0.2; 5])],
             0.9,
         );
         sim.run(

@@ -3,31 +3,55 @@
 //! (selected indicators, scaler, expansion) and serves rolling forecasts as
 //! new monitoring samples arrive, retraining periodically.
 
+use models::checkpoint::{CheckpointError, ModelState};
 use models::Forecaster;
 use tensor::Tensor;
-use timeseries::{Expansion, FrameError, TimeSeriesFrame};
+use timeseries::{Expansion, FrameError, MinMaxScaler, TimeSeriesFrame};
 
-use crate::pipeline::{prepare, run_model, PipelineConfig, PipelineRun};
+use crate::pipeline::{prepare, run_model, FittedPreprocess, PipelineConfig, PipelineRun};
 use crate::scenario::Scenario;
 
 /// A live predictor bound to one entity's indicator stream.
 pub struct ResourcePredictor {
-    model: Box<dyn Forecaster>,
+    model: Box<dyn Forecaster + Send>,
     cfg: PipelineConfig,
     /// Rolling raw history per original indicator (column order fixed).
     names: Vec<String>,
     history: Vec<Vec<f32>>,
     /// Preprocessing state captured at the last (re)fit.
-    prepared: crate::pipeline::PreparedData,
+    preprocess: FittedPreprocess,
     samples_since_fit: usize,
     /// Refit after this many new samples (0 disables periodic refits).
+    /// Private: the predictor is the single owner of its refit cadence;
+    /// callers (including the fleet layer) configure it through
+    /// [`ResourcePredictor::set_refit_every`] / [`set_refit_schedule`].
+    ///
+    /// [`set_refit_schedule`]: ResourcePredictor::set_refit_schedule
+    refit_every: usize,
+}
+
+/// Complete portable snapshot of one live predictor: fitted model weights,
+/// preprocessing state and raw history. Restoring yields a predictor whose
+/// forecasts are bit-identical to the one snapshotted.
+#[derive(Debug, Clone)]
+pub struct PredictorState {
+    pub model: ModelState,
+    pub cfg: PipelineConfig,
+    pub names: Vec<String>,
+    pub history: Vec<Vec<f32>>,
+    /// Scaler parameters as `(column, min, max)` triples.
+    pub scaler_columns: Vec<(String, f32, f32)>,
+    /// Indicators that survived correlation screening at the last fit.
+    pub selected: Vec<String>,
+    pub expanded_target: String,
+    pub samples_since_fit: usize,
     pub refit_every: usize,
 }
 
 impl ResourcePredictor {
     /// Fit `model` on `bootstrap` history and return a live predictor.
     pub fn fit(
-        mut model: Box<dyn Forecaster>,
+        mut model: Box<dyn Forecaster + Send>,
         bootstrap: &TimeSeriesFrame,
         cfg: PipelineConfig,
     ) -> Result<(ResourcePredictor, PipelineRun), FrameError> {
@@ -43,12 +67,31 @@ impl ResourcePredictor {
                 cfg,
                 names,
                 history,
-                prepared,
+                preprocess: prepared.fitted(),
                 samples_since_fit: 0,
                 refit_every: 0,
             },
             run,
         ))
+    }
+
+    /// Refit after `every` new samples; 0 disables periodic refits.
+    pub fn set_refit_every(&mut self, every: usize) {
+        self.set_refit_schedule(every, 0);
+    }
+
+    /// Set the refit cadence with a phase `offset`: the first periodic refit
+    /// fires after `every - offset % every` samples, subsequent ones every
+    /// `every`. A fleet staggers entities by giving each a different offset
+    /// so they never all retrain in the same interval.
+    pub fn set_refit_schedule(&mut self, every: usize, offset: usize) {
+        self.refit_every = every;
+        self.samples_since_fit = if every > 0 { offset % every } else { 0 };
+    }
+
+    /// The configured refit cadence (0 = disabled).
+    pub fn refit_every(&self) -> usize {
+        self.refit_every
     }
 
     /// Ingest one new monitoring sample (values in the bootstrap frame's
@@ -75,10 +118,47 @@ impl ResourcePredictor {
     /// Refit model and preprocessing on the full accumulated history.
     pub fn refit(&mut self) -> Result<PipelineRun, FrameError> {
         let frame = self.current_frame()?;
-        self.prepared = prepare(&frame, &self.cfg)?;
-        let run = run_model(self.model.as_mut(), &self.prepared);
+        let prepared = prepare(&frame, &self.cfg)?;
+        let run = run_model(self.model.as_mut(), &prepared);
+        self.preprocess = prepared.fitted();
         self.samples_since_fit = 0;
         Ok(run)
+    }
+
+    /// Swap in a model trained elsewhere (e.g. on a background refit pool
+    /// from a [`ResourcePredictor::history_snapshot`]) together with the
+    /// preprocessing state it was fitted with. Resets the refit clock.
+    pub fn install_refit(
+        &mut self,
+        model: Box<dyn Forecaster + Send>,
+        preprocess: FittedPreprocess,
+    ) {
+        self.model = model;
+        self.preprocess = preprocess;
+        self.samples_since_fit = 0;
+    }
+
+    /// The full accumulated raw history as a frame — what a background
+    /// refit trains on.
+    pub fn history_snapshot(&self) -> Result<TimeSeriesFrame, FrameError> {
+        self.current_frame()
+    }
+
+    /// The pipeline configuration this predictor was fitted with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Display name of the underlying model.
+    pub fn model_name(&self) -> &str {
+        self.model.name()
+    }
+
+    /// Portable state of the underlying model, when it supports
+    /// checkpointing — what a background refit pool clones architecture
+    /// hyper-parameters from.
+    pub fn model_state(&self) -> Option<ModelState> {
+        self.model.state()
     }
 
     /// Forecast the next `horizon` target values (normalised units) from
@@ -86,9 +166,14 @@ impl ResourcePredictor {
     pub fn forecast_normalized(&self) -> Result<Vec<f32>, FrameError> {
         let frame = self.current_frame()?;
         // Re-apply the fitted preprocessing to the tail of the stream.
-        let selected: Vec<&str> = self.prepared.selected.iter().map(String::as_str).collect();
+        let selected: Vec<&str> = self
+            .preprocess
+            .selected
+            .iter()
+            .map(String::as_str)
+            .collect();
         let screened = frame.select(&selected)?;
-        let normalized = self.prepared.scaler.transform(&screened);
+        let normalized = self.preprocess.scaler.transform(&screened);
         let expanded = match self.cfg.scenario {
             Scenario::MulExp => Expansion::Horizontal {
                 copies: self.cfg.expansion_copies,
@@ -118,12 +203,67 @@ impl ResourcePredictor {
     /// Forecast in raw (de-normalised) target units.
     pub fn forecast(&self) -> Result<Vec<f32>, FrameError> {
         let normalized = self.forecast_normalized()?;
-        Ok(self.prepared.denormalize(&self.cfg.target, &normalized))
+        Ok(self.preprocess.denormalize(&self.cfg.target, &normalized))
     }
 
     /// Samples currently buffered.
     pub fn history_len(&self) -> usize {
         self.history.first().map_or(0, Vec::len)
+    }
+
+    /// Indicator column names, in the order [`ResourcePredictor::observe`]
+    /// expects sample values.
+    pub fn column_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Capture the complete serving state: model weights, preprocessing and
+    /// raw history. Fails when the model cannot be checkpointed (classical
+    /// baselines) — neural forecasters and the naive baseline all can.
+    pub fn snapshot(&self) -> Result<PredictorState, CheckpointError> {
+        let model = self.model.state().ok_or_else(|| {
+            CheckpointError(format!(
+                "model {} does not support checkpointing",
+                self.model.name()
+            ))
+        })?;
+        Ok(PredictorState {
+            model,
+            cfg: self.cfg.clone(),
+            names: self.names.clone(),
+            history: self.history.clone(),
+            scaler_columns: self.preprocess.scaler.columns(),
+            selected: self.preprocess.selected.clone(),
+            expanded_target: self.preprocess.expanded_target.clone(),
+            samples_since_fit: self.samples_since_fit,
+            refit_every: self.refit_every,
+        })
+    }
+
+    /// Rebuild a live predictor from a snapshot **without retraining** —
+    /// forecasts resume bit-identical to the predictor that was snapshotted.
+    pub fn from_state(state: &PredictorState) -> Result<Self, CheckpointError> {
+        if state.names.len() != state.history.len() {
+            return Err(CheckpointError(format!(
+                "predictor state has {} column names but {} history columns",
+                state.names.len(),
+                state.history.len()
+            )));
+        }
+        let model = models::checkpoint::forecaster_from_state(&state.model)?;
+        Ok(ResourcePredictor {
+            model,
+            cfg: state.cfg.clone(),
+            names: state.names.clone(),
+            history: state.history.clone(),
+            preprocess: FittedPreprocess {
+                scaler: MinMaxScaler::from_parts(state.scaler_columns.clone()),
+                selected: state.selected.clone(),
+                expanded_target: state.expanded_target.clone(),
+            },
+            samples_since_fit: state.samples_since_fit,
+            refit_every: state.refit_every,
+        })
     }
 
     fn current_frame(&self) -> Result<TimeSeriesFrame, FrameError> {
@@ -194,7 +334,7 @@ mod tests {
     fn periodic_refit_fires() {
         let (mut predictor, _) =
             ResourcePredictor::fit(Box::new(NaiveForecaster::new()), &bootstrap(), cfg()).unwrap();
-        predictor.refit_every = 10;
+        predictor.set_refit_every(10);
         let mut refits = 0;
         for i in 0..25 {
             if predictor.observe(&[0.4 + 0.001 * i as f32; 8]).unwrap() {
@@ -202,5 +342,45 @@ mod tests {
             }
         }
         assert_eq!(refits, 2);
+    }
+
+    #[test]
+    fn refit_schedule_offset_staggers_first_refit() {
+        let (mut predictor, _) =
+            ResourcePredictor::fit(Box::new(NaiveForecaster::new()), &bootstrap(), cfg()).unwrap();
+        // Offset 7 of 10: first refit after only 3 samples, then every 10.
+        predictor.set_refit_schedule(10, 7);
+        let mut refit_steps = Vec::new();
+        for i in 0..25 {
+            if predictor.observe(&[0.5; 8]).unwrap() {
+                refit_steps.push(i);
+            }
+        }
+        assert_eq!(refit_steps, vec![2, 12, 22]);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identical_forecasts() {
+        let (mut predictor, _) =
+            ResourcePredictor::fit(Box::new(NaiveForecaster::new()), &bootstrap(), cfg()).unwrap();
+        for i in 0..10 {
+            predictor.observe(&[0.5 + 0.01 * i as f32; 8]).unwrap();
+        }
+        let state = predictor.snapshot().unwrap();
+        let restored = ResourcePredictor::from_state(&state).unwrap();
+        assert_eq!(restored.history_len(), predictor.history_len());
+        assert_eq!(restored.model_name(), predictor.model_name());
+        let a = predictor.forecast().unwrap();
+        let b = restored.forecast().unwrap();
+        assert_eq!(a, b, "restored forecast differs");
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state() {
+        let (predictor, _) =
+            ResourcePredictor::fit(Box::new(NaiveForecaster::new()), &bootstrap(), cfg()).unwrap();
+        let mut state = predictor.snapshot().unwrap();
+        state.history.pop();
+        assert!(ResourcePredictor::from_state(&state).is_err());
     }
 }

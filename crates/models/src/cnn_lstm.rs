@@ -6,6 +6,7 @@ use autograd::{Graph, ParamStore, SequenceModel, Var};
 use tensor::{Rng, Tensor};
 use timeseries::WindowedDataset;
 
+use crate::checkpoint::{CheckpointError, ModelState};
 use crate::forecaster::{FitReport, Forecaster};
 use crate::neural::{self, NeuralTrainSpec};
 
@@ -40,6 +41,7 @@ struct CnnLstmNetwork {
     lstm: Lstm,
     dropout: Dropout,
     head: Linear,
+    features: usize,
     horizon: usize,
 }
 
@@ -119,8 +121,34 @@ impl CnnLstmForecaster {
             lstm,
             dropout: Dropout::new(self.config.dropout),
             head,
+            features,
             horizon,
         }
+    }
+
+    /// Reconstruct the config recorded in a checkpoint snapshot.
+    pub fn config_from_state(state: &ModelState) -> Result<CnnLstmConfig, CheckpointError> {
+        if state.arch != "CNN-LSTM" {
+            return Err(CheckpointError(format!(
+                "expected CNN-LSTM state, got `{}`",
+                state.arch
+            )));
+        }
+        Ok(CnnLstmConfig {
+            conv_channels: state.require_usize("conv_channels")?,
+            kernel: state.require_usize("kernel")?,
+            lstm_hidden: state.require_usize("lstm_hidden")?,
+            lstm_layers: state.require_usize("lstm_layers")?,
+            dropout: state.require_f32("dropout")?,
+            spec: neural::spec_from_meta(state)?,
+        })
+    }
+
+    /// Rebuild a fitted forecaster from a checkpoint snapshot.
+    pub fn from_state(state: &ModelState) -> Result<Self, CheckpointError> {
+        let mut m = Self::new(Self::config_from_state(state)?);
+        m.load_state(state)?;
+        Ok(m)
     }
 }
 
@@ -139,6 +167,27 @@ impl Forecaster for CnnLstmForecaster {
     fn predict(&self, x: &Tensor) -> Tensor {
         let net = self.network.as_ref().expect("predict before fit");
         neural::predict_network(net, x, self.config.spec.batch_size)
+    }
+
+    fn state(&self) -> Option<ModelState> {
+        let net = self.network.as_ref()?;
+        let mut st = ModelState::new("CNN-LSTM", net.features, net.horizon);
+        st.push_meta("conv_channels", self.config.conv_channels as f64);
+        st.push_meta("kernel", self.config.kernel as f64);
+        st.push_meta("lstm_hidden", self.config.lstm_hidden as f64);
+        st.push_meta("lstm_layers", self.config.lstm_layers as f64);
+        st.push_meta("dropout", self.config.dropout as f64);
+        neural::push_spec_meta(&mut st, &self.config.spec);
+        st.tensors = net.store.export_named();
+        Some(st)
+    }
+
+    fn load_state(&mut self, state: &ModelState) -> Result<(), CheckpointError> {
+        self.config = Self::config_from_state(state)?;
+        let mut net = self.build(state.features, state.horizon);
+        net.store.import_named(&state.tensors)?;
+        self.network = Some(net);
+        Ok(())
     }
 }
 

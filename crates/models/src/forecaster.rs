@@ -2,10 +2,13 @@
 //! experiment harness can sweep `{ARIMA, XGBoost, LSTM, CNN-LSTM, RPTCN}`
 //! uniformly.
 
+use std::path::Path;
 use std::time::Duration;
 
 use tensor::Tensor;
 use timeseries::WindowedDataset;
+
+use crate::checkpoint::{self, CheckpointError, ModelState};
 
 /// Per-fit diagnostics. For iterative models the loss vectors have one entry
 /// per epoch/boosting round — the raw material for the convergence figures.
@@ -53,6 +56,41 @@ pub trait Forecaster {
         let pred = self.predict(&ds.x);
         (ds.y.as_slice().to_vec(), pred.into_vec())
     }
+
+    /// Portable snapshot of the fitted state. `None` when the model is
+    /// unfitted or does not support checkpointing (the classical baselines).
+    fn state(&self) -> Option<ModelState> {
+        None
+    }
+
+    /// Restore architecture + weights from a snapshot produced by
+    /// [`Forecaster::state`]. Predictions after a restore are bit-identical
+    /// to the model that produced the snapshot.
+    fn load_state(&mut self, state: &ModelState) -> Result<(), CheckpointError> {
+        Err(CheckpointError(format!(
+            "{} does not support checkpointing (got `{}` state)",
+            self.name(),
+            state.arch
+        )))
+    }
+
+    /// Serialise the fitted model to a versioned binary checkpoint file.
+    fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let state = self.state().ok_or_else(|| {
+            CheckpointError(format!(
+                "{} has no checkpointable state (not fitted?)",
+                self.name()
+            ))
+        })?;
+        checkpoint::save_model(path, &state)
+    }
+
+    /// Load architecture + weights from a checkpoint file written by
+    /// [`Forecaster::save`].
+    fn load(&mut self, path: &Path) -> Result<(), CheckpointError> {
+        let state = checkpoint::load_model(path)?;
+        self.load_state(&state)
+    }
 }
 
 /// Persistence baseline: tomorrow looks like today. Not in the paper's
@@ -70,6 +108,13 @@ impl NaiveForecaster {
             target_index: 0,
             horizon: 1,
         }
+    }
+
+    /// Rebuild from a checkpoint snapshot.
+    pub fn from_state(state: &ModelState) -> Result<Self, CheckpointError> {
+        let mut m = Self::new();
+        m.load_state(state)?;
+        Ok(m)
     }
 }
 
@@ -98,6 +143,24 @@ impl Forecaster for NaiveForecaster {
             out.extend(std::iter::repeat_n(last, self.horizon));
         }
         Tensor::from_vec(out, &[n, self.horizon])
+    }
+
+    fn state(&self) -> Option<ModelState> {
+        let mut st = ModelState::new("Naive", 0, self.horizon);
+        st.push_meta("target_index", self.target_index as f64);
+        Some(st)
+    }
+
+    fn load_state(&mut self, state: &ModelState) -> Result<(), CheckpointError> {
+        if state.arch != "Naive" {
+            return Err(CheckpointError(format!(
+                "expected Naive state, got `{}`",
+                state.arch
+            )));
+        }
+        self.target_index = state.require_usize("target_index")?;
+        self.horizon = state.horizon;
+        Ok(())
     }
 }
 

@@ -6,6 +6,7 @@ use autograd::{Graph, ParamStore, SequenceModel, Var};
 use tensor::{Rng, Tensor};
 use timeseries::WindowedDataset;
 
+use crate::checkpoint::{CheckpointError, ModelState};
 use crate::forecaster::{FitReport, Forecaster};
 use crate::neural::{self, NeuralTrainSpec};
 
@@ -34,6 +35,7 @@ struct GruNetwork {
     gru: Gru,
     dropout: Dropout,
     head: Linear,
+    features: usize,
     horizon: usize,
 }
 
@@ -97,8 +99,32 @@ impl GruForecaster {
             gru,
             dropout: Dropout::new(self.config.dropout),
             head,
+            features,
             horizon,
         }
+    }
+
+    /// Reconstruct the config recorded in a checkpoint snapshot.
+    pub fn config_from_state(state: &ModelState) -> Result<GruConfig, CheckpointError> {
+        if state.arch != "GRU" {
+            return Err(CheckpointError(format!(
+                "expected GRU state, got `{}`",
+                state.arch
+            )));
+        }
+        Ok(GruConfig {
+            hidden: state.require_usize("hidden")?,
+            layers: state.require_usize("layers")?,
+            dropout: state.require_f32("dropout")?,
+            spec: neural::spec_from_meta(state)?,
+        })
+    }
+
+    /// Rebuild a fitted forecaster from a checkpoint snapshot.
+    pub fn from_state(state: &ModelState) -> Result<Self, CheckpointError> {
+        let mut m = Self::new(Self::config_from_state(state)?);
+        m.load_state(state)?;
+        Ok(m)
     }
 }
 
@@ -117,6 +143,25 @@ impl Forecaster for GruForecaster {
     fn predict(&self, x: &Tensor) -> Tensor {
         let net = self.network.as_ref().expect("predict before fit");
         neural::predict_network(net, x, self.config.spec.batch_size)
+    }
+
+    fn state(&self) -> Option<ModelState> {
+        let net = self.network.as_ref()?;
+        let mut st = ModelState::new("GRU", net.features, net.horizon);
+        st.push_meta("hidden", self.config.hidden as f64);
+        st.push_meta("layers", self.config.layers as f64);
+        st.push_meta("dropout", self.config.dropout as f64);
+        neural::push_spec_meta(&mut st, &self.config.spec);
+        st.tensors = net.store.export_named();
+        Some(st)
+    }
+
+    fn load_state(&mut self, state: &ModelState) -> Result<(), CheckpointError> {
+        self.config = Self::config_from_state(state)?;
+        let mut net = self.build(state.features, state.horizon);
+        net.store.import_named(&state.tensors)?;
+        self.network = Some(net);
+        Ok(())
     }
 }
 

@@ -16,6 +16,7 @@
 //! early stopping), mirroring the paper's Keras setup.
 
 pub mod arima;
+pub mod checkpoint;
 pub mod cnn_lstm;
 pub mod ets;
 pub mod forecaster;
@@ -28,6 +29,9 @@ pub mod rptcn;
 pub mod tcn;
 
 pub use arima::{ArimaConfig, ArimaForecaster};
+pub use checkpoint::{
+    forecaster_from_state, forecaster_like, load_model, save_model, CheckpointError, ModelState,
+};
 pub use cnn_lstm::{CnnLstmConfig, CnnLstmForecaster};
 pub use ets::{EtsConfig, EtsForecaster, EtsVariant};
 pub use forecaster::{FitReport, Forecaster, NaiveForecaster};

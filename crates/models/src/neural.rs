@@ -35,6 +35,35 @@ impl Default for NeuralTrainSpec {
     }
 }
 
+/// Append the training spec to a checkpoint's metadata table. The seed is
+/// split into two u32 halves — every u32 is exactly representable as f64,
+/// so the full 64-bit seed survives the trip losslessly.
+pub(crate) fn push_spec_meta(state: &mut crate::checkpoint::ModelState, spec: &NeuralTrainSpec) {
+    state.push_meta("spec.epochs", spec.epochs as f64);
+    state.push_meta("spec.batch_size", spec.batch_size as f64);
+    state.push_meta("spec.learning_rate", spec.learning_rate as f64);
+    state.push_meta("spec.clip_norm", spec.clip_norm as f64);
+    state.push_meta("spec.patience", spec.patience as f64);
+    state.push_meta("spec.seed_lo", (spec.seed & 0xFFFF_FFFF) as f64);
+    state.push_meta("spec.seed_hi", (spec.seed >> 32) as f64);
+}
+
+/// Inverse of [`push_spec_meta`].
+pub(crate) fn spec_from_meta(
+    state: &crate::checkpoint::ModelState,
+) -> Result<NeuralTrainSpec, crate::checkpoint::CheckpointError> {
+    let seed_lo = state.require_usize("spec.seed_lo")? as u64;
+    let seed_hi = state.require_usize("spec.seed_hi")? as u64;
+    Ok(NeuralTrainSpec {
+        epochs: state.require_usize("spec.epochs")?,
+        batch_size: state.require_usize("spec.batch_size")?,
+        learning_rate: state.require_f32("spec.learning_rate")?,
+        clip_norm: state.require_f32("spec.clip_norm")?,
+        patience: state.require_usize("spec.patience")?,
+        seed: (seed_hi << 32) | seed_lo,
+    })
+}
+
 impl NeuralTrainSpec {
     pub(crate) fn to_train_config(self) -> TrainConfig {
         TrainConfig {

@@ -8,6 +8,7 @@ use autograd::{Graph, ParamStore, SequenceModel, Var};
 use tensor::{Rng, Tensor};
 use timeseries::WindowedDataset;
 
+use crate::checkpoint::{CheckpointError, ModelState};
 use crate::forecaster::{FitReport, Forecaster};
 use crate::neural::{self, NeuralTrainSpec};
 use crate::tcn::TcnBackbone;
@@ -67,6 +68,7 @@ struct RptcnNetwork {
     temporal_attention: Option<TemporalAttention>,
     dropout: Dropout,
     head: Linear,
+    features: usize,
     horizon: usize,
 }
 
@@ -170,8 +172,42 @@ impl RptcnForecaster {
             temporal_attention,
             dropout: Dropout::new(cfg.dropout),
             head,
+            features,
             horizon,
         }
+    }
+
+    /// Reconstruct the config recorded in a checkpoint snapshot.
+    pub fn config_from_state(state: &ModelState) -> Result<RptcnConfig, CheckpointError> {
+        if state.arch != "RPTCN" {
+            return Err(CheckpointError(format!(
+                "expected RPTCN state, got `{}`",
+                state.arch
+            )));
+        }
+        Ok(RptcnConfig {
+            channels: state.require_usize("channels")?,
+            levels: state.require_usize("levels")?,
+            kernel: state.require_usize("kernel")?,
+            dropout: state.require_f32("dropout")?,
+            weight_norm: state.require_bool("weight_norm")?,
+            fc_dim: state.require_usize("fc_dim")?,
+            use_fc: state.require_bool("use_fc")?,
+            use_attention: state.require_bool("use_attention")?,
+            attention: if state.require_bool("temporal_attention")? {
+                AttentionKind::Temporal
+            } else {
+                AttentionKind::Feature
+            },
+            spec: neural::spec_from_meta(state)?,
+        })
+    }
+
+    /// Rebuild a fitted forecaster from a checkpoint snapshot.
+    pub fn from_state(state: &ModelState) -> Result<Self, CheckpointError> {
+        let mut m = Self::new(Self::config_from_state(state)?);
+        m.load_state(state)?;
+        Ok(m)
     }
 
     /// Scalar parameter count once built.
@@ -195,6 +231,35 @@ impl Forecaster for RptcnForecaster {
     fn predict(&self, x: &Tensor) -> Tensor {
         let net = self.network.as_ref().expect("predict before fit");
         neural::predict_network(net, x, self.config.spec.batch_size)
+    }
+
+    fn state(&self) -> Option<ModelState> {
+        let net = self.network.as_ref()?;
+        let cfg = &self.config;
+        let mut st = ModelState::new("RPTCN", net.features, net.horizon);
+        st.push_meta("channels", cfg.channels as f64);
+        st.push_meta("levels", cfg.levels as f64);
+        st.push_meta("kernel", cfg.kernel as f64);
+        st.push_meta("dropout", cfg.dropout as f64);
+        st.push_meta("weight_norm", cfg.weight_norm as u8 as f64);
+        st.push_meta("fc_dim", cfg.fc_dim as f64);
+        st.push_meta("use_fc", cfg.use_fc as u8 as f64);
+        st.push_meta("use_attention", cfg.use_attention as u8 as f64);
+        st.push_meta(
+            "temporal_attention",
+            (cfg.attention == AttentionKind::Temporal) as u8 as f64,
+        );
+        neural::push_spec_meta(&mut st, &cfg.spec);
+        st.tensors = net.store.export_named();
+        Some(st)
+    }
+
+    fn load_state(&mut self, state: &ModelState) -> Result<(), CheckpointError> {
+        self.config = Self::config_from_state(state)?;
+        let mut net = self.build(state.features, state.horizon);
+        net.store.import_named(&state.tensors)?;
+        self.network = Some(net);
+        Ok(())
     }
 }
 

@@ -1,0 +1,80 @@
+//! Service-level error type: everything that can go wrong between an
+//! ingest call and a forecast reply.
+
+use std::fmt;
+
+use models::checkpoint::CheckpointError;
+use timeseries::FrameError;
+
+/// Errors surfaced by the prediction service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The entity id has never been onboarded (or lives on another service).
+    UnknownEntity(String),
+    /// An entity with this id is already being served.
+    DuplicateEntity(String),
+    /// The shard's ingest queue is full and the backpressure policy is
+    /// [`Reject`](crate::service::Backpressure::Reject).
+    QueueFull { shard: usize, entity: String },
+    /// The shard worker thread is gone (service shutting down or panicked).
+    ShardDown(usize),
+    /// Preprocessing / pipeline failure (bad sample width, short history…).
+    Frame(String),
+    /// Checkpoint serialisation or restore failure.
+    Checkpoint(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownEntity(id) => write!(f, "unknown entity `{id}`"),
+            ServeError::DuplicateEntity(id) => write!(f, "entity `{id}` already exists"),
+            ServeError::QueueFull { shard, entity } => {
+                write!(
+                    f,
+                    "shard {shard} queue full, sample for `{entity}` rejected"
+                )
+            }
+            ServeError::ShardDown(shard) => write!(f, "shard {shard} is down"),
+            ServeError::Frame(msg) => write!(f, "pipeline error: {msg}"),
+            ServeError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<FrameError> for ServeError {
+    fn from(e: FrameError) -> Self {
+        ServeError::Frame(e.0)
+    }
+}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Checkpoint(e.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_entity_and_shard() {
+        let e = ServeError::QueueFull {
+            shard: 3,
+            entity: "c_42".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("shard 3") && msg.contains("c_42"), "{msg}");
+    }
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let f: ServeError = FrameError("too short".into()).into();
+        assert_eq!(f, ServeError::Frame("too short".into()));
+        let c: ServeError = CheckpointError("bad magic".into()).into();
+        assert_eq!(c, ServeError::Checkpoint("bad magic".into()));
+    }
+}

@@ -1,0 +1,32 @@
+//! Sharded online prediction service for fleets of monitored entities.
+//!
+//! The offline pipeline in `rptcn` fits one predictor per container; this
+//! crate turns that into a serving system for thousands of them:
+//!
+//! - **Sharding** ([`router`]): entity ids hash (FNV-1a) to a fixed shard,
+//!   so one thread owns each entity and its messages stay FIFO-ordered.
+//! - **Backpressure** ([`service`]): shard queues are bounded; callers
+//!   choose between blocking and fail-fast [`ServeError::QueueFull`].
+//! - **Shadow refits** ([`shard`](crate::service)): when an entity's refit
+//!   cadence fires, the shard ships its history to a background training
+//!   pool and keeps serving from the old model; the replacement is swapped
+//!   in between messages — ingest never blocks on training.
+//! - **Checkpointing** ([`checkpoint`]): the full fleet (weights,
+//!   preprocessing state, history) round-trips through a versioned binary
+//!   file, and restored services resume bit-identical forecasts.
+//! - **Observability** ([`stats`]): per-shard ingest/forecast/refit
+//!   counters, queue depths, latency percentiles and rolling online
+//!   accuracy.
+
+pub mod checkpoint;
+pub mod error;
+pub mod router;
+pub mod service;
+mod shard;
+pub mod stats;
+
+pub use checkpoint::{load_fleet, save_fleet, FLEET_MAGIC, FLEET_VERSION};
+pub use error::ServeError;
+pub use router::{entity_hash, group_by_shard, shard_for};
+pub use service::{Backpressure, PredictionService, ServiceConfig};
+pub use stats::{ServiceStats, ShardStats};

@@ -1,0 +1,515 @@
+//! The public face of the serving subsystem: [`PredictionService`] owns a
+//! pool of shard workers (each a thread with a bounded FIFO queue) and a
+//! background refit pool, and routes every entity to a fixed shard by
+//! hashing its id.
+//!
+//! Lifecycle: `new` spawns the threads, [`PredictionService::add_entity`]
+//! fits a model on the caller's thread and installs it on its shard,
+//! [`PredictionService::ingest`] streams monitoring samples (with explicit
+//! backpressure), [`PredictionService::forecast_many`] fans a batched
+//! forecast request out across shards, and
+//! [`PredictionService::checkpoint`] / [`PredictionService::restore`]
+//! round-trip the whole fleet through a versioned binary file.
+
+use std::collections::{BTreeSet, HashMap};
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use models::Forecaster;
+use rptcn::{PipelineConfig, PipelineRun, ResourcePredictor};
+use timeseries::TimeSeriesFrame;
+
+use crate::checkpoint::{load_fleet, save_fleet};
+use crate::error::ServeError;
+use crate::router::{group_by_shard, shard_for};
+use crate::shard::{run_refit_worker, run_shard, RefitJob, ShardContext, ShardMsg};
+use crate::stats::{ServiceStats, ShardStatsCore};
+
+/// What to do when an entity's shard queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Block the caller until the shard drains (no sample loss).
+    Block,
+    /// Fail fast with [`ServeError::QueueFull`]; the caller decides whether
+    /// to retry or drop.
+    Reject,
+}
+
+/// Tuning knobs for a [`PredictionService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of shard worker threads.
+    pub shards: usize,
+    /// Bounded capacity of each shard's message queue.
+    pub queue_capacity: usize,
+    /// Background training threads shared by all shards.
+    pub refit_workers: usize,
+    /// Dispatch a background refit after this many ingested samples per
+    /// entity (0 disables periodic refits).
+    pub refit_every: usize,
+    /// Full-queue policy for [`PredictionService::ingest`].
+    pub backpressure: Backpressure,
+    /// Issue a rolling one-step forecast on every ingest and score it
+    /// against the next sample (feeds `rolling_mae` / `rolling_mse`).
+    pub score_on_ingest: bool,
+    /// Retained window of forecast latencies per shard.
+    pub latency_window: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 1024,
+            refit_workers: 2,
+            refit_every: 0,
+            backpressure: Backpressure::Block,
+            score_on_ingest: true,
+            latency_window: 1024,
+        }
+    }
+}
+
+/// A sharded online prediction service for a fleet of monitored entities.
+pub struct PredictionService {
+    config: ServiceConfig,
+    ids: BTreeSet<String>,
+    shard_txs: Vec<SyncSender<ShardMsg>>,
+    stats: Vec<Arc<ShardStatsCore>>,
+    shard_handles: Vec<JoinHandle<()>>,
+    refit_handles: Vec<JoinHandle<()>>,
+}
+
+impl PredictionService {
+    /// Spawn the shard workers and the refit pool.
+    pub fn new(config: ServiceConfig) -> Self {
+        assert!(config.shards > 0, "service needs at least one shard");
+        assert!(
+            config.queue_capacity > 0,
+            "shard queues must be bounded but non-empty"
+        );
+
+        let (refit_tx, refit_rx) = channel::<RefitJob>();
+        let refit_rx = Arc::new(Mutex::new(refit_rx));
+
+        let mut shard_txs = Vec::with_capacity(config.shards);
+        let mut stats = Vec::with_capacity(config.shards);
+        let mut shard_handles = Vec::with_capacity(config.shards);
+        for shard_id in 0..config.shards {
+            let (tx, rx) = sync_channel::<ShardMsg>(config.queue_capacity);
+            let core = Arc::new(ShardStatsCore::new(config.latency_window));
+            let ctx = ShardContext {
+                shard_id,
+                stats: Arc::clone(&core),
+                refit_tx: refit_tx.clone(),
+                refit_every: config.refit_every,
+                score_on_ingest: config.score_on_ingest,
+            };
+            let handle = thread::Builder::new()
+                .name(format!("serve-shard-{shard_id}"))
+                .spawn(move || run_shard(ctx, rx))
+                .expect("failed to spawn shard worker");
+            shard_txs.push(tx);
+            stats.push(core);
+            shard_handles.push(handle);
+        }
+        // The shards own the only long-lived refit senders: when they exit
+        // at shutdown the job channel closes and the pool drains out.
+        drop(refit_tx);
+
+        let pool: Vec<(SyncSender<ShardMsg>, Arc<ShardStatsCore>)> = shard_txs
+            .iter()
+            .cloned()
+            .zip(stats.iter().map(Arc::clone))
+            .collect();
+        let workers = if config.refit_every > 0 {
+            config.refit_workers.max(1)
+        } else {
+            config.refit_workers
+        };
+        let refit_handles = (0..workers)
+            .map(|w| {
+                let rx = Arc::clone(&refit_rx);
+                let pool = pool.clone();
+                thread::Builder::new()
+                    .name(format!("serve-refit-{w}"))
+                    .spawn(move || run_refit_worker(rx, pool))
+                    .expect("failed to spawn refit worker")
+            })
+            .collect();
+
+        Self {
+            config,
+            ids: BTreeSet::new(),
+            shard_txs,
+            stats,
+            shard_handles,
+            refit_handles,
+        }
+    }
+
+    /// Fit `model` on `bootstrap` (on the caller's thread — shards never
+    /// block on training) and install the predictor on the entity's shard.
+    pub fn add_entity(
+        &mut self,
+        id: &str,
+        bootstrap: &TimeSeriesFrame,
+        cfg: PipelineConfig,
+        model: Box<dyn Forecaster + Send>,
+    ) -> Result<PipelineRun, ServeError> {
+        if self.ids.contains(id) {
+            return Err(ServeError::DuplicateEntity(id.to_string()));
+        }
+        let (predictor, run) =
+            ResourcePredictor::fit(model, bootstrap, cfg).map_err(ServeError::from)?;
+        self.install(id, predictor)?;
+        Ok(run)
+    }
+
+    /// Install an already-fitted predictor (used by both `add_entity` and
+    /// checkpoint restore).
+    fn install(&mut self, id: &str, predictor: ResourcePredictor) -> Result<(), ServeError> {
+        let shard = shard_for(id, self.config.shards);
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.send_blocking(
+            shard,
+            ShardMsg::Install {
+                id: id.to_string(),
+                predictor: Box::new(predictor),
+                reply: reply_tx,
+            },
+        )?;
+        reply_rx
+            .recv()
+            .map_err(|_| ServeError::ShardDown(shard))??;
+        self.ids.insert(id.to_string());
+        Ok(())
+    }
+
+    /// Stream one monitoring sample for `id` (values in the entity's
+    /// bootstrap column order). Under [`Backpressure::Block`] this waits
+    /// for queue space; under [`Backpressure::Reject`] a full queue returns
+    /// [`ServeError::QueueFull`] without losing previously queued samples.
+    pub fn ingest(&self, id: &str, sample: Vec<f32>) -> Result<(), ServeError> {
+        if !self.ids.contains(id) {
+            return Err(ServeError::UnknownEntity(id.to_string()));
+        }
+        let shard = shard_for(id, self.config.shards);
+        let msg = ShardMsg::Ingest {
+            id: id.to_string(),
+            sample,
+        };
+        match self.config.backpressure {
+            Backpressure::Block => self.send_blocking(shard, msg),
+            Backpressure::Reject => {
+                self.stats[shard]
+                    .queue_depth
+                    .fetch_add(1, Ordering::Relaxed);
+                match self.shard_txs[shard].try_send(msg) {
+                    Ok(()) => Ok(()),
+                    Err(TrySendError::Full(_)) => {
+                        self.stats[shard]
+                            .queue_depth
+                            .fetch_sub(1, Ordering::Relaxed);
+                        self.stats[shard].rejected.fetch_add(1, Ordering::Relaxed);
+                        Err(ServeError::QueueFull {
+                            shard,
+                            entity: id.to_string(),
+                        })
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        self.stats[shard]
+                            .queue_depth
+                            .fetch_sub(1, Ordering::Relaxed);
+                        Err(ServeError::ShardDown(shard))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forecast the next `horizon` target values for one entity.
+    pub fn forecast(&self, id: &str) -> Result<Vec<f32>, ServeError> {
+        let mut results = self.forecast_many(&[id]);
+        match results.pop() {
+            Some((_, res)) => res,
+            None => Err(ServeError::UnknownEntity(id.to_string())),
+        }
+    }
+
+    /// Batched forecasts: requests are grouped per shard, dispatched to all
+    /// shards concurrently, and returned in the caller's id order. Because
+    /// shard queues are FIFO, each forecast reflects every sample ingested
+    /// for that entity before this call.
+    pub fn forecast_many(&self, ids: &[&str]) -> Vec<(String, Result<Vec<f32>, ServeError>)> {
+        let mut collected: HashMap<String, Result<Vec<f32>, ServeError>> = HashMap::new();
+        let mut pending = Vec::new();
+        for (shard, group) in group_by_shard(ids, self.config.shards) {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            let msg = ShardMsg::ForecastBatch {
+                ids: group.iter().map(|s| s.to_string()).collect(),
+                reply: reply_tx,
+            };
+            match self.send_blocking(shard, msg) {
+                Ok(()) => pending.push((shard, group, reply_rx)),
+                Err(err) => {
+                    for id in group {
+                        collected.insert(id.to_string(), Err(err.clone()));
+                    }
+                }
+            }
+        }
+        for (shard, group, reply_rx) in pending {
+            match reply_rx.recv() {
+                Ok(results) => {
+                    for (id, res) in results {
+                        collected.insert(id, res);
+                    }
+                }
+                Err(_) => {
+                    for id in group {
+                        collected.insert(id.to_string(), Err(ServeError::ShardDown(shard)));
+                    }
+                }
+            }
+        }
+        ids.iter()
+            .map(|&id| {
+                let res = collected
+                    .remove(id)
+                    .unwrap_or_else(|| Err(ServeError::UnknownEntity(id.to_string())));
+                (id.to_string(), res)
+            })
+            .collect()
+    }
+
+    /// Wait until every shard has drained all messages queued before this
+    /// call (ingests applied, refit results installed).
+    pub fn flush(&self) -> Result<(), ServeError> {
+        let mut pending = Vec::new();
+        for shard in 0..self.config.shards {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            self.send_blocking(shard, ShardMsg::Barrier { reply: reply_tx })?;
+            pending.push((shard, reply_rx));
+        }
+        for (shard, reply_rx) in pending {
+            reply_rx.recv().map_err(|_| ServeError::ShardDown(shard))?;
+        }
+        Ok(())
+    }
+
+    /// Point-in-time statistics for every shard.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            shards: self
+                .stats
+                .iter()
+                .enumerate()
+                .map(|(shard, core)| core.snapshot(shard))
+                .collect(),
+        }
+    }
+
+    /// Entity ids currently served, sorted.
+    pub fn entity_ids(&self) -> Vec<String> {
+        self.ids.iter().cloned().collect()
+    }
+
+    /// Number of entities currently served.
+    pub fn entity_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The shard serving `id`.
+    pub fn shard_of(&self, id: &str) -> usize {
+        shard_for(id, self.config.shards)
+    }
+
+    /// Capture every entity's full state (model weights, preprocessing,
+    /// history) into a versioned fleet checkpoint at `path`. Returns the
+    /// number of entities written. The snapshot is taken per shard behind
+    /// the same FIFO queues as ingestion, so it reflects every sample
+    /// ingested before this call.
+    pub fn checkpoint(&self, path: &Path) -> Result<usize, ServeError> {
+        let mut pending = Vec::new();
+        for shard in 0..self.config.shards {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            self.send_blocking(shard, ShardMsg::Snapshot { reply: reply_tx })?;
+            pending.push((shard, reply_rx));
+        }
+        let mut entities = Vec::new();
+        for (shard, reply_rx) in pending {
+            let states = reply_rx
+                .recv()
+                .map_err(|_| ServeError::ShardDown(shard))??;
+            entities.extend(states);
+        }
+        entities.sort_by(|a, b| a.0.cmp(&b.0));
+        save_fleet(path, &entities)?;
+        Ok(entities.len())
+    }
+
+    /// Rebuild a service from a fleet checkpoint: every entity is restored
+    /// onto its shard with identical model weights, preprocessing state and
+    /// history, so forecasts resume exactly where the checkpoint left off.
+    pub fn restore(path: &Path, config: ServiceConfig) -> Result<Self, ServeError> {
+        let entities = load_fleet(path)?;
+        let mut service = Self::new(config);
+        for (id, state) in &entities {
+            let predictor = ResourcePredictor::from_state(state)?;
+            service.install(id, predictor)?;
+        }
+        Ok(service)
+    }
+
+    /// Send a message to `shard`, blocking when its queue is full. Every
+    /// send path increments `queue_depth` first; the shard decrements once
+    /// per received message — so depth is never transiently negative.
+    fn send_blocking(&self, shard: usize, msg: ShardMsg) -> Result<(), ServeError> {
+        self.stats[shard]
+            .queue_depth
+            .fetch_add(1, Ordering::Relaxed);
+        self.shard_txs[shard].send(msg).map_err(|_| {
+            self.stats[shard]
+                .queue_depth
+                .fetch_sub(1, Ordering::Relaxed);
+            ServeError::ShardDown(shard)
+        })
+    }
+}
+
+impl Drop for PredictionService {
+    fn drop(&mut self) {
+        // Explicit shutdown breaks the sender cycle: shards hold refit-pool
+        // senders, refit workers hold shard senders. Shards exit on the
+        // marker, which closes the refit channel, which drains the pool.
+        for shard in 0..self.shard_txs.len() {
+            self.stats[shard]
+                .queue_depth
+                .fetch_add(1, Ordering::Relaxed);
+            if self.shard_txs[shard].send(ShardMsg::Shutdown).is_err() {
+                self.stats[shard]
+                    .queue_depth
+                    .fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        self.shard_txs.clear();
+        for handle in self.shard_handles.drain(..) {
+            let _ = handle.join();
+        }
+        for handle in self.refit_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use models::NaiveForecaster;
+    use rptcn::Scenario;
+
+    fn bootstrap_frame(n: usize, phase: f32) -> TimeSeriesFrame {
+        let cpu: Vec<f32> = (0..n)
+            .map(|i| 40.0 + 25.0 * ((i as f32 * 0.2 + phase).sin()))
+            .collect();
+        let mem: Vec<f32> = (0..n).map(|i| 30.0 + 0.01 * i as f32).collect();
+        TimeSeriesFrame::from_columns(&[("cpu_util_percent", cpu), ("mem_util_percent", mem)])
+            .unwrap()
+    }
+
+    fn uni_config() -> PipelineConfig {
+        PipelineConfig {
+            scenario: Scenario::Uni,
+            window: 12,
+            horizon: 1,
+            ..Default::default()
+        }
+    }
+
+    fn service_with_entities(config: ServiceConfig, n: usize) -> PredictionService {
+        let mut service = PredictionService::new(config);
+        for i in 0..n {
+            service
+                .add_entity(
+                    &format!("c_{i}"),
+                    &bootstrap_frame(96, i as f32),
+                    uni_config(),
+                    Box::new(NaiveForecaster::new()),
+                )
+                .unwrap();
+        }
+        service
+    }
+
+    #[test]
+    fn lifecycle_ingest_and_forecast() {
+        let service = service_with_entities(
+            ServiceConfig {
+                shards: 3,
+                refit_workers: 0,
+                ..Default::default()
+            },
+            8,
+        );
+        assert_eq!(service.entity_count(), 8);
+        for i in 0..8 {
+            service.ingest(&format!("c_{i}"), vec![55.0, 31.0]).unwrap();
+        }
+        let ids: Vec<String> = (0..8).map(|i| format!("c_{i}")).collect();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let results = service.forecast_many(&refs);
+        assert_eq!(results.len(), 8);
+        for (i, (id, res)) in results.iter().enumerate() {
+            assert_eq!(id, &format!("c_{i}"));
+            let fc = res.as_ref().unwrap();
+            assert_eq!(fc.len(), 1);
+            // Naive forecaster repeats the last observed target value.
+            assert!((fc[0] - 55.0).abs() < 1.0, "forecast {} for {id}", fc[0]);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.total_ingested(), 8);
+        assert_eq!(stats.total_forecasts(), 8);
+        assert_eq!(stats.total_entities(), 8);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_entities_are_rejected() {
+        let mut service = service_with_entities(ServiceConfig::default(), 1);
+        let err = service
+            .add_entity(
+                "c_0",
+                &bootstrap_frame(96, 0.0),
+                uni_config(),
+                Box::new(NaiveForecaster::new()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::DuplicateEntity(_)));
+        assert!(matches!(
+            service.ingest("nope", vec![1.0, 2.0]),
+            Err(ServeError::UnknownEntity(_))
+        ));
+        assert!(matches!(
+            service.forecast("nope"),
+            Err(ServeError::UnknownEntity(_))
+        ));
+    }
+
+    #[test]
+    fn flush_drains_queued_ingests() {
+        let service = service_with_entities(ServiceConfig::default(), 2);
+        for _ in 0..50 {
+            service.ingest("c_0", vec![60.0, 31.0]).unwrap();
+            service.ingest("c_1", vec![20.0, 31.0]).unwrap();
+        }
+        service.flush().unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.total_ingested(), 100);
+        for shard in &stats.shards {
+            assert_eq!(shard.queue_depth, 0, "shard {} not drained", shard.shard);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The shard worker: one thread owning a disjoint set of entities, driven
+//! by a bounded FIFO message queue. Because an entity always routes to the
+//! same shard, its messages are processed in arrival order — an ingest
+//! followed by a forecast request is guaranteed to see the new sample.
+//!
+//! Refits never run here. When an entity's cadence fires, the shard ships
+//! a [`RefitJob`] (history snapshot + model architecture) to the background
+//! refit pool and keeps serving forecasts from the old model; the freshly
+//! trained replacement arrives later as a [`ShardMsg::RefitDone`] and is
+//! swapped in between messages.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use models::checkpoint::{forecaster_like, ModelState};
+use models::Forecaster;
+use rptcn::{
+    prepare, run_model, FittedPreprocess, PipelineConfig, PredictorState, ResourcePredictor,
+};
+use timeseries::TimeSeriesFrame;
+
+use crate::error::ServeError;
+use crate::stats::ShardStatsCore;
+
+/// Per-entity results of a batched forecast request.
+pub(crate) type ForecastReplies = Vec<(String, Result<Vec<f32>, ServeError>)>;
+
+/// Everything a shard worker can be asked to do.
+pub(crate) enum ShardMsg {
+    /// Onboard a fitted predictor under `id`.
+    Install {
+        id: String,
+        predictor: Box<ResourcePredictor>,
+        reply: SyncSender<Result<(), ServeError>>,
+    },
+    /// One monitoring sample for `id` (fire-and-forget).
+    Ingest { id: String, sample: Vec<f32> },
+    /// Forecast a batch of entities living on this shard.
+    ForecastBatch {
+        ids: Vec<String>,
+        reply: SyncSender<ForecastReplies>,
+    },
+    /// A background refit finished (`None` = training failed; keep serving
+    /// the old model and re-arm the cadence).
+    RefitDone {
+        id: String,
+        replacement: Option<(Box<dyn Forecaster + Send>, FittedPreprocess)>,
+    },
+    /// Capture the state of every entity on this shard, sorted by id.
+    Snapshot {
+        reply: SyncSender<Result<Vec<(String, PredictorState)>, ServeError>>,
+    },
+    /// Round-trip marker: replied to once every earlier message is done.
+    Barrier { reply: SyncSender<()> },
+    /// Stop the worker. Needed to break the sender cycle at shutdown: shards
+    /// hold refit-pool senders and refit workers hold shard senders, so
+    /// neither channel would close on its own.
+    Shutdown,
+}
+
+/// A unit of background training: everything the refit pool needs to fit a
+/// fresh model without touching the live predictor.
+pub(crate) struct RefitJob {
+    pub entity: String,
+    pub shard: usize,
+    pub frame: TimeSeriesFrame,
+    pub cfg: PipelineConfig,
+    pub model_state: ModelState,
+}
+
+struct EntitySlot {
+    predictor: ResourcePredictor,
+    /// Index of the pipeline target within the sample layout (for scoring).
+    target_column: Option<usize>,
+    samples_since_refit: usize,
+    refit_in_flight: bool,
+    /// Forecast issued at the previous ingest, scored on the next one.
+    pending: Option<f32>,
+}
+
+/// Static configuration handed to each shard worker.
+pub(crate) struct ShardContext {
+    pub shard_id: usize,
+    pub stats: Arc<ShardStatsCore>,
+    pub refit_tx: Sender<RefitJob>,
+    /// Dispatch a background refit after this many samples per entity
+    /// (0 disables periodic refits).
+    pub refit_every: usize,
+    /// Issue (and later score) a rolling forecast on every ingest.
+    pub score_on_ingest: bool,
+}
+
+/// The shard worker loop. Runs until every sender is dropped.
+pub(crate) fn run_shard(ctx: ShardContext, rx: Receiver<ShardMsg>) {
+    let mut slots: HashMap<String, EntitySlot> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        ctx.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        match msg {
+            ShardMsg::Install {
+                id,
+                predictor,
+                reply,
+            } => {
+                let result = match slots.entry(id) {
+                    Entry::Occupied(entry) => Err(ServeError::DuplicateEntity(entry.key().clone())),
+                    Entry::Vacant(entry) => {
+                        let target = predictor.config().target.clone();
+                        let target_column =
+                            predictor.column_names().iter().position(|n| n == &target);
+                        entry.insert(EntitySlot {
+                            predictor: *predictor,
+                            target_column,
+                            samples_since_refit: 0,
+                            refit_in_flight: false,
+                            pending: None,
+                        });
+                        ctx.stats.entities.fetch_add(1, Ordering::Relaxed);
+                        Ok(())
+                    }
+                };
+                let _ = reply.send(result);
+            }
+            ShardMsg::Ingest { id, sample } => {
+                let Some(slot) = slots.get_mut(&id) else {
+                    ctx.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+                // Score the forecast issued last interval against the truth
+                // arriving now.
+                if let (Some(forecast), Some(col)) = (slot.pending.take(), slot.target_column) {
+                    if let Some(&actual) = sample.get(col) {
+                        ctx.stats
+                            .score
+                            .lock()
+                            .expect("score accumulator poisoned")
+                            .score(forecast, actual);
+                    }
+                }
+                if slot.predictor.observe(&sample).is_err() {
+                    ctx.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                ctx.stats.ingested.fetch_add(1, Ordering::Relaxed);
+                slot.samples_since_refit += 1;
+                if ctx.refit_every > 0
+                    && slot.samples_since_refit >= ctx.refit_every
+                    && !slot.refit_in_flight
+                {
+                    dispatch_refit(&ctx, &id, slot);
+                }
+                if ctx.score_on_ingest {
+                    if let Ok(fc) = slot.predictor.forecast() {
+                        slot.pending = fc.first().copied();
+                    }
+                }
+            }
+            ShardMsg::ForecastBatch { ids, reply } => {
+                let results: ForecastReplies = ids
+                    .into_iter()
+                    .map(|id| {
+                        let started = Instant::now();
+                        let res = match slots.get(&id) {
+                            Some(slot) => slot.predictor.forecast().map_err(ServeError::from),
+                            None => Err(ServeError::UnknownEntity(id.clone())),
+                        };
+                        if res.is_ok() {
+                            ctx.stats.forecasts.fetch_add(1, Ordering::Relaxed);
+                            ctx.stats
+                                .latency
+                                .lock()
+                                .expect("latency ring poisoned")
+                                .record(started.elapsed().as_nanos() as u64);
+                        }
+                        (id, res)
+                    })
+                    .collect();
+                let _ = reply.send(results);
+            }
+            ShardMsg::RefitDone { id, replacement } => {
+                let Some(slot) = slots.get_mut(&id) else {
+                    continue;
+                };
+                slot.refit_in_flight = false;
+                if let Some((model, preprocess)) = replacement {
+                    slot.predictor.install_refit(model, preprocess);
+                    ctx.stats.refits_completed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            ShardMsg::Snapshot { reply } => {
+                let _ = reply.send(snapshot_all(&slots));
+            }
+            ShardMsg::Barrier { reply } => {
+                let _ = reply.send(());
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+}
+
+/// Ship a shadow-refit job for `slot` to the background pool. The live
+/// model keeps serving; `refit_in_flight` stops duplicate dispatches.
+fn dispatch_refit(ctx: &ShardContext, id: &str, slot: &mut EntitySlot) {
+    let Some(model_state) = slot.predictor.model_state() else {
+        // Model cannot be checkpointed, so it cannot be shadow-trained
+        // either; re-arm and keep serving.
+        slot.samples_since_refit = 0;
+        return;
+    };
+    let Ok(frame) = slot.predictor.history_snapshot() else {
+        slot.samples_since_refit = 0;
+        return;
+    };
+    let job = RefitJob {
+        entity: id.to_string(),
+        shard: ctx.shard_id,
+        frame,
+        cfg: slot.predictor.config().clone(),
+        model_state,
+    };
+    if ctx.refit_tx.send(job).is_ok() {
+        slot.refit_in_flight = true;
+        slot.samples_since_refit = 0;
+        ctx.stats.refits_started.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn snapshot_all(
+    slots: &HashMap<String, EntitySlot>,
+) -> Result<Vec<(String, PredictorState)>, ServeError> {
+    let mut ids: Vec<&String> = slots.keys().collect();
+    ids.sort();
+    ids.into_iter()
+        .map(|id| {
+            slots[id]
+                .predictor
+                .snapshot()
+                .map(|st| (id.clone(), st))
+                .map_err(ServeError::from)
+        })
+        .collect()
+}
+
+/// A refit-pool worker: pulls jobs, trains a fresh model of the same
+/// architecture on the shipped history, and posts the replacement back to
+/// the owning shard. Exits when the job channel closes.
+pub(crate) fn run_refit_worker(
+    rx: Arc<Mutex<Receiver<RefitJob>>>,
+    shards: Vec<(SyncSender<ShardMsg>, Arc<ShardStatsCore>)>,
+) {
+    loop {
+        // Hold the lock only while waiting: workers take turns receiving,
+        // then train in parallel.
+        let job = match rx.lock().expect("refit queue poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let replacement = train_replacement(&job);
+        let (tx, stats) = &shards[job.shard];
+        stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        if tx
+            .send(ShardMsg::RefitDone {
+                id: job.entity,
+                replacement,
+            })
+            .is_err()
+        {
+            // Shard already gone: service is shutting down.
+            stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+/// Fit a fresh model of the same architecture on the job's history
+/// snapshot. `None` when preparation or training fails — the shard then
+/// keeps the model it has.
+fn train_replacement(job: &RefitJob) -> Option<(Box<dyn Forecaster + Send>, FittedPreprocess)> {
+    let mut model = forecaster_like(&job.model_state).ok()?;
+    let prepared = prepare(&job.frame, &job.cfg).ok()?;
+    run_model(model.as_mut(), &prepared);
+    Some((model, prepared.fitted()))
+}

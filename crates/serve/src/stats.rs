@@ -1,0 +1,296 @@
+//! Service observability: per-shard counters, forecast-latency percentiles
+//! and rolling online accuracy, all readable without stopping the shards.
+//!
+//! The shard worker owns the hot path, so every write here is either a
+//! relaxed atomic increment or a short mutex hold on data only the shard
+//! thread writes — the stats reader never contends with ingestion.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Fixed-size ring of recent forecast latencies (nanoseconds).
+#[derive(Debug)]
+pub struct LatencyRing {
+    buf: Vec<u64>,
+    next: usize,
+    filled: usize,
+}
+
+impl LatencyRing {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buf: vec![0; capacity.max(1)],
+            next: 0,
+            filled: 0,
+        }
+    }
+
+    pub fn record(&mut self, nanos: u64) {
+        self.buf[self.next] = nanos;
+        self.next = (self.next + 1) % self.buf.len();
+        self.filled = (self.filled + 1).min(self.buf.len());
+    }
+
+    /// The `q`-quantile (0.0–1.0) over the retained window, nearest-rank.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.filled == 0 {
+            return None;
+        }
+        let mut window: Vec<u64> = self.buf[..self.filled].to_vec();
+        window.sort_unstable();
+        let rank = ((q.clamp(0.0, 1.0) * self.filled as f64).ceil() as usize).clamp(1, self.filled);
+        Some(window[rank - 1])
+    }
+
+    pub fn len(&self) -> usize {
+        self.filled
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+}
+
+/// Rolling online-accuracy accumulator: forecasts scored against the
+/// ground truth that arrives one interval later.
+#[derive(Debug, Default)]
+pub struct ScoreAccum {
+    pub abs_err_sum: f64,
+    pub sq_err_sum: f64,
+    pub scored: u64,
+}
+
+impl ScoreAccum {
+    pub fn score(&mut self, forecast: f32, actual: f32) {
+        let err = (forecast - actual) as f64;
+        self.abs_err_sum += err.abs();
+        self.sq_err_sum += err * err;
+        self.scored += 1;
+    }
+
+    pub fn mae(&self) -> f64 {
+        if self.scored == 0 {
+            0.0
+        } else {
+            self.abs_err_sum / self.scored as f64
+        }
+    }
+
+    pub fn mse(&self) -> f64 {
+        if self.scored == 0 {
+            0.0
+        } else {
+            self.sq_err_sum / self.scored as f64
+        }
+    }
+}
+
+/// Live counters shared between one shard worker and the stats reader.
+#[derive(Debug)]
+pub struct ShardStatsCore {
+    pub entities: AtomicUsize,
+    pub ingested: AtomicU64,
+    pub forecasts: AtomicU64,
+    pub refits_started: AtomicU64,
+    pub refits_completed: AtomicU64,
+    /// Samples not applied: queue-full rejections + unknown-entity drops.
+    pub rejected: AtomicU64,
+    /// Messages currently queued for this shard.
+    pub queue_depth: AtomicUsize,
+    pub latency: Mutex<LatencyRing>,
+    pub score: Mutex<ScoreAccum>,
+}
+
+impl ShardStatsCore {
+    pub fn new(latency_window: usize) -> Self {
+        Self {
+            entities: AtomicUsize::new(0),
+            ingested: AtomicU64::new(0),
+            forecasts: AtomicU64::new(0),
+            refits_started: AtomicU64::new(0),
+            refits_completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            latency: Mutex::new(LatencyRing::new(latency_window)),
+            score: Mutex::new(ScoreAccum::default()),
+        }
+    }
+
+    /// Point-in-time snapshot for shard `shard`.
+    pub fn snapshot(&self, shard: usize) -> ShardStats {
+        let (p50, p99) = {
+            let ring = self.latency.lock().expect("latency ring poisoned");
+            (ring.quantile(0.50), ring.quantile(0.99))
+        };
+        let (mae, mse, scored) = {
+            let score = self.score.lock().expect("score accumulator poisoned");
+            (score.mae(), score.mse(), score.scored)
+        };
+        ShardStats {
+            shard,
+            entities: self.entities.load(Ordering::Relaxed),
+            ingested: self.ingested.load(Ordering::Relaxed),
+            forecasts: self.forecasts.load(Ordering::Relaxed),
+            refits_started: self.refits_started.load(Ordering::Relaxed),
+            refits_completed: self.refits_completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            forecast_p50_us: p50.map(|n| n as f64 / 1_000.0),
+            forecast_p99_us: p99.map(|n| n as f64 / 1_000.0),
+            rolling_mae: mae,
+            rolling_mse: mse,
+            scored,
+        }
+    }
+}
+
+/// Point-in-time view of one shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    pub shard: usize,
+    pub entities: usize,
+    pub ingested: u64,
+    pub forecasts: u64,
+    pub refits_started: u64,
+    pub refits_completed: u64,
+    pub rejected: u64,
+    pub queue_depth: usize,
+    /// Median forecast latency in microseconds (`None` before any forecast).
+    pub forecast_p50_us: Option<f64>,
+    /// 99th-percentile forecast latency in microseconds.
+    pub forecast_p99_us: Option<f64>,
+    /// Rolling MAE of forecasts scored against later-arriving truth.
+    pub rolling_mae: f64,
+    pub rolling_mse: f64,
+    /// How many forecasts have been scored.
+    pub scored: u64,
+}
+
+/// Fleet-wide view: one entry per shard plus aggregate helpers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServiceStats {
+    pub fn total_entities(&self) -> usize {
+        self.shards.iter().map(|s| s.entities).sum()
+    }
+
+    pub fn total_ingested(&self) -> u64 {
+        self.shards.iter().map(|s| s.ingested).sum()
+    }
+
+    pub fn total_forecasts(&self) -> u64 {
+        self.shards.iter().map(|s| s.forecasts).sum()
+    }
+
+    pub fn total_refits_completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.refits_completed).sum()
+    }
+
+    pub fn total_rejected(&self) -> u64 {
+        self.shards.iter().map(|s| s.rejected).sum()
+    }
+
+    /// Scored-count-weighted rolling MAE across shards.
+    pub fn rolling_mae(&self) -> f64 {
+        let scored: u64 = self.shards.iter().map(|s| s.scored).sum();
+        if scored == 0 {
+            return 0.0;
+        }
+        self.shards
+            .iter()
+            .map(|s| s.rolling_mae * s.scored as f64)
+            .sum::<f64>()
+            / scored as f64
+    }
+
+    /// Scored-count-weighted rolling MSE across shards.
+    pub fn rolling_mse(&self) -> f64 {
+        let scored: u64 = self.shards.iter().map(|s| s.scored).sum();
+        if scored == 0 {
+            return 0.0;
+        }
+        self.shards
+            .iter()
+            .map(|s| s.rolling_mse * s.scored as f64)
+            .sum::<f64>()
+            / scored as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_quantiles_over_partial_window() {
+        let mut ring = LatencyRing::new(100);
+        for v in [10, 20, 30, 40] {
+            ring.record(v);
+        }
+        assert_eq!(ring.quantile(0.5), Some(20));
+        assert_eq!(ring.quantile(0.99), Some(40));
+        assert_eq!(ring.quantile(0.0), Some(10));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut ring = LatencyRing::new(4);
+        for v in [1, 2, 3, 4, 100, 200, 300, 400] {
+            ring.record(v);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.quantile(0.5), Some(200));
+    }
+
+    #[test]
+    fn empty_ring_has_no_quantiles() {
+        assert_eq!(LatencyRing::new(8).quantile(0.5), None);
+    }
+
+    #[test]
+    fn score_accumulates_mae_and_mse() {
+        let mut s = ScoreAccum::default();
+        s.score(0.5, 0.7);
+        s.score(0.9, 0.7);
+        assert!((s.mae() - 0.2).abs() < 1e-6);
+        assert!((s.mse() - 0.04).abs() < 1e-5);
+        assert_eq!(s.scored, 2);
+    }
+
+    #[test]
+    fn service_stats_aggregate_weighted() {
+        let base = ShardStats {
+            shard: 0,
+            entities: 2,
+            ingested: 10,
+            forecasts: 5,
+            refits_started: 1,
+            refits_completed: 1,
+            rejected: 0,
+            queue_depth: 0,
+            forecast_p50_us: Some(10.0),
+            forecast_p99_us: Some(20.0),
+            rolling_mae: 0.1,
+            rolling_mse: 0.01,
+            scored: 10,
+        };
+        let stats = ServiceStats {
+            shards: vec![
+                base.clone(),
+                ShardStats {
+                    shard: 1,
+                    rolling_mae: 0.3,
+                    scored: 30,
+                    ..base
+                },
+            ],
+        };
+        assert_eq!(stats.total_ingested(), 20);
+        assert_eq!(stats.total_entities(), 4);
+        // (0.1*10 + 0.3*30) / 40 = 0.25
+        assert!((stats.rolling_mae() - 0.25).abs() < 1e-9);
+    }
+}

@@ -175,6 +175,30 @@ impl MinMaxScaler {
         Some((self.mins[j], self.maxs[j]))
     }
 
+    /// The complete fitted parameters as `(name, min, max)` triples — the
+    /// checkpointable state of the scaler.
+    pub fn columns(&self) -> Vec<(String, f32, f32)> {
+        self.names
+            .iter()
+            .zip(self.mins.iter().zip(&self.maxs))
+            .map(|(n, (&min, &max))| (n.clone(), min, max))
+            .collect()
+    }
+
+    /// Rebuild a scaler from parameters captured by [`MinMaxScaler::columns`]
+    /// — the restore half of a checkpoint round-trip.
+    pub fn from_parts(columns: Vec<(String, f32, f32)>) -> Self {
+        let mut names = Vec::with_capacity(columns.len());
+        let mut mins = Vec::with_capacity(columns.len());
+        let mut maxs = Vec::with_capacity(columns.len());
+        for (name, min, max) in columns {
+            names.push(name);
+            mins.push(min);
+            maxs.push(max);
+        }
+        Self { mins, maxs, names }
+    }
+
     fn apply(&self, frame: &TimeSeriesFrame, f: impl Fn(f32, f32, f32) -> f32) -> TimeSeriesFrame {
         assert_eq!(
             frame.names(),
@@ -318,6 +342,20 @@ mod tests {
         let back = scaler.inverse_transform_column("cpu", s.column("cpu").unwrap());
         assert_eq!(back, vec![10.0, 20.0, 30.0]);
         assert_eq!(scaler.bounds("cpu"), Some((10.0, 30.0)));
+    }
+
+    #[test]
+    fn minmax_parts_roundtrip() {
+        let f =
+            TimeSeriesFrame::from_columns(&[("cpu", vec![10.0, 30.0]), ("mem", vec![-1.0, 1.0])])
+                .unwrap();
+        let scaler = MinMaxScaler::fit(&f);
+        let rebuilt = MinMaxScaler::from_parts(scaler.columns());
+        assert_eq!(rebuilt.bounds("cpu"), Some((10.0, 30.0)));
+        assert_eq!(rebuilt.bounds("mem"), Some((-1.0, 1.0)));
+        let a = scaler.transform(&f);
+        let b = rebuilt.transform(&f);
+        assert_eq!(a.column("cpu").unwrap(), b.column("cpu").unwrap());
     }
 
     #[test]

@@ -34,7 +34,7 @@ fn main() {
     };
     let (mut predictor, fit_run) =
         ResourcePredictor::fit(Box::new(model), &bootstrap, cfg).expect("bootstrap fit");
-    predictor.refit_every = 400;
+    predictor.set_refit_every(400);
     println!(
         "bootstrapped on 800 samples; test MSE {:.4}x1e-2",
         fit_run.test_metrics.mse * 100.0

@@ -11,6 +11,8 @@
 //! * [`models`] — RPTCN plus the ARIMA / XGBoost / LSTM / CNN-LSTM baselines.
 //! * [`rptcn`] — the Algorithm-1 pipeline, online predictor and capacity
 //!   planner.
+//! * [`serve`] — sharded online prediction service with bounded ingest
+//!   queues, background refits and fleet checkpointing.
 //!
 //! See `examples/quickstart.rs` for the 30-line happy path and DESIGN.md /
 //! EXPERIMENTS.md for the experiment inventory.
@@ -19,5 +21,6 @@ pub use autograd;
 pub use cloudtrace;
 pub use models;
 pub use rptcn;
+pub use serve;
 pub use tensor;
 pub use timeseries;

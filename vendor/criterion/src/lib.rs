@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! subset of the criterion API its benches use: `Criterion`,
+//! `benchmark_group` (+ `sample_size`, `throughput`), `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput` and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical machinery, each benchmark runs a calibrated timing loop
+//! (warm-up → pick an iteration count that fills the measurement window →
+//! take the best of three batches) and prints mean wall-time per iteration
+//! plus throughput when declared. Good enough to compare configurations on
+//! one machine; not a replacement for criterion's confidence intervals.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+const BATCHES: usize = 3;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().label, None, &mut f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the timing loop is self-calibrating.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&label, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&label, self.throughput, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Units the measured routine processes per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Handed to the benchmark closure; times the routine it is given.
+pub struct Bencher {
+    per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let probe = Instant::now();
+        black_box(f());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let iters = (MEASURE_WINDOW.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut best = Duration::MAX;
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let mean = start.elapsed() / iters as u32;
+            best = best.min(mean);
+        }
+        self.per_iter = Some(best);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, f: &mut F) {
+    let mut bencher = Bencher { per_iter: None };
+    f(&mut bencher);
+    match bencher.per_iter {
+        Some(per_iter) => {
+            let rate = throughput
+                .map(|t| {
+                    let (units, suffix) = match t {
+                        Throughput::Elements(n) => (n, "elem/s"),
+                        Throughput::Bytes(n) => (n, "B/s"),
+                    };
+                    let per_sec = units as f64 / per_iter.as_secs_f64();
+                    format!("  thrpt: {} {suffix}", format_rate(per_sec))
+                })
+                .unwrap_or_default();
+            println!("{label:<48} time: {}{rate}", format_duration(per_iter));
+        }
+        None => println!("{label:<48} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2}G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2}K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1}")
+    }
+}
+
+/// `criterion_group!(name, target1, target2, ...)` — generates a function
+/// running every target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group1, group2, ...)` — generates `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(stub_group, sample_bench);
+
+    #[test]
+    fn group_runs_all_targets() {
+        stub_group();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500.0 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(format_rate(2_500_000.0), "2.50M");
+        assert_eq!(format_rate(999.0), "999.0");
+    }
+}

@@ -1,0 +1,157 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! slice of proptest it uses: the [`proptest!`] macro, strategies over
+//! numeric ranges / tuples / `collection::vec`, the `prop_map` /
+//! `prop_flat_map` combinators and the `prop_assert*` / `prop_assume!`
+//! macros. Cases are generated from a seed derived from the test's module
+//! path and case index, so runs are fully deterministic. Shrinking and
+//! failure persistence are not implemented — a failing case panics with the
+//! generated inputs visible via the assertion message instead.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert inside a proptest body. Without shrinking there is no reason to
+/// thread `Result`s through the body, so this maps directly to `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// Expands to an early (successful) return from the per-case closure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// The `proptest! { ... }` block: an optional
+/// `#![proptest_config(...)]` inner attribute followed by test functions
+/// whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $(#[$attr:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                // The body runs inside a `Result` closure so it can use `?`
+                // on `Result<_, TestCaseError>` helpers, as upstream allows.
+                let __run = |__rng: &mut $crate::test_runner::TestRng|
+                    -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                if let ::core::result::Result::Err(__e) = __run(&mut __rng) {
+                    panic!("proptest case {} failed: {}", __case, __e);
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    (config = $cfg:expr;) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, f in -1.0f32..1.0, s in 0u64..100) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!(s < 100);
+        }
+
+        #[test]
+        fn tuples_and_assume((a, b) in (0usize..5, 0usize..5)) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        #[test]
+        fn config_is_honoured(_x in 0u64..10) {
+            // Four cases run; reaching the body is the assertion.
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let mut rng = crate::test_runner::TestRng::for_case("vec_strategy", 0);
+        let fixed = crate::collection::vec(0.0f32..1.0, 5).generate(&mut rng);
+        assert_eq!(fixed.len(), 5);
+        for _ in 0..50 {
+            let ranged = crate::collection::vec(0usize..3, 0..8).generate(&mut rng);
+            assert!(ranged.len() < 8);
+        }
+    }
+
+    #[test]
+    fn flat_map_composes() {
+        let strat = (1usize..4, 1usize..4).prop_flat_map(|(m, n)| {
+            crate::collection::vec(0.0f32..1.0, m * n).prop_map(move |v| (m, n, v))
+        });
+        let mut rng = crate::test_runner::TestRng::for_case("flat_map", 1);
+        for _ in 0..50 {
+            let (m, n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), m * n);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let a = crate::collection::vec(0.0f64..1.0, 10)
+            .generate(&mut crate::test_runner::TestRng::for_case("det", 3));
+        let b = crate::collection::vec(0.0f64..1.0, 10)
+            .generate(&mut crate::test_runner::TestRng::for_case("det", 3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,186 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! subset of rayon it calls: `par_iter`, `into_par_iter`, `par_chunks_mut`
+//! and the adapter chain `enumerate / map / filter_map / for_each / reduce /
+//! collect / max_by`. Side-effecting terminals ([`ParIter::for_each`]) fan
+//! work out over `std::thread::scope` so the hot kernels (matmul, conv1d)
+//! keep real multi-core speedup; value-returning adapters run sequentially,
+//! which is observationally identical for deterministic pipelines.
+
+use std::num::NonZeroUsize;
+
+/// Wrapper that gives any iterator rayon's parallel-iterator surface.
+pub struct ParIter<I>(I);
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+impl<I: Iterator> ParIter<I> {
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn filter_map<F, R>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<R>,
+    {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Parallel terminal: items are split into one stripe per core and
+    /// consumed on scoped threads. Falls back to the current thread for
+    /// tiny workloads.
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Send + Sync,
+    {
+        let mut items: Vec<I::Item> = self.0.collect();
+        let workers = worker_count().min(items.len().max(1));
+        if workers < 2 {
+            items.into_iter().for_each(f);
+            return;
+        }
+        let stripe = items.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            while !items.is_empty() {
+                let take = stripe.min(items.len());
+                let batch: Vec<I::Item> = items.drain(..take).collect();
+                let f = &f;
+                scope.spawn(move || batch.into_iter().for_each(f));
+            }
+        });
+    }
+
+    /// rayon-style reduce: fold from an identity element. Sequential.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: FnOnce() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        let init = identity();
+        self.0.fold(init, op)
+    }
+
+    /// Reduce without an identity element; `None` on an empty iterator.
+    pub fn reduce_with<OP>(mut self, op: OP) -> Option<I::Item>
+    where
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        let first = self.0.next()?;
+        Some(self.0.fold(first, op))
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn max_by<F>(self, compare: F) -> Option<I::Item>
+    where
+        F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering,
+    {
+        self.0.max_by(compare)
+    }
+
+    pub fn min_by<F>(self, compare: F) -> Option<I::Item>
+    where
+        F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering,
+    {
+        self.0.min_by(compare)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+}
+
+/// `collection.into_par_iter()` for anything iterable (ranges, vecs).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// `slice.par_iter()` — `Vec` reaches this through auto-deref.
+pub trait ParallelRefIterator {
+    type Item;
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, Self::Item>>;
+}
+
+impl<T> ParallelRefIterator for [T] {
+    type Item = T;
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+}
+
+/// `slice.par_chunks_mut(n)` — disjoint mutable chunks, processable in
+/// parallel through [`ParIter::for_each`].
+pub trait ParallelSliceMut {
+    type Item;
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, Self::Item>>;
+}
+
+impl<T> ParallelSliceMut for [T] {
+    type Item = T;
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(size))
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_for_each_touches_every_chunk() {
+        let mut data = vec![0u64; 1000];
+        data.par_chunks_mut(7)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|v| *v = i as u64 + 1));
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[999], 1000u64.div_ceil(7));
+    }
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let total =
+            (0..100usize)
+                .into_par_iter()
+                .map(|i| vec![i; 3])
+                .reduce(Vec::new, |mut a, b| {
+                    a.extend(b);
+                    a
+                });
+        assert_eq!(total.len(), 300);
+        assert_eq!(total.iter().sum::<usize>(), 3 * 4950);
+    }
+
+    #[test]
+    fn par_iter_filter_map_collect() {
+        let v = [1, 2, 3, 4, 5];
+        let odd: Vec<i32> = v
+            .par_iter()
+            .filter_map(|&x| (x % 2 == 1).then_some(x * 10))
+            .collect();
+        assert_eq!(odd, vec![10, 30, 50]);
+    }
+}
