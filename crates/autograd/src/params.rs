@@ -171,6 +171,13 @@ impl ParamStore {
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
         self.values.iter().enumerate().map(|(i, t)| (ParamId(i), t))
     }
+
+    /// True when every scalar weight in the store is finite. A store that
+    /// fails this check has been poisoned by a diverged update and must be
+    /// rolled back before it can serve predictions.
+    pub fn all_finite(&self) -> bool {
+        self.values.iter().all(Tensor::all_finite)
+    }
 }
 
 /// Per-parameter gradients produced by one backward pass.
@@ -338,6 +345,15 @@ mod tests {
         // Nothing was clobbered by the failed imports.
         assert_eq!(store.value(ParamId(0)).as_slice(), &[1.0; 2]);
         assert_eq!(store.value(ParamId(1)).as_slice(), &[0.0; 3]);
+    }
+
+    #[test]
+    fn all_finite_detects_poisoned_weights() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::ones(&[3]));
+        assert!(store.all_finite());
+        store.value_mut(id).map_inplace(|_| f32::NAN);
+        assert!(!store.all_finite());
     }
 
     #[test]

@@ -36,6 +36,15 @@ pub struct TrainConfig {
     pub patience: Option<usize>,
     pub shuffle: bool,
     pub seed: u64,
+    /// Divergence guard: an epoch whose training loss is non-finite,
+    /// exceeds `spike_factor ×` the previous epoch's loss, or leaves
+    /// non-finite weights behind is rolled back to the last good parameter
+    /// snapshot. `None` disables the guard (and the per-epoch snapshot).
+    pub spike_factor: Option<f64>,
+    /// Rollbacks tolerated before training aborts with
+    /// [`TrainHistory::diverged`] set — bounds how long a hopeless run can
+    /// thrash.
+    pub max_rollbacks: usize,
 }
 
 impl Default for TrainConfig {
@@ -48,6 +57,8 @@ impl Default for TrainConfig {
             patience: Some(10),
             shuffle: true,
             seed: 0,
+            spike_factor: Some(1e3),
+            max_rollbacks: 2,
         }
     }
 }
@@ -60,6 +71,11 @@ pub struct TrainHistory {
     pub valid_loss: Vec<f64>,
     pub best_epoch: usize,
     pub stopped_early: bool,
+    /// Epochs undone by the divergence guard (non-finite or spiking loss).
+    pub rollbacks: usize,
+    /// Training aborted because the rollback budget was exhausted. The
+    /// model holds the last good (finite) weights, not the diverged ones.
+    pub diverged: bool,
 }
 
 impl TrainHistory {
@@ -117,6 +133,11 @@ pub fn fit<M: SequenceModel>(
     let mut best_valid = f64::INFINITY;
     let mut best_snapshot: Option<Vec<Tensor>> = None;
     let mut epochs_since_best = 0usize;
+    // Divergence guard: the last parameter snapshot known to be finite and
+    // non-spiking, plus the loss it achieved.
+    let mut last_good: Option<(Vec<Tensor>, f64)> = cfg
+        .spike_factor
+        .map(|_| (model.params().snapshot(), f64::INFINITY));
 
     for _epoch in 0..cfg.epochs {
         if cfg.shuffle {
@@ -143,7 +164,31 @@ pub fn fit<M: SequenceModel>(
             }
             opt.step(model.params_mut(), &grads);
         }
-        history.train_loss.push(epoch_loss / batches.max(1) as f64);
+        let epoch_mean = epoch_loss / batches.max(1) as f64;
+        history.train_loss.push(epoch_mean);
+
+        if let Some(factor) = cfg.spike_factor {
+            let (snapshot, prev_loss) = last_good
+                .as_mut()
+                .expect("guard snapshot exists when spike_factor is set");
+            let spiked = prev_loss.is_finite() && epoch_mean > prev_loss.abs() * factor + 1e-12;
+            if !epoch_mean.is_finite() || spiked || !model.params().all_finite() {
+                // Undo the whole epoch: diverged weights would poison every
+                // later epoch (and, in serving, every later forecast).
+                model
+                    .params_mut()
+                    .restore(snapshot)
+                    .expect("last-good snapshot was taken from this very store");
+                history.rollbacks += 1;
+                if history.rollbacks > cfg.max_rollbacks {
+                    history.diverged = true;
+                    break;
+                }
+                continue; // skip validation: the epoch never happened
+            }
+            *snapshot = model.params().snapshot();
+            *prev_loss = epoch_mean;
+        }
 
         if let Some((xv, yv)) = valid {
             let pv = predict(model, xv, cfg.batch_size, &mut rng);
@@ -303,6 +348,82 @@ mod tests {
         let pv = predict(&model, &xv, 32, &mut rng);
         let vl = LossKind::Mse.eval(&pv, &yv);
         assert!((vl - hist.best_valid_loss()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divergence_guard_rolls_back_and_aborts() {
+        let (x, y) = toy_dataset(64, 3, 2, 11);
+        let mut model = FlatLinear::new(3, 2, 1, 12);
+        // An absurd learning rate overflows the weights within one epoch:
+        // every epoch ends non-finite and is rolled back.
+        let mut opt = Adam::new(1e30);
+        let cfg = TrainConfig {
+            epochs: 20,
+            batch_size: 16,
+            patience: None,
+            max_rollbacks: 2,
+            ..Default::default()
+        };
+        let hist = fit(&mut model, &x, &y, None, &mut opt, &cfg);
+        assert!(hist.diverged, "guard never fired: {:?}", hist.train_loss);
+        assert_eq!(hist.rollbacks, 3, "stops right after the budget");
+        assert!(
+            hist.epochs_run() < 20,
+            "aborted early instead of thrashing all epochs"
+        );
+        // The model holds the last good snapshot, not the exploded weights.
+        assert!(model.params().all_finite());
+        let mut rng = Rng::seed_from(0);
+        let p = predict(&model, &x, 16, &mut rng);
+        assert!(p.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn disabled_guard_keeps_legacy_behaviour() {
+        let (x, y) = toy_dataset(64, 3, 2, 13);
+        let mut model = FlatLinear::new(3, 2, 1, 14);
+        let mut opt = Adam::new(0.01);
+        let cfg = TrainConfig {
+            epochs: 5,
+            patience: None,
+            spike_factor: None,
+            ..Default::default()
+        };
+        let hist = fit(&mut model, &x, &y, None, &mut opt, &cfg);
+        assert_eq!(hist.epochs_run(), 5);
+        assert_eq!(hist.rollbacks, 0);
+        assert!(!hist.diverged);
+    }
+
+    #[test]
+    fn spike_guard_undoes_loss_explosions() {
+        let (x, y) = toy_dataset(64, 3, 2, 15);
+        let mut model = FlatLinear::new(3, 2, 1, 16);
+        let mut opt = Adam::new(0.01);
+        // First fit normally so the loss is small and stable.
+        let warm = TrainConfig {
+            epochs: 30,
+            patience: None,
+            ..Default::default()
+        };
+        fit(&mut model, &x, &y, None, &mut opt, &warm);
+        // Now continue with a step size large enough to spike the loss;
+        // a tight spike factor must catch and undo it.
+        let mut wild = Adam::new(10.0);
+        let cfg = TrainConfig {
+            epochs: 10,
+            patience: None,
+            spike_factor: Some(10.0),
+            max_rollbacks: 1,
+            ..Default::default()
+        };
+        let hist = fit(&mut model, &x, &y, None, &mut wild, &cfg);
+        assert!(
+            hist.rollbacks >= 1,
+            "spike never detected: {:?}",
+            hist.train_loss
+        );
+        assert!(model.params().all_finite());
     }
 
     #[test]

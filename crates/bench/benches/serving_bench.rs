@@ -12,7 +12,7 @@ use std::hint::black_box;
 use cloudtrace::{ContainerConfig, WorkloadClass};
 use models::NaiveForecaster;
 use rptcn::{PipelineConfig, Scenario};
-use serve::{PredictionService, ServiceConfig};
+use serve::{FaultPlan, PredictionService, ServiceConfig};
 use timeseries::TimeSeriesFrame;
 
 const ENTITIES: usize = 64;
@@ -33,7 +33,11 @@ fn bootstrap_frames() -> Vec<TimeSeriesFrame> {
         .collect()
 }
 
-fn fitted_service(shards: usize, frames: &[TimeSeriesFrame]) -> (PredictionService, Vec<String>) {
+fn fitted_service_with(
+    shards: usize,
+    frames: &[TimeSeriesFrame],
+    faults: Option<FaultPlan>,
+) -> (PredictionService, Vec<String>) {
     // Multivariate scenario: the per-ingest rolling forecast re-applies
     // screening + scaling over several indicator columns, so the shard-side
     // cost dominates the producer's send cost and scaling is visible.
@@ -48,6 +52,7 @@ fn fitted_service(shards: usize, frames: &[TimeSeriesFrame]) -> (PredictionServi
         queue_capacity: 512,
         refit_workers: 0,
         refit_every: 0,
+        faults,
         ..Default::default()
     });
     let mut ids = Vec::with_capacity(ENTITIES);
@@ -59,6 +64,10 @@ fn fitted_service(shards: usize, frames: &[TimeSeriesFrame]) -> (PredictionServi
         ids.push(id);
     }
     (service, ids)
+}
+
+fn fitted_service(shards: usize, frames: &[TimeSeriesFrame]) -> (PredictionService, Vec<String>) {
+    fitted_service_with(shards, frames, None)
 }
 
 fn samples_for(frames: &[TimeSeriesFrame]) -> Vec<Vec<f32>> {
@@ -133,5 +142,67 @@ fn bench_forecast_fanout(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingest_scaling, bench_forecast_fanout);
+/// Degraded-mode overhead: the same ingest workload with 10% of the fleet
+/// streaming NaN-poisoned samples (repaired at the shard boundary) versus a
+/// clean fleet. The delta is the price of shard-boundary validation plus
+/// repair and fallback bookkeeping on the poisoned entities.
+fn bench_degraded_mode(c: &mut Criterion) {
+    let frames = bootstrap_frames();
+    let samples = samples_for(&frames);
+    let mut group = c.benchmark_group("serving_degraded");
+    group.sample_size(10);
+    let shards = 4usize;
+    let chunk = ENTITIES / PRODUCERS;
+    for poisoned_pct in [0usize, 10] {
+        let faults = 100usize.checked_div(poisoned_pct).map(|stride| {
+            let mut plan = FaultPlan::seeded(17);
+            // Poison every sample of every 10th entity — 10% of the fleet.
+            for i in (0..ENTITIES).step_by(stride) {
+                plan = plan.poison_entity(&format!("container_{i:03}"), 1.0);
+            }
+            plan
+        });
+        let (service, ids) = fitted_service_with(shards, &frames, faults);
+        group.throughput(Throughput::Elements((ENTITIES * ROUNDS) as u64));
+        group.bench_function(
+            BenchmarkId::new("samples_per_sec", format!("{poisoned_pct}pct_poisoned")),
+            |b| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for p in 0..PRODUCERS {
+                            let service = &service;
+                            let ids = &ids[p * chunk..(p + 1) * chunk];
+                            let samples = &samples[p * chunk..(p + 1) * chunk];
+                            scope.spawn(move || {
+                                for _ in 0..ROUNDS {
+                                    for (id, sample) in ids.iter().zip(samples) {
+                                        service
+                                            .ingest(black_box(id), black_box(sample.clone()))
+                                            .expect("ingest");
+                                    }
+                                }
+                            });
+                        }
+                    });
+                    service.flush().expect("flush");
+                });
+            },
+        );
+        if poisoned_pct > 0 {
+            let stats = service.stats();
+            assert!(
+                stats.total_repaired_samples() > 0,
+                "fault plan never fired; the degraded benchmark measured nothing"
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ingest_scaling,
+    bench_forecast_fanout,
+    bench_degraded_mode
+);
 criterion_main!(benches);

@@ -6,7 +6,7 @@
 use models::checkpoint::{CheckpointError, ModelState};
 use models::Forecaster;
 use tensor::Tensor;
-use timeseries::{Expansion, FrameError, MinMaxScaler, TimeSeriesFrame};
+use timeseries::{clean, Expansion, FrameError, MinMaxScaler, TimeSeriesFrame};
 
 use crate::pipeline::{prepare, run_model, FittedPreprocess, PipelineConfig, PipelineRun};
 use crate::scenario::Scenario;
@@ -138,6 +138,38 @@ impl ResourcePredictor {
         self.samples_since_fit = 0;
     }
 
+    /// Guarded variant of [`ResourcePredictor::install_refit`]: the
+    /// replacement is installed only if it can produce a finite forecast on
+    /// the live history. On failure the previous model and preprocessing
+    /// state are restored untouched and the refit clock is left running —
+    /// a diverged background refit can never poison a serving entity.
+    pub fn try_install_refit(
+        &mut self,
+        model: Box<dyn Forecaster + Send>,
+        preprocess: FittedPreprocess,
+    ) -> Result<(), FrameError> {
+        let old_model = std::mem::replace(&mut self.model, model);
+        let old_preprocess = std::mem::replace(&mut self.preprocess, preprocess);
+        let old_clock = self.samples_since_fit;
+        match self.forecast() {
+            Ok(fc) if fc.iter().all(|v| v.is_finite()) => {
+                self.samples_since_fit = 0;
+                Ok(())
+            }
+            outcome => {
+                self.model = old_model;
+                self.preprocess = old_preprocess;
+                self.samples_since_fit = old_clock;
+                match outcome {
+                    Ok(fc) => Err(FrameError(format!(
+                        "refit replacement produced non-finite forecast {fc:?}"
+                    ))),
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+
     /// The full accumulated raw history as a frame — what a background
     /// refit trains on.
     pub fn history_snapshot(&self) -> Result<TimeSeriesFrame, FrameError> {
@@ -165,7 +197,11 @@ impl ResourcePredictor {
     /// the most recent window of history.
     pub fn forecast_normalized(&self) -> Result<Vec<f32>, FrameError> {
         let frame = self.current_frame()?;
-        // Re-apply the fitted preprocessing to the tail of the stream.
+        // Re-apply the fitted preprocessing to the tail of the stream,
+        // starting with the same cleaning step training uses: non-finite
+        // samples admitted into the history (a poisoned bootstrap, an
+        // unguarded `observe`) must never reach the scaler or the model.
+        let (frame, _) = clean(&frame, self.cfg.repair);
         let selected: Vec<&str> = self
             .preprocess
             .selected
@@ -209,6 +245,28 @@ impl ResourcePredictor {
     /// Samples currently buffered.
     pub fn history_len(&self) -> usize {
         self.history.first().map_or(0, Vec::len)
+    }
+
+    /// The most recent raw observation across all columns (in
+    /// [`ResourcePredictor::column_names`] order), `None` when the history
+    /// is empty.
+    pub fn last_sample(&self) -> Option<Vec<f32>> {
+        let n = self.history_len();
+        if n == 0 {
+            return None;
+        }
+        Some(self.history.iter().map(|col| col[n - 1]).collect())
+    }
+
+    /// The last `n` raw observations of the pipeline target (oldest first,
+    /// fewer if the history is shorter) — what a degraded-mode fallback
+    /// forecaster warms up from.
+    pub fn target_history(&self, n: usize) -> Vec<f32> {
+        let Some(col) = self.names.iter().position(|name| name == &self.cfg.target) else {
+            return Vec::new();
+        };
+        let hist = &self.history[col];
+        hist[hist.len().saturating_sub(n)..].to_vec()
     }
 
     /// Indicator column names, in the order [`ResourcePredictor::observe`]
@@ -373,6 +431,79 @@ mod tests {
         let a = predictor.forecast().unwrap();
         let b = restored.forecast().unwrap();
         assert_eq!(a, b, "restored forecast differs");
+    }
+
+    #[test]
+    fn target_history_returns_target_tail() {
+        let (mut predictor, _) =
+            ResourcePredictor::fit(Box::new(NaiveForecaster::new()), &bootstrap(), cfg()).unwrap();
+        for i in 0..5 {
+            let mut s = [0.1; 8];
+            s[0] = 0.5 + i as f32 * 0.1; // target column leads the layout
+            predictor.observe(&s).unwrap();
+        }
+        let names = predictor.column_names().to_vec();
+        let target_col = names
+            .iter()
+            .position(|n| n == &predictor.config().target)
+            .unwrap();
+        assert_eq!(target_col, 0, "generated traces lead with the target");
+        let tail = predictor.target_history(3);
+        assert_eq!(tail, vec![0.7, 0.8, 0.9]);
+        // Asking for more than exists returns the whole column.
+        assert_eq!(
+            predictor.target_history(usize::MAX).len(),
+            predictor.history_len()
+        );
+    }
+
+    struct PoisonForecaster;
+    impl models::Forecaster for PoisonForecaster {
+        fn name(&self) -> &str {
+            "poison"
+        }
+        fn fit(
+            &mut self,
+            _train: &timeseries::WindowedDataset,
+            _valid: Option<&timeseries::WindowedDataset>,
+        ) -> models::FitReport {
+            models::FitReport::default()
+        }
+        fn predict(&self, x: &tensor::Tensor) -> tensor::Tensor {
+            tensor::Tensor::full(&[x.shape()[0], 1], f32::NAN)
+        }
+    }
+
+    #[test]
+    fn try_install_refit_rejects_non_finite_replacement() {
+        let (mut predictor, _) =
+            ResourcePredictor::fit(Box::new(NaiveForecaster::new()), &bootstrap(), cfg()).unwrap();
+        let before = predictor.forecast().unwrap();
+        let preprocess = FittedPreprocess {
+            scaler: MinMaxScaler::from_parts(predictor.preprocess.scaler.columns()),
+            selected: predictor.preprocess.selected.clone(),
+            expanded_target: predictor.preprocess.expanded_target.clone(),
+        };
+        let err = predictor
+            .try_install_refit(Box::new(PoisonForecaster), preprocess)
+            .unwrap_err();
+        assert!(err.0.contains("non-finite"), "{err:?}");
+        // The previous model still serves, bit-identically.
+        assert_eq!(predictor.forecast().unwrap(), before);
+    }
+
+    #[test]
+    fn try_install_refit_accepts_finite_replacement() {
+        let (mut predictor, _) =
+            ResourcePredictor::fit(Box::new(NaiveForecaster::new()), &bootstrap(), cfg()).unwrap();
+        let frame = predictor.history_snapshot().unwrap();
+        let prepared = prepare(&frame, predictor.config()).unwrap();
+        let mut fresh: Box<dyn Forecaster + Send> = Box::new(NaiveForecaster::new());
+        run_model(fresh.as_mut(), &prepared);
+        predictor
+            .try_install_refit(fresh, prepared.fitted())
+            .unwrap();
+        assert!(predictor.forecast().unwrap()[0].is_finite());
     }
 
     #[test]

@@ -74,6 +74,10 @@ impl NeuralTrainSpec {
             patience: Some(self.patience),
             shuffle: true,
             seed: self.seed,
+            // Online refits train unattended; keep the divergence guard at
+            // its defaults so a bad refit rolls back instead of shipping
+            // NaN weights to a serving entity.
+            ..TrainConfig::default()
         }
     }
 }

@@ -18,6 +18,13 @@ pub enum ServeError {
     QueueFull { shard: usize, entity: String },
     /// The shard worker thread is gone (service shutting down or panicked).
     ShardDown(usize),
+    /// The entity's serving state is unusable: its model crashed or went
+    /// non-finite *and* the naive fallback has no history to serve from.
+    Poisoned(String),
+    /// A background refit for this entity exceeded the configured deadline
+    /// and was abandoned; the entity keeps serving from its previous model
+    /// (or the fallback if it is degraded).
+    RefitTimeout { entity: String },
     /// Preprocessing / pipeline failure (bad sample width, short history…).
     Frame(String),
     /// Checkpoint serialisation or restore failure.
@@ -36,6 +43,12 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::ShardDown(shard) => write!(f, "shard {shard} is down"),
+            ServeError::Poisoned(id) => {
+                write!(f, "entity `{id}` state is poisoned and no fallback is warm")
+            }
+            ServeError::RefitTimeout { entity } => {
+                write!(f, "background refit for `{entity}` timed out")
+            }
             ServeError::Frame(msg) => write!(f, "pipeline error: {msg}"),
             ServeError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }

@@ -1,0 +1,124 @@
+//! Degraded-mode forecasting: a naive last-value / moving-average blend
+//! that keeps an entity emitting *finite* forecasts while its real model is
+//! broken (panicked, non-finite output, failed refit).
+//!
+//! Every entity keeps its fallback warm: the shard feeds it the target
+//! value of each valid ingested sample, so the moment the model misbehaves
+//! the fallback can answer without any bootstrap delay. Only finite values
+//! are ever admitted, so a fallback forecast is finite by construction.
+
+use std::collections::VecDeque;
+
+/// Retained window of recent target values (enough for a stable mean,
+/// small enough to track regime shifts quickly).
+const DEFAULT_WINDOW: usize = 16;
+
+/// A per-entity naive forecaster used when the model cannot be trusted.
+#[derive(Debug, Clone)]
+pub struct FallbackForecaster {
+    window: VecDeque<f32>,
+    capacity: usize,
+}
+
+impl Default for FallbackForecaster {
+    fn default() -> Self {
+        Self::new(DEFAULT_WINDOW)
+    }
+}
+
+impl FallbackForecaster {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            window: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Warm the window from historical target values (oldest first).
+    /// Non-finite values are skipped.
+    pub fn seed(&mut self, history: &[f32]) {
+        for &v in history {
+            self.observe(v);
+        }
+    }
+
+    /// Record one target observation; non-finite values are ignored so the
+    /// window only ever holds values we could serve.
+    pub fn observe(&mut self, value: f32) {
+        if !value.is_finite() {
+            return;
+        }
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(value);
+    }
+
+    /// Number of finite observations currently retained.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Naive forecast: a 50/50 blend of the last observation (persistence)
+    /// and the window mean (smoothing), repeated across the horizon.
+    /// `None` when no finite value has ever been observed — the caller maps
+    /// that to [`ServeError::Poisoned`](crate::ServeError::Poisoned).
+    pub fn forecast(&self, horizon: usize) -> Option<Vec<f32>> {
+        let &last = self.window.back()?;
+        let mean = self.window.iter().sum::<f32>() / self.window.len() as f32;
+        let value = 0.5 * last + 0.5 * mean;
+        debug_assert!(value.is_finite());
+        Some(vec![value; horizon.max(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_fallback_cannot_forecast() {
+        assert_eq!(FallbackForecaster::default().forecast(1), None);
+    }
+
+    #[test]
+    fn blends_last_and_mean() {
+        let mut f = FallbackForecaster::new(4);
+        f.seed(&[1.0, 2.0, 3.0, 4.0]);
+        // mean = 2.5, last = 4.0 → 3.25
+        let fc = f.forecast(3).unwrap();
+        assert_eq!(fc, vec![3.25; 3]);
+    }
+
+    #[test]
+    fn ignores_non_finite_observations() {
+        let mut f = FallbackForecaster::new(8);
+        f.observe(5.0);
+        f.observe(f32::NAN);
+        f.observe(f32::INFINITY);
+        assert_eq!(f.len(), 1);
+        let fc = f.forecast(2).unwrap();
+        assert!(fc.iter().all(|v| v.is_finite()));
+        assert_eq!(fc, vec![5.0; 2]);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut f = FallbackForecaster::new(2);
+        f.seed(&[1.0, 2.0, 3.0]);
+        assert_eq!(f.len(), 2);
+        // window = [2, 3]: mean 2.5, last 3 → 2.75
+        assert_eq!(f.forecast(1).unwrap(), vec![2.75]);
+    }
+
+    #[test]
+    fn horizon_zero_still_returns_one_value() {
+        let mut f = FallbackForecaster::default();
+        f.observe(1.0);
+        assert_eq!(f.forecast(0).unwrap().len(), 1);
+    }
+}

@@ -9,24 +9,44 @@
 //!   choose between blocking and fail-fast [`ServeError::QueueFull`].
 //! - **Shadow refits** ([`shard`](crate::service)): when an entity's refit
 //!   cadence fires, the shard ships its history to a background training
-//!   pool and keeps serving from the old model; the replacement is swapped
-//!   in between messages — ingest never blocks on training.
+//!   pool and keeps serving from the old model; the replacement is
+//!   validated and swapped in between messages — ingest never blocks on
+//!   training.
+//! - **Supervision** ([`supervisor`]): shard workers run under
+//!   `catch_unwind`; a panicking model restarts the shard loop with the
+//!   surviving entities intact, degrades the culprit and counts the
+//!   restart.
+//! - **Degraded mode** ([`fallback`]): entities whose model errors,
+//!   panics or emits non-finite values are served by an always-warm naive
+//!   forecaster, and auto-recover on the next clean refit.
+//! - **Ingest guardrails**: samples are validated at the shard boundary —
+//!   NaN/Inf values repaired or quarantined, wrong arity dropped,
+//!   sequence gaps forward-filled (the paper's cleaning step, online).
+//! - **Fault injection** ([`faults`]): a seeded, deterministic
+//!   [`FaultPlan`] drives chaos tests — poisoned samples, panicking
+//!   models, failing/slow refits, saturated queues.
 //! - **Checkpointing** ([`checkpoint`]): the full fleet (weights,
 //!   preprocessing state, history) round-trips through a versioned binary
 //!   file, and restored services resume bit-identical forecasts.
 //! - **Observability** ([`stats`]): per-shard ingest/forecast/refit
-//!   counters, queue depths, latency percentiles and rolling online
-//!   accuracy.
+//!   counters, restart/degraded/quarantine counters, queue depths, latency
+//!   percentiles and rolling online accuracy.
 
 pub mod checkpoint;
 pub mod error;
+pub mod fallback;
+pub mod faults;
 pub mod router;
 pub mod service;
 mod shard;
 pub mod stats;
+pub mod supervisor;
 
 pub use checkpoint::{load_fleet, save_fleet, FLEET_MAGIC, FLEET_VERSION};
 pub use error::ServeError;
+pub use fallback::FallbackForecaster;
+pub use faults::FaultPlan;
 pub use router::{entity_hash, group_by_shard, shard_for};
-pub use service::{Backpressure, PredictionService, ServiceConfig};
-pub use stats::{ServiceStats, ShardStats};
+pub use service::{Backpressure, IngestGuard, PredictionService, RefitPolicy, ServiceConfig};
+pub use stats::{EntityHealth, ServiceStats, ShardStats};
+pub use supervisor::EntityHealthReport;

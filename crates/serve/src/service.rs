@@ -11,12 +11,13 @@
 //! [`PredictionService::checkpoint`] / [`PredictionService::restore`]
 //! round-trip the whole fleet through a versioned binary file.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::Path;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{channel, sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 use models::Forecaster;
 use rptcn::{PipelineConfig, PipelineRun, ResourcePredictor};
@@ -24,9 +25,11 @@ use timeseries::TimeSeriesFrame;
 
 use crate::checkpoint::{load_fleet, save_fleet};
 use crate::error::ServeError;
+use crate::faults::FaultPlan;
 use crate::router::{group_by_shard, shard_for};
-use crate::shard::{run_refit_worker, run_shard, RefitJob, ShardContext, ShardMsg};
+use crate::shard::{run_refit_worker, RefitJob, ShardContext, ShardMsg};
 use crate::stats::{ServiceStats, ShardStatsCore};
+use crate::supervisor::{run_supervised_shard, EntityHealthReport};
 
 /// What to do when an entity's shard queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +39,44 @@ pub enum Backpressure {
     /// Fail fast with [`ServeError::QueueFull`]; the caller decides whether
     /// to retry or drop.
     Reject,
+}
+
+/// What to do with an invalid (NaN/Inf) sample at the shard boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestGuard {
+    /// Forward-fill poisoned values from the entity's last valid sample
+    /// (the paper's cleaning step, applied online). Counted in
+    /// `repaired_samples`.
+    Repair,
+    /// Drop invalid samples entirely. Counted in `quarantined_samples`.
+    Quarantine,
+}
+
+/// Retry/backoff/deadline policy for background refits.
+#[derive(Debug, Clone)]
+pub struct RefitPolicy {
+    /// Training attempts per refit job before it is reported failed.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub backoff: Duration,
+    /// Upper bound on the exponential backoff.
+    pub backoff_max: Duration,
+    /// Per-attempt deadline. A training run that exceeds it is abandoned
+    /// on its watchdog thread and counted in `refit_timeouts`, so a wedged
+    /// job cannot stall the entity's refit cadence. `None` disables the
+    /// watchdog (attempts run inline on the pool worker).
+    pub timeout: Option<Duration>,
+}
+
+impl Default for RefitPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff: Duration::from_millis(25),
+            backoff_max: Duration::from_secs(1),
+            timeout: None,
+        }
+    }
 }
 
 /// Tuning knobs for a [`PredictionService`].
@@ -57,6 +98,13 @@ pub struct ServiceConfig {
     pub score_on_ingest: bool,
     /// Retained window of forecast latencies per shard.
     pub latency_window: usize,
+    /// Shard-boundary policy for invalid samples.
+    pub ingest_guard: IngestGuard,
+    /// Retry/backoff/deadline policy for background refits.
+    pub refit_policy: RefitPolicy,
+    /// Deterministic fault-injection plan for chaos tests; `None` (the
+    /// default) in production.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -69,6 +117,9 @@ impl Default for ServiceConfig {
             backpressure: Backpressure::Block,
             score_on_ingest: true,
             latency_window: 1024,
+            ingest_guard: IngestGuard::Repair,
+            refit_policy: RefitPolicy::default(),
+            faults: None,
         }
     }
 }
@@ -95,6 +146,12 @@ impl PredictionService {
         let (refit_tx, refit_rx) = channel::<RefitJob>();
         let refit_rx = Arc::new(Mutex::new(refit_rx));
 
+        let workers = if config.refit_every > 0 {
+            config.refit_workers.max(1)
+        } else {
+            config.refit_workers
+        };
+
         let mut shard_txs = Vec::with_capacity(config.shards);
         let mut stats = Vec::with_capacity(config.shards);
         let mut shard_handles = Vec::with_capacity(config.shards);
@@ -106,11 +163,14 @@ impl PredictionService {
                 stats: Arc::clone(&core),
                 refit_tx: refit_tx.clone(),
                 refit_every: config.refit_every,
+                refit_enabled: workers > 0,
                 score_on_ingest: config.score_on_ingest,
+                ingest_guard: config.ingest_guard,
+                faults: config.faults.clone(),
             };
             let handle = thread::Builder::new()
                 .name(format!("serve-shard-{shard_id}"))
-                .spawn(move || run_shard(ctx, rx))
+                .spawn(move || run_supervised_shard(ctx, rx))
                 .expect("failed to spawn shard worker");
             shard_txs.push(tx);
             stats.push(core);
@@ -125,18 +185,15 @@ impl PredictionService {
             .cloned()
             .zip(stats.iter().map(Arc::clone))
             .collect();
-        let workers = if config.refit_every > 0 {
-            config.refit_workers.max(1)
-        } else {
-            config.refit_workers
-        };
         let refit_handles = (0..workers)
             .map(|w| {
                 let rx = Arc::clone(&refit_rx);
                 let pool = pool.clone();
+                let policy = config.refit_policy.clone();
+                let faults = config.faults.clone();
                 thread::Builder::new()
                     .name(format!("serve-refit-{w}"))
-                    .spawn(move || run_refit_worker(rx, pool))
+                    .spawn(move || run_refit_worker(rx, pool, policy, faults))
                     .expect("failed to spawn refit worker")
             })
             .collect();
@@ -194,6 +251,19 @@ impl PredictionService {
     /// for queue space; under [`Backpressure::Reject`] a full queue returns
     /// [`ServeError::QueueFull`] without losing previously queued samples.
     pub fn ingest(&self, id: &str, sample: Vec<f32>) -> Result<(), ServeError> {
+        self.ingest_inner(id, sample, None)
+    }
+
+    /// Like [`PredictionService::ingest`], with the caller's monotone
+    /// sample sequence number. The shard detects gaps (missing monitoring
+    /// records, per the paper's cleaning step) and forward-fills them, and
+    /// quarantines stale replays — see `gap_samples` /
+    /// `quarantined_samples` in [`crate::ShardStats`].
+    pub fn ingest_at(&self, id: &str, seq: u64, sample: Vec<f32>) -> Result<(), ServeError> {
+        self.ingest_inner(id, sample, Some(seq))
+    }
+
+    fn ingest_inner(&self, id: &str, sample: Vec<f32>, seq: Option<u64>) -> Result<(), ServeError> {
         if !self.ids.contains(id) {
             return Err(ServeError::UnknownEntity(id.to_string()));
         }
@@ -201,6 +271,7 @@ impl PredictionService {
         let msg = ShardMsg::Ingest {
             id: id.to_string(),
             sample,
+            seq,
         };
         match self.config.backpressure {
             Backpressure::Block => self.send_blocking(shard, msg),
@@ -299,6 +370,25 @@ impl PredictionService {
             reply_rx.recv().map_err(|_| ServeError::ShardDown(shard))?;
         }
         Ok(())
+    }
+
+    /// Serving health of every entity: `Healthy` entities are served by
+    /// their model, `Degraded` ones by the naive fallback until a clean
+    /// refit restores them. Reported per entity with crash counts and the
+    /// error that caused the last transition.
+    pub fn entity_health(&self) -> Result<BTreeMap<String, EntityHealthReport>, ServeError> {
+        let mut pending = Vec::new();
+        for shard in 0..self.config.shards {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            self.send_blocking(shard, ShardMsg::Health { reply: reply_tx })?;
+            pending.push((shard, reply_rx));
+        }
+        let mut out = BTreeMap::new();
+        for (shard, reply_rx) in pending {
+            let reports = reply_rx.recv().map_err(|_| ServeError::ShardDown(shard))?;
+            out.extend(reports);
+        }
+        Ok(out)
     }
 
     /// Point-in-time statistics for every shard.

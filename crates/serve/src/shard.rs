@@ -3,16 +3,26 @@
 //! same shard, its messages are processed in arrival order — an ingest
 //! followed by a forecast request is guaranteed to see the new sample.
 //!
-//! Refits never run here. When an entity's cadence fires, the shard ships
-//! a [`RefitJob`] (history snapshot + model architecture) to the background
-//! refit pool and keeps serving forecasts from the old model; the freshly
-//! trained replacement arrives later as a [`ShardMsg::RefitDone`] and is
-//! swapped in between messages.
+//! The message loop here is *supervised*: [`crate::supervisor`] runs it
+//! under `catch_unwind` and restarts it (slots intact) when a panic
+//! escapes, so one misbehaving model cannot take a whole shard's entities
+//! offline. Samples are validated at this boundary (arity, NaN/Inf,
+//! sequence gaps) and repaired or quarantined; non-finite or panicking
+//! forecasts flip the entity into degraded mode, served by a naive
+//! fallback until a clean refit restores it.
+//!
+//! Refits never run here. When an entity's cadence fires (or a degraded
+//! entity needs recovery), the shard ships a [`RefitJob`] — a history
+//! snapshot plus the model architecture — to the background refit pool and
+//! keeps serving from the old model (or fallback); the freshly trained
+//! replacement arrives later as [`ShardMsg::RefitDone`] and is validated
+//! before being swapped in between messages.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -24,10 +34,19 @@ use rptcn::{
 use timeseries::TimeSeriesFrame;
 
 use crate::error::ServeError;
-use crate::stats::ShardStatsCore;
+use crate::fallback::FallbackForecaster;
+use crate::faults::{FaultPlan, RefitFault};
+use crate::service::{IngestGuard, RefitPolicy};
+use crate::stats::{lock_recover, EntityHealth, ShardStatsCore};
+use crate::supervisor::EntityHealthReport;
 
 /// Per-entity results of a batched forecast request.
 pub(crate) type ForecastReplies = Vec<(String, Result<Vec<f32>, ServeError>)>;
+
+/// When a sequence gap is detected, at most this many synthetic
+/// forward-fill samples are inserted to keep window continuity (the
+/// paper's cleaning step caps how much missing data is worth repairing).
+const MAX_GAP_FILL: u64 = 4;
 
 /// Everything a shard worker can be asked to do.
 pub(crate) enum ShardMsg {
@@ -37,22 +56,28 @@ pub(crate) enum ShardMsg {
         predictor: Box<ResourcePredictor>,
         reply: SyncSender<Result<(), ServeError>>,
     },
-    /// One monitoring sample for `id` (fire-and-forget).
-    Ingest { id: String, sample: Vec<f32> },
+    /// One monitoring sample for `id` (fire-and-forget). `seq` is the
+    /// caller's monotone sample counter when it has one — gaps are detected
+    /// and repaired, stale replays quarantined.
+    Ingest {
+        id: String,
+        sample: Vec<f32>,
+        seq: Option<u64>,
+    },
     /// Forecast a batch of entities living on this shard.
     ForecastBatch {
         ids: Vec<String>,
         reply: SyncSender<ForecastReplies>,
     },
-    /// A background refit finished (`None` = training failed; keep serving
-    /// the old model and re-arm the cadence).
-    RefitDone {
-        id: String,
-        replacement: Option<(Box<dyn Forecaster + Send>, FittedPreprocess)>,
-    },
+    /// A background refit finished.
+    RefitDone { id: String, outcome: RefitOutcome },
     /// Capture the state of every entity on this shard, sorted by id.
     Snapshot {
         reply: SyncSender<Result<Vec<(String, PredictorState)>, ServeError>>,
+    },
+    /// Report every entity's serving health, sorted by id.
+    Health {
+        reply: SyncSender<Vec<(String, EntityHealthReport)>>,
     },
     /// Round-trip marker: replied to once every earlier message is done.
     Barrier { reply: SyncSender<()> },
@@ -62,8 +87,21 @@ pub(crate) enum ShardMsg {
     Shutdown,
 }
 
+/// How a background refit ended.
+pub(crate) enum RefitOutcome {
+    /// Training succeeded; the replacement still has to pass validation on
+    /// the live history before it is installed.
+    Replaced(Box<dyn Forecaster + Send>, FittedPreprocess),
+    /// Every attempt failed (bad data, divergence, injected fault).
+    Failed,
+    /// The last attempt exceeded the refit deadline and was abandoned.
+    TimedOut,
+}
+
 /// A unit of background training: everything the refit pool needs to fit a
-/// fresh model without touching the live predictor.
+/// fresh model without touching the live predictor. Cloneable so a timed
+/// attempt can move its own copy onto a watchdog thread.
+#[derive(Clone)]
 pub(crate) struct RefitJob {
     pub entity: String,
     pub shard: usize,
@@ -72,14 +110,27 @@ pub(crate) struct RefitJob {
     pub model_state: ModelState,
 }
 
-struct EntitySlot {
-    predictor: ResourcePredictor,
-    /// Index of the pipeline target within the sample layout (for scoring).
+pub(crate) struct EntitySlot {
+    pub(crate) predictor: ResourcePredictor,
+    /// Index of the pipeline target within the sample layout (for scoring
+    /// and for feeding the fallback).
     target_column: Option<usize>,
     samples_since_refit: usize,
-    refit_in_flight: bool,
+    pub(crate) refit_in_flight: bool,
     /// Forecast issued at the previous ingest, scored on the next one.
     pending: Option<f32>,
+    pub(crate) health: EntityHealth,
+    /// Always-warm naive forecaster serving while the model is degraded.
+    pub(crate) fallback: FallbackForecaster,
+    /// Last fully-finite sample, used to repair poisoned values and fill
+    /// sequence gaps.
+    last_valid: Option<Vec<f32>>,
+    /// Next expected sequence number when the caller supplies them.
+    next_seq: Option<u64>,
+    /// Times this entity's model crashed the shard worker.
+    pub(crate) crashes: u32,
+    pub(crate) last_error: Option<ServeError>,
+    horizon: usize,
 }
 
 /// Static configuration handed to each shard worker.
@@ -90,89 +141,65 @@ pub(crate) struct ShardContext {
     /// Dispatch a background refit after this many samples per entity
     /// (0 disables periodic refits).
     pub refit_every: usize,
+    /// Whether a refit pool exists at all — recovery refits for degraded
+    /// entities are only dispatched when someone will train them.
+    pub refit_enabled: bool,
     /// Issue (and later score) a rolling forecast on every ingest.
     pub score_on_ingest: bool,
+    /// What to do with invalid samples at the shard boundary.
+    pub ingest_guard: IngestGuard,
+    /// Fault-injection plan (chaos tests); `None` in production.
+    pub faults: Option<FaultPlan>,
 }
 
-/// The shard worker loop. Runs until every sender is dropped.
-pub(crate) fn run_shard(ctx: ShardContext, rx: Receiver<ShardMsg>) {
-    let mut slots: HashMap<String, EntitySlot> = HashMap::new();
+/// One pass of the shard message loop. Runs until every sender is dropped
+/// or `Shutdown` arrives; panics unwind into the supervisor, which records
+/// the entity named in `current` as the culprit and restarts the loop with
+/// `slots` intact.
+pub(crate) fn shard_loop(
+    ctx: &ShardContext,
+    rx: &Receiver<ShardMsg>,
+    slots: &mut HashMap<String, EntitySlot>,
+    current: &mut Option<String>,
+) {
     while let Ok(msg) = rx.recv() {
         ctx.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        if let Some(stall) = ctx
+            .faults
+            .as_ref()
+            .and_then(|p| p.message_stall(ctx.shard_id))
+        {
+            std::thread::sleep(stall);
+        }
         match msg {
             ShardMsg::Install {
                 id,
                 predictor,
                 reply,
             } => {
-                let result = match slots.entry(id) {
-                    Entry::Occupied(entry) => Err(ServeError::DuplicateEntity(entry.key().clone())),
-                    Entry::Vacant(entry) => {
-                        let target = predictor.config().target.clone();
-                        let target_column =
-                            predictor.column_names().iter().position(|n| n == &target);
-                        entry.insert(EntitySlot {
-                            predictor: *predictor,
-                            target_column,
-                            samples_since_refit: 0,
-                            refit_in_flight: false,
-                            pending: None,
-                        });
-                        ctx.stats.entities.fetch_add(1, Ordering::Relaxed);
-                        Ok(())
-                    }
-                };
+                let result = install_entity(ctx, slots, id, predictor);
                 let _ = reply.send(result);
             }
-            ShardMsg::Ingest { id, sample } => {
-                let Some(slot) = slots.get_mut(&id) else {
-                    ctx.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                };
-                // Score the forecast issued last interval against the truth
-                // arriving now.
-                if let (Some(forecast), Some(col)) = (slot.pending.take(), slot.target_column) {
-                    if let Some(&actual) = sample.get(col) {
-                        ctx.stats
-                            .score
-                            .lock()
-                            .expect("score accumulator poisoned")
-                            .score(forecast, actual);
-                    }
-                }
-                if slot.predictor.observe(&sample).is_err() {
-                    ctx.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                }
-                ctx.stats.ingested.fetch_add(1, Ordering::Relaxed);
-                slot.samples_since_refit += 1;
-                if ctx.refit_every > 0
-                    && slot.samples_since_refit >= ctx.refit_every
-                    && !slot.refit_in_flight
-                {
-                    dispatch_refit(&ctx, &id, slot);
-                }
-                if ctx.score_on_ingest {
-                    if let Ok(fc) = slot.predictor.forecast() {
-                        slot.pending = fc.first().copied();
-                    }
-                }
+            ShardMsg::Ingest { id, sample, seq } => {
+                ingest_sample(ctx, slots, current, id, sample, seq);
+                *current = None;
             }
             ShardMsg::ForecastBatch { ids, reply } => {
                 let results: ForecastReplies = ids
                     .into_iter()
                     .map(|id| {
                         let started = Instant::now();
-                        let res = match slots.get(&id) {
-                            Some(slot) => slot.predictor.forecast().map_err(ServeError::from),
-                            None => Err(ServeError::UnknownEntity(id.clone())),
-                        };
+                        *current = Some(id.clone());
+                        if let Some(plan) = &ctx.faults {
+                            if plan.take_forecast_panic(&id) {
+                                panic!("fault injection: model panic while forecasting `{id}`");
+                            }
+                        }
+                        let res = forecast_entity(ctx, slots, &id);
+                        *current = None;
                         if res.is_ok() {
                             ctx.stats.forecasts.fetch_add(1, Ordering::Relaxed);
-                            ctx.stats
-                                .latency
-                                .lock()
-                                .expect("latency ring poisoned")
+                            lock_recover(&ctx.stats.latency)
                                 .record(started.elapsed().as_nanos() as u64);
                         }
                         (id, res)
@@ -180,18 +207,30 @@ pub(crate) fn run_shard(ctx: ShardContext, rx: Receiver<ShardMsg>) {
                     .collect();
                 let _ = reply.send(results);
             }
-            ShardMsg::RefitDone { id, replacement } => {
-                let Some(slot) = slots.get_mut(&id) else {
-                    continue;
-                };
-                slot.refit_in_flight = false;
-                if let Some((model, preprocess)) = replacement {
-                    slot.predictor.install_refit(model, preprocess);
-                    ctx.stats.refits_completed.fetch_add(1, Ordering::Relaxed);
-                }
+            ShardMsg::RefitDone { id, outcome } => {
+                *current = Some(id.clone());
+                apply_refit_outcome(ctx, slots, &id, outcome);
+                *current = None;
             }
             ShardMsg::Snapshot { reply } => {
-                let _ = reply.send(snapshot_all(&slots));
+                let _ = reply.send(snapshot_all(slots));
+            }
+            ShardMsg::Health { reply } => {
+                let mut out: Vec<(String, EntityHealthReport)> = slots
+                    .iter()
+                    .map(|(id, slot)| {
+                        (
+                            id.clone(),
+                            EntityHealthReport {
+                                health: slot.health,
+                                crashes: slot.crashes,
+                                last_error: slot.last_error.clone(),
+                            },
+                        )
+                    })
+                    .collect();
+                out.sort_by(|a, b| a.0.cmp(&b.0));
+                let _ = reply.send(out);
             }
             ShardMsg::Barrier { reply } => {
                 let _ = reply.send(());
@@ -201,9 +240,260 @@ pub(crate) fn run_shard(ctx: ShardContext, rx: Receiver<ShardMsg>) {
     }
 }
 
+fn install_entity(
+    ctx: &ShardContext,
+    slots: &mut HashMap<String, EntitySlot>,
+    id: String,
+    predictor: Box<ResourcePredictor>,
+) -> Result<(), ServeError> {
+    match slots.entry(id) {
+        Entry::Occupied(entry) => Err(ServeError::DuplicateEntity(entry.key().clone())),
+        Entry::Vacant(entry) => {
+            let target = predictor.config().target.clone();
+            let target_column = predictor.column_names().iter().position(|n| n == &target);
+            let horizon = predictor.config().horizon;
+            let mut fallback = FallbackForecaster::default();
+            fallback.seed(&predictor.target_history(64));
+            let last_valid = predictor
+                .last_sample()
+                .filter(|s| s.iter().all(|v| v.is_finite()));
+            entry.insert(EntitySlot {
+                predictor: *predictor,
+                target_column,
+                samples_since_refit: 0,
+                refit_in_flight: false,
+                pending: None,
+                health: EntityHealth::Healthy,
+                fallback,
+                last_valid,
+                next_seq: None,
+                crashes: 0,
+                last_error: None,
+                horizon,
+            });
+            ctx.stats.entities.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+    }
+}
+
+fn ingest_sample(
+    ctx: &ShardContext,
+    slots: &mut HashMap<String, EntitySlot>,
+    current: &mut Option<String>,
+    id: String,
+    mut sample: Vec<f32>,
+    seq: Option<u64>,
+) {
+    let Some(slot) = slots.get_mut(&id) else {
+        // No slot means no history to fabricate a forecast from: count the
+        // orphan here; the next forecast for this id surfaces
+        // `ServeError::UnknownEntity` to the caller.
+        ctx.stats
+            .unknown_entity_ingests
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    *current = Some(id.clone());
+    if let Some(plan) = &ctx.faults {
+        plan.corrupt_sample(&id, &mut sample);
+    }
+
+    // Guardrail 1: arity. A sample of the wrong width cannot be repaired.
+    if sample.len() != slot.predictor.column_names().len() {
+        ctx.stats
+            .quarantined_samples
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+
+    // Guardrail 2: sequence gaps (paper §III-A: monitoring streams lose
+    // records). Stale replays are quarantined; gaps are forward-filled up
+    // to a cap so the model's input window stays contiguous.
+    if let Some(seq) = seq {
+        match slot.next_seq {
+            Some(expected) if seq < expected => {
+                ctx.stats
+                    .quarantined_samples
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Some(expected) if seq > expected => {
+                let missed = seq - expected;
+                ctx.stats.gap_samples.fetch_add(missed, Ordering::Relaxed);
+                if ctx.ingest_guard == IngestGuard::Repair {
+                    if let Some(fill) = slot.last_valid.clone() {
+                        for _ in 0..missed.min(MAX_GAP_FILL) {
+                            let _ = slot.predictor.observe(&fill);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        slot.next_seq = Some(seq + 1);
+    }
+
+    // Guardrail 3: non-finite values — repaired by forward-filling the
+    // last valid observation, or quarantined when repair is impossible.
+    if sample.iter().any(|v| !v.is_finite()) {
+        let repaired = match (ctx.ingest_guard, &slot.last_valid) {
+            (IngestGuard::Repair, Some(last)) => {
+                for (v, lv) in sample.iter_mut().zip(last) {
+                    if !v.is_finite() {
+                        *v = *lv;
+                    }
+                }
+                true
+            }
+            _ => false,
+        };
+        if repaired {
+            ctx.stats.repaired_samples.fetch_add(1, Ordering::Relaxed);
+        } else {
+            ctx.stats
+                .quarantined_samples
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+
+    // Score the forecast issued last interval against the truth arriving
+    // now.
+    if let (Some(forecast), Some(col)) = (slot.pending.take(), slot.target_column) {
+        if let Some(&actual) = sample.get(col) {
+            lock_recover(&ctx.stats.score).score(forecast, actual);
+        }
+    }
+    if slot.predictor.observe(&sample).is_err() {
+        ctx.stats
+            .quarantined_samples
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if let Some(col) = slot.target_column {
+        slot.fallback.observe(sample[col]);
+    }
+    slot.last_valid = Some(sample);
+    ctx.stats.ingested.fetch_add(1, Ordering::Relaxed);
+    slot.samples_since_refit += 1;
+    if ctx.refit_every > 0 && slot.samples_since_refit >= ctx.refit_every && !slot.refit_in_flight {
+        dispatch_refit(ctx, &id, slot);
+    }
+    if ctx.score_on_ingest {
+        slot.pending = rolling_forecast(ctx, slot).map(|fc| fc[0]);
+    }
+}
+
+/// One-step forecast for ingest-time scoring: model when healthy (guarded
+/// against panics and non-finite output), fallback otherwise — so the
+/// rolling accuracy of degraded entities tracks what they actually serve.
+fn rolling_forecast(ctx: &ShardContext, slot: &mut EntitySlot) -> Option<Vec<f32>> {
+    if slot.health == EntityHealth::Healthy {
+        match catch_unwind(AssertUnwindSafe(|| slot.predictor.forecast())) {
+            Ok(Ok(fc)) if !fc.is_empty() && fc.iter().all(|v| v.is_finite()) => return Some(fc),
+            Ok(Ok(fc)) => degrade(
+                ctx,
+                slot,
+                ServeError::Frame(format!("non-finite rolling forecast {fc:?}")),
+            ),
+            Ok(Err(e)) => degrade(ctx, slot, ServeError::from(e)),
+            Err(_) => degrade(ctx, slot, ServeError::Frame("model panicked".into())),
+        }
+    }
+    slot.fallback.forecast(slot.horizon)
+}
+
+/// Serve one forecast request. Healthy entities use their model; any
+/// panic, error or non-finite output flips them to degraded and the naive
+/// fallback answers — the caller always receives finite values or a typed
+/// error, never NaN.
+fn forecast_entity(
+    ctx: &ShardContext,
+    slots: &mut HashMap<String, EntitySlot>,
+    id: &str,
+) -> Result<Vec<f32>, ServeError> {
+    let Some(slot) = slots.get_mut(id) else {
+        return Err(ServeError::UnknownEntity(id.to_string()));
+    };
+    if slot.health == EntityHealth::Healthy {
+        match catch_unwind(AssertUnwindSafe(|| slot.predictor.forecast())) {
+            Ok(Ok(fc)) if !fc.is_empty() && fc.iter().all(|v| v.is_finite()) => return Ok(fc),
+            Ok(Ok(fc)) => degrade(
+                ctx,
+                slot,
+                ServeError::Frame(format!("non-finite forecast {fc:?}")),
+            ),
+            Ok(Err(e)) => degrade(ctx, slot, ServeError::from(e)),
+            Err(_) => degrade(ctx, slot, ServeError::Frame("model panicked".into())),
+        }
+        if ctx.refit_enabled && !slot.refit_in_flight {
+            dispatch_refit(ctx, id, slot);
+        }
+    }
+    match slot.fallback.forecast(slot.horizon) {
+        Some(fc) => {
+            ctx.stats.fallback_forecasts.fetch_add(1, Ordering::Relaxed);
+            Ok(fc)
+        }
+        None => Err(ServeError::Poisoned(id.to_string())),
+    }
+}
+
+/// Flip an entity into degraded mode (idempotent) and remember why.
+pub(crate) fn degrade(ctx: &ShardContext, slot: &mut EntitySlot, reason: ServeError) {
+    if slot.health == EntityHealth::Healthy {
+        slot.health = EntityHealth::Degraded;
+        ctx.stats.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    slot.last_error = Some(reason);
+}
+
+fn apply_refit_outcome(
+    ctx: &ShardContext,
+    slots: &mut HashMap<String, EntitySlot>,
+    id: &str,
+    outcome: RefitOutcome,
+) {
+    let Some(slot) = slots.get_mut(id) else {
+        return;
+    };
+    slot.refit_in_flight = false;
+    match outcome {
+        RefitOutcome::Replaced(model, preprocess) => {
+            match slot.predictor.try_install_refit(model, preprocess) {
+                Ok(()) => {
+                    ctx.stats.refits_completed.fetch_add(1, Ordering::Relaxed);
+                    if slot.health == EntityHealth::Degraded {
+                        slot.health = EntityHealth::Healthy;
+                        ctx.stats.degraded.fetch_sub(1, Ordering::Relaxed);
+                        slot.last_error = None;
+                    }
+                }
+                Err(e) => {
+                    ctx.stats.refits_rejected.fetch_add(1, Ordering::Relaxed);
+                    slot.last_error = Some(ServeError::Frame(e.0));
+                }
+            }
+        }
+        RefitOutcome::Failed => {
+            ctx.stats.refit_failures.fetch_add(1, Ordering::Relaxed);
+            slot.last_error = Some(ServeError::Frame(format!(
+                "background refit for `{id}` failed"
+            )));
+        }
+        RefitOutcome::TimedOut => {
+            ctx.stats.refit_timeouts.fetch_add(1, Ordering::Relaxed);
+            slot.last_error = Some(ServeError::RefitTimeout {
+                entity: id.to_string(),
+            });
+        }
+    }
+}
+
 /// Ship a shadow-refit job for `slot` to the background pool. The live
 /// model keeps serving; `refit_in_flight` stops duplicate dispatches.
-fn dispatch_refit(ctx: &ShardContext, id: &str, slot: &mut EntitySlot) {
+pub(crate) fn dispatch_refit(ctx: &ShardContext, id: &str, slot: &mut EntitySlot) {
     let Some(model_state) = slot.predictor.model_state() else {
         // Model cannot be checkpointed, so it cannot be shadow-trained
         // either; re-arm and keep serving.
@@ -245,26 +535,29 @@ fn snapshot_all(
 }
 
 /// A refit-pool worker: pulls jobs, trains a fresh model of the same
-/// architecture on the shipped history, and posts the replacement back to
-/// the owning shard. Exits when the job channel closes.
+/// architecture on the shipped history (with retries, bounded exponential
+/// backoff and an optional per-attempt deadline), and posts the outcome
+/// back to the owning shard. Exits when the job channel closes.
 pub(crate) fn run_refit_worker(
     rx: Arc<Mutex<Receiver<RefitJob>>>,
     shards: Vec<(SyncSender<ShardMsg>, Arc<ShardStatsCore>)>,
+    policy: RefitPolicy,
+    faults: Option<FaultPlan>,
 ) {
     loop {
         // Hold the lock only while waiting: workers take turns receiving,
         // then train in parallel.
-        let job = match rx.lock().expect("refit queue poisoned").recv() {
+        let job = match lock_recover(&rx).recv() {
             Ok(job) => job,
             Err(_) => return,
         };
-        let replacement = train_replacement(&job);
+        let outcome = execute_refit(&job, &policy, faults.as_ref());
         let (tx, stats) = &shards[job.shard];
         stats.queue_depth.fetch_add(1, Ordering::Relaxed);
         if tx
             .send(ShardMsg::RefitDone {
                 id: job.entity,
-                replacement,
+                outcome,
             })
             .is_err()
         {
@@ -275,10 +568,93 @@ pub(crate) fn run_refit_worker(
     }
 }
 
+/// Run a job through the retry policy: every attempt is panic-guarded and
+/// (when a deadline is set) abandoned if it exceeds it; failures back off
+/// exponentially up to `backoff_max` so a struggling entity cannot hog the
+/// pool.
+fn execute_refit(job: &RefitJob, policy: &RefitPolicy, faults: Option<&FaultPlan>) -> RefitOutcome {
+    let fault = faults.and_then(|p| p.refit_fault(&job.entity));
+    let mut timed_out = false;
+    for attempt in 0..policy.max_attempts.max(1) {
+        if attempt > 0 {
+            let shift = (attempt - 1).min(16);
+            let backoff = policy
+                .backoff
+                .saturating_mul(1u32 << shift)
+                .min(policy.backoff_max);
+            std::thread::sleep(backoff);
+        }
+        if fault == Some(RefitFault::Fail) {
+            continue;
+        }
+        let delay = match fault {
+            Some(RefitFault::Slow(d)) => Some(d),
+            _ => None,
+        };
+        match attempt_refit(job, delay, policy.timeout) {
+            Ok(Some(replacement)) => return RefitOutcome::Replaced(replacement.0, replacement.1),
+            Ok(None) => continue,
+            Err(AttemptTimedOut) => {
+                timed_out = true;
+                continue;
+            }
+        }
+    }
+    if timed_out {
+        RefitOutcome::TimedOut
+    } else {
+        RefitOutcome::Failed
+    }
+}
+
+struct AttemptTimedOut;
+
+type Replacement = (Box<dyn Forecaster + Send>, FittedPreprocess);
+
+/// One training attempt. Panics are contained (a crashing `fit` is a
+/// failed attempt, not a dead pool worker). With a deadline, training runs
+/// on a watchdog thread and is abandoned — its result discarded — once the
+/// deadline passes, so a wedged job cannot stall the refit cadence.
+fn attempt_refit(
+    job: &RefitJob,
+    injected_delay: Option<std::time::Duration>,
+    timeout: Option<std::time::Duration>,
+) -> Result<Option<Replacement>, AttemptTimedOut> {
+    match timeout {
+        None => {
+            if let Some(d) = injected_delay {
+                std::thread::sleep(d);
+            }
+            Ok(catch_unwind(AssertUnwindSafe(|| train_replacement(job))).unwrap_or(None))
+        }
+        Some(deadline) => {
+            let owned = job.clone();
+            let (tx, rx) = std::sync::mpsc::sync_channel(1);
+            std::thread::Builder::new()
+                .name(format!("serve-refit-attempt-{}", owned.entity))
+                .spawn(move || {
+                    if let Some(d) = injected_delay {
+                        std::thread::sleep(d);
+                    }
+                    let out = catch_unwind(AssertUnwindSafe(|| train_replacement(&owned)))
+                        .unwrap_or(None);
+                    let _ = tx.send(out);
+                })
+                .map_err(|_| AttemptTimedOut)?;
+            match rx.recv_timeout(deadline) {
+                Ok(out) => Ok(out),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    Err(AttemptTimedOut)
+                }
+            }
+        }
+    }
+}
+
 /// Fit a fresh model of the same architecture on the job's history
 /// snapshot. `None` when preparation or training fails — the shard then
 /// keeps the model it has.
-fn train_replacement(job: &RefitJob) -> Option<(Box<dyn Forecaster + Send>, FittedPreprocess)> {
+fn train_replacement(job: &RefitJob) -> Option<Replacement> {
     let mut model = forecaster_like(&job.model_state).ok()?;
     let prepared = prepare(&job.frame, &job.cfg).ok()?;
     run_model(model.as_mut(), &prepared);

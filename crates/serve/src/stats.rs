@@ -4,9 +4,31 @@
 //! The shard worker owns the hot path, so every write here is either a
 //! relaxed atomic increment or a short mutex hold on data only the shard
 //! thread writes — the stats reader never contends with ingestion.
+//!
+//! Fault-tolerance counters live here too: shard restarts, entities in
+//! degraded mode, fallback forecasts, repaired/quarantined samples and
+//! refit failures/timeouts — everything an operator needs to see whether
+//! the fleet is healthy or limping.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serving health of one entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityHealth {
+    /// The fitted model is serving forecasts normally.
+    Healthy,
+    /// The model crashed or produced a non-finite forecast; the entity is
+    /// served by the naive fallback until a clean refit restores it.
+    Degraded,
+}
+
+/// Lock a stats mutex, recovering from poisoning: a panicking shard must
+/// not take observability down with it — the guarded data is only ever a
+/// counter accumulator and stays usable after an unwind.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Fixed-size ring of recent forecast latencies (nanoseconds).
 #[derive(Debug)]
@@ -93,10 +115,34 @@ pub struct ShardStatsCore {
     pub forecasts: AtomicU64,
     pub refits_started: AtomicU64,
     pub refits_completed: AtomicU64,
-    /// Samples not applied: queue-full rejections + unknown-entity drops.
+    /// Samples not applied because the queue was full under `Reject`.
     pub rejected: AtomicU64,
+    /// Ingests addressed to an entity this shard has never installed.
+    pub unknown_entity_ingests: AtomicU64,
     /// Messages currently queued for this shard.
     pub queue_depth: AtomicUsize,
+    /// Times the supervisor restarted this shard's worker loop after a
+    /// panic escaped message processing.
+    pub restarts: AtomicU64,
+    /// Entities currently in degraded (fallback-serving) mode.
+    pub degraded: AtomicUsize,
+    /// Forecasts answered by the naive fallback instead of the model.
+    pub fallback_forecasts: AtomicU64,
+    /// Samples with non-finite values repaired by forward-filling the last
+    /// valid observation at the shard boundary.
+    pub repaired_samples: AtomicU64,
+    /// Samples dropped at the shard boundary (wrong arity, unrepairable,
+    /// or stale sequence numbers).
+    pub quarantined_samples: AtomicU64,
+    /// Missing samples detected through sequence-number gaps.
+    pub gap_samples: AtomicU64,
+    /// Background refits that failed every attempt.
+    pub refit_failures: AtomicU64,
+    /// Background refits abandoned at the configured deadline.
+    pub refit_timeouts: AtomicU64,
+    /// Refit replacements rejected because they could not produce a finite
+    /// forecast on the live history.
+    pub refits_rejected: AtomicU64,
     pub latency: Mutex<LatencyRing>,
     pub score: Mutex<ScoreAccum>,
 }
@@ -110,7 +156,17 @@ impl ShardStatsCore {
             refits_started: AtomicU64::new(0),
             refits_completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            unknown_entity_ingests: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
+            restarts: AtomicU64::new(0),
+            degraded: AtomicUsize::new(0),
+            fallback_forecasts: AtomicU64::new(0),
+            repaired_samples: AtomicU64::new(0),
+            quarantined_samples: AtomicU64::new(0),
+            gap_samples: AtomicU64::new(0),
+            refit_failures: AtomicU64::new(0),
+            refit_timeouts: AtomicU64::new(0),
+            refits_rejected: AtomicU64::new(0),
             latency: Mutex::new(LatencyRing::new(latency_window)),
             score: Mutex::new(ScoreAccum::default()),
         }
@@ -119,11 +175,11 @@ impl ShardStatsCore {
     /// Point-in-time snapshot for shard `shard`.
     pub fn snapshot(&self, shard: usize) -> ShardStats {
         let (p50, p99) = {
-            let ring = self.latency.lock().expect("latency ring poisoned");
+            let ring = lock_recover(&self.latency);
             (ring.quantile(0.50), ring.quantile(0.99))
         };
         let (mae, mse, scored) = {
-            let score = self.score.lock().expect("score accumulator poisoned");
+            let score = lock_recover(&self.score);
             (score.mae(), score.mse(), score.scored)
         };
         ShardStats {
@@ -134,7 +190,17 @@ impl ShardStatsCore {
             refits_started: self.refits_started.load(Ordering::Relaxed),
             refits_completed: self.refits_completed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            unknown_entity_ingests: self.unknown_entity_ingests.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            fallback_forecasts: self.fallback_forecasts.load(Ordering::Relaxed),
+            repaired_samples: self.repaired_samples.load(Ordering::Relaxed),
+            quarantined_samples: self.quarantined_samples.load(Ordering::Relaxed),
+            gap_samples: self.gap_samples.load(Ordering::Relaxed),
+            refit_failures: self.refit_failures.load(Ordering::Relaxed),
+            refit_timeouts: self.refit_timeouts.load(Ordering::Relaxed),
+            refits_rejected: self.refits_rejected.load(Ordering::Relaxed),
             forecast_p50_us: p50.map(|n| n as f64 / 1_000.0),
             forecast_p99_us: p99.map(|n| n as f64 / 1_000.0),
             rolling_mae: mae,
@@ -154,7 +220,17 @@ pub struct ShardStats {
     pub refits_started: u64,
     pub refits_completed: u64,
     pub rejected: u64,
+    pub unknown_entity_ingests: u64,
     pub queue_depth: usize,
+    pub restarts: u64,
+    pub degraded: usize,
+    pub fallback_forecasts: u64,
+    pub repaired_samples: u64,
+    pub quarantined_samples: u64,
+    pub gap_samples: u64,
+    pub refit_failures: u64,
+    pub refit_timeouts: u64,
+    pub refits_rejected: u64,
     /// Median forecast latency in microseconds (`None` before any forecast).
     pub forecast_p50_us: Option<f64>,
     /// 99th-percentile forecast latency in microseconds.
@@ -164,6 +240,36 @@ pub struct ShardStats {
     pub rolling_mse: f64,
     /// How many forecasts have been scored.
     pub scored: u64,
+}
+
+impl Default for ShardStats {
+    fn default() -> Self {
+        Self {
+            shard: 0,
+            entities: 0,
+            ingested: 0,
+            forecasts: 0,
+            refits_started: 0,
+            refits_completed: 0,
+            rejected: 0,
+            unknown_entity_ingests: 0,
+            queue_depth: 0,
+            restarts: 0,
+            degraded: 0,
+            fallback_forecasts: 0,
+            repaired_samples: 0,
+            quarantined_samples: 0,
+            gap_samples: 0,
+            refit_failures: 0,
+            refit_timeouts: 0,
+            refits_rejected: 0,
+            forecast_p50_us: None,
+            forecast_p99_us: None,
+            rolling_mae: 0.0,
+            rolling_mse: 0.0,
+            scored: 0,
+        }
+    }
 }
 
 /// Fleet-wide view: one entry per shard plus aggregate helpers.
@@ -191,6 +297,34 @@ impl ServiceStats {
 
     pub fn total_rejected(&self) -> u64 {
         self.shards.iter().map(|s| s.rejected).sum()
+    }
+
+    pub fn total_restarts(&self) -> u64 {
+        self.shards.iter().map(|s| s.restarts).sum()
+    }
+
+    pub fn total_degraded(&self) -> usize {
+        self.shards.iter().map(|s| s.degraded).sum()
+    }
+
+    pub fn total_fallback_forecasts(&self) -> u64 {
+        self.shards.iter().map(|s| s.fallback_forecasts).sum()
+    }
+
+    pub fn total_repaired_samples(&self) -> u64 {
+        self.shards.iter().map(|s| s.repaired_samples).sum()
+    }
+
+    pub fn total_quarantined_samples(&self) -> u64 {
+        self.shards.iter().map(|s| s.quarantined_samples).sum()
+    }
+
+    pub fn total_refit_failures(&self) -> u64 {
+        self.shards.iter().map(|s| s.refit_failures).sum()
+    }
+
+    pub fn total_refit_timeouts(&self) -> u64 {
+        self.shards.iter().map(|s| s.refit_timeouts).sum()
     }
 
     /// Scored-count-weighted rolling MAE across shards.
@@ -263,19 +397,17 @@ mod tests {
     #[test]
     fn service_stats_aggregate_weighted() {
         let base = ShardStats {
-            shard: 0,
             entities: 2,
             ingested: 10,
             forecasts: 5,
             refits_started: 1,
             refits_completed: 1,
-            rejected: 0,
-            queue_depth: 0,
             forecast_p50_us: Some(10.0),
             forecast_p99_us: Some(20.0),
             rolling_mae: 0.1,
             rolling_mse: 0.01,
             scored: 10,
+            ..ShardStats::default()
         };
         let stats = ServiceStats {
             shards: vec![
@@ -292,5 +424,50 @@ mod tests {
         assert_eq!(stats.total_entities(), 4);
         // (0.1*10 + 0.3*30) / 40 = 0.25
         assert!((stats.rolling_mae() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_counters_aggregate() {
+        let stats = ServiceStats {
+            shards: vec![
+                ShardStats {
+                    restarts: 1,
+                    degraded: 2,
+                    fallback_forecasts: 5,
+                    repaired_samples: 3,
+                    quarantined_samples: 1,
+                    refit_failures: 2,
+                    refit_timeouts: 1,
+                    ..ShardStats::default()
+                },
+                ShardStats {
+                    shard: 1,
+                    restarts: 2,
+                    degraded: 1,
+                    quarantined_samples: 4,
+                    ..ShardStats::default()
+                },
+            ],
+        };
+        assert_eq!(stats.total_restarts(), 3);
+        assert_eq!(stats.total_degraded(), 3);
+        assert_eq!(stats.total_fallback_forecasts(), 5);
+        assert_eq!(stats.total_repaired_samples(), 3);
+        assert_eq!(stats.total_quarantined_samples(), 5);
+        assert_eq!(stats.total_refit_failures(), 2);
+        assert_eq!(stats.total_refit_timeouts(), 1);
+    }
+
+    #[test]
+    fn lock_recover_survives_poisoning() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let m = Mutex::new(ScoreAccum::default());
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(m.is_poisoned());
+        lock_recover(&m).score(1.0, 2.0);
+        assert_eq!(lock_recover(&m).scored, 1);
     }
 }

@@ -1,0 +1,316 @@
+//! Chaos tests: a seeded [`FaultPlan`] injects poisoned samples, panicking
+//! models, failing/slow refits and queue saturation, and the service must
+//! keep every guarantee it makes in clear weather — finite forecasts,
+//! surviving shards, honest counters and automatic recovery.
+
+use std::time::{Duration, Instant};
+
+use models::NaiveForecaster;
+use rptcn::{PipelineConfig, Scenario};
+use serve::{
+    Backpressure, EntityHealth, FaultPlan, PredictionService, RefitPolicy, ServeError,
+    ServiceConfig,
+};
+use timeseries::TimeSeriesFrame;
+
+fn bootstrap_frame(n: usize, phase: f32) -> TimeSeriesFrame {
+    let cpu: Vec<f32> = (0..n)
+        .map(|i| 40.0 + 25.0 * ((i as f32 * 0.2 + phase).sin()))
+        .collect();
+    let mem: Vec<f32> = (0..n)
+        .map(|i| 30.0 + 10.0 * ((i as f32 * 0.13 + phase).cos()))
+        .collect();
+    TimeSeriesFrame::from_columns(&[("cpu_util_percent", cpu), ("mem_util_percent", mem)]).unwrap()
+}
+
+fn uni_config() -> PipelineConfig {
+    PipelineConfig {
+        scenario: Scenario::Uni,
+        window: 12,
+        horizon: 1,
+        ..Default::default()
+    }
+}
+
+fn sample(i: usize, phase: f32) -> Vec<f32> {
+    vec![
+        40.0 + 25.0 * ((i as f32 * 0.2 + phase).sin()),
+        30.0 + 10.0 * ((i as f32 * 0.13 + phase).cos()),
+    ]
+}
+
+fn naive_service(config: ServiceConfig, entities: usize) -> PredictionService {
+    let mut service = PredictionService::new(config);
+    for i in 0..entities {
+        service
+            .add_entity(
+                &format!("c_{i}"),
+                &bootstrap_frame(96, i as f32),
+                uni_config(),
+                Box::new(NaiveForecaster::new()),
+            )
+            .unwrap();
+    }
+    service
+}
+
+fn assert_finite(id: &str, fc: &[f32]) {
+    assert!(!fc.is_empty(), "empty forecast for {id}");
+    assert!(
+        fc.iter().all(|v| v.is_finite()),
+        "non-finite forecast for {id}: {fc:?}"
+    );
+}
+
+/// The acceptance scenario: a panicking model on one shard, NaN samples
+/// for 10% of the fleet, and one permanently failing refit — all at once.
+/// The service must (a) never return a non-finite forecast, (b) restart
+/// the crashed shard and keep serving its other entities, (c) report
+/// degraded / restart / quarantine counts, and (d) recover the crashed
+/// entity to `Healthy` after a clean refit while the permanently failing
+/// one stays `Degraded`.
+#[test]
+fn service_survives_combined_fault_plan() {
+    const ENTITIES: usize = 24;
+    let panicker = "c_0"; // model whose panic escapes into the shard worker
+    let perm_fail = "c_1"; // degrades, then every recovery refit fails
+    let poisoned = ["c_3", "c_11", "c_19"]; // 10% of the fleet streams NaN
+
+    let mut plan = FaultPlan::seeded(42)
+        .panic_on_forecast(panicker, 1)
+        .panic_on_forecast(perm_fail, 1)
+        .fail_refit(perm_fail);
+    for id in poisoned {
+        plan = plan.poison_entity(id, 1.0);
+    }
+
+    let service = naive_service(
+        ServiceConfig {
+            shards: 3,
+            refit_every: 10,
+            refit_workers: 2,
+            faults: Some(plan),
+            ..Default::default()
+        },
+        ENTITIES,
+    );
+    let crash_shard = service.shard_of(panicker);
+
+    // Stream the fleet. Every sample of the poisoned entities arrives with
+    // a NaN and must be repaired at the shard boundary.
+    for i in 0..30 {
+        for e in 0..ENTITIES {
+            service
+                .ingest(&format!("c_{e}"), sample(i, e as f32))
+                .unwrap();
+        }
+    }
+    // One malformed (wrong-arity) sample: unrepairable, must be quarantined.
+    service.ingest("c_2", vec![50.0]).unwrap();
+    service.flush().unwrap();
+
+    // Trip both injected panics. The in-flight request observes ShardDown
+    // (its reply sender died mid-unwind); the supervisor restarts the loop.
+    for id in [panicker, perm_fail] {
+        match service.forecast(id) {
+            Err(ServeError::ShardDown(_)) => {}
+            other => panic!("expected ShardDown from injected panic for {id}, got {other:?}"),
+        }
+    }
+    service.flush().unwrap();
+
+    // (a) + (b): after the crash every entity — including the crashed ones,
+    // now on fallback, and the crashed shard's bystanders — serves finite
+    // forecasts.
+    let mut bystander_on_crash_shard = false;
+    for e in 0..ENTITIES {
+        let id = format!("c_{e}");
+        let fc = service.forecast(&id).unwrap();
+        assert_finite(&id, &fc);
+        if id != panicker && service.shard_of(&id) == crash_shard {
+            bystander_on_crash_shard = true;
+        }
+    }
+    assert!(
+        bystander_on_crash_shard,
+        "no other entity shared shard {crash_shard}; weaken the test layout"
+    );
+
+    // (c): the counters tell the story.
+    let stats = service.stats();
+    assert!(
+        stats.total_restarts() >= 2,
+        "expected one restart per injected panic: {stats:?}"
+    );
+    assert!(
+        stats.shards[crash_shard].restarts >= 1,
+        "restart not attributed to the crashed shard"
+    );
+    assert!(
+        stats.total_repaired_samples() >= 30,
+        "poisoned samples were not repaired: {stats:?}"
+    );
+    assert!(
+        stats.total_quarantined_samples() >= 1,
+        "malformed sample was not quarantined: {stats:?}"
+    );
+    // The crashed entity may already have healed (naive refits are fast),
+    // but the permanently failing one is still degraded and must have
+    // answered from the fallback.
+    assert!(
+        stats.total_fallback_forecasts() >= 1,
+        "degraded entities did not serve from the fallback: {stats:?}"
+    );
+    let health = service.entity_health().unwrap();
+    assert_eq!(health.len(), ENTITIES);
+    assert!(
+        health[panicker].crashes >= 1,
+        "crash not attributed to {panicker}: {:?}",
+        health[panicker]
+    );
+
+    // (d): the panicker heals on the next clean refit; the permanently
+    // failing entity stays degraded (still serving via fallback) and its
+    // failures are counted.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        service.flush().unwrap();
+        let health = service.entity_health().unwrap();
+        let stats = service.stats();
+        if health[panicker].health == EntityHealth::Healthy && stats.total_refit_failures() >= 1 {
+            assert_eq!(
+                health[perm_fail].health,
+                EntityHealth::Degraded,
+                "entity with permanently failing refits must stay degraded"
+            );
+            assert!(stats.total_degraded() >= 1);
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no recovery before deadline: {health:?} {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Healed entity serves from its model again; degraded one still answers.
+    assert_finite(panicker, &service.forecast(panicker).unwrap());
+    assert_finite(perm_fail, &service.forecast(perm_fail).unwrap());
+}
+
+/// A refit that outlives its per-attempt deadline is abandoned and counted,
+/// and the entity keeps serving from the model it already has.
+#[test]
+fn slow_refits_hit_the_deadline_and_are_abandoned() {
+    let plan = FaultPlan::seeded(7).slow_refit("c_0", Duration::from_millis(400));
+    let service = naive_service(
+        ServiceConfig {
+            shards: 1,
+            refit_every: 4,
+            refit_workers: 1,
+            refit_policy: RefitPolicy {
+                max_attempts: 2,
+                backoff: Duration::from_millis(5),
+                backoff_max: Duration::from_millis(20),
+                timeout: Some(Duration::from_millis(50)),
+            },
+            faults: Some(plan),
+            ..Default::default()
+        },
+        1,
+    );
+    for i in 0..4 {
+        service.ingest("c_0", sample(i, 0.0)).unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        service.flush().unwrap();
+        let stats = service.stats();
+        if stats.total_refit_timeouts() >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "refit never timed out: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // A timed-out refit is an operational event, not a model failure: the
+    // entity keeps its working model and stays healthy.
+    let health = service.entity_health().unwrap();
+    assert_eq!(health["c_0"].health, EntityHealth::Healthy);
+    assert!(matches!(
+        health["c_0"].last_error,
+        Some(ServeError::RefitTimeout { .. })
+    ));
+    assert_finite("c_0", &service.forecast("c_0").unwrap());
+}
+
+/// A stalled shard saturates its bounded queue; under `Reject` the caller
+/// sees `QueueFull` for the overflow and every drop is counted.
+#[test]
+fn stalled_shard_saturates_queue_and_backpressure_fires() {
+    let plan = FaultPlan::seeded(3).stall_shard(0, Duration::from_millis(20), 50);
+    let service = naive_service(
+        ServiceConfig {
+            shards: 1,
+            queue_capacity: 2,
+            backpressure: Backpressure::Reject,
+            refit_workers: 0,
+            score_on_ingest: false,
+            faults: Some(plan),
+            ..Default::default()
+        },
+        2,
+    );
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    for i in 0..200 {
+        match service.ingest("c_0", sample(i, 0.0)) {
+            Ok(()) => accepted += 1,
+            Err(ServeError::QueueFull { .. }) => rejected += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(rejected > 0, "queue never filled despite the stall");
+    service.flush().unwrap();
+    let stats = service.stats();
+    assert_eq!(stats.total_ingested(), accepted);
+    assert_eq!(stats.total_rejected(), rejected);
+}
+
+/// Sequence-numbered ingestion: gaps are detected and forward-filled (up
+/// to the cap), stale replays are quarantined, and forecasts stay finite
+/// throughout.
+#[test]
+fn sequence_gaps_are_counted_and_stale_replays_quarantined() {
+    let service = naive_service(
+        ServiceConfig {
+            shards: 1,
+            refit_workers: 0,
+            ..Default::default()
+        },
+        1,
+    );
+    for seq in 0..5u64 {
+        service
+            .ingest_at("c_0", seq, sample(seq as usize, 0.0))
+            .unwrap();
+    }
+    // Jump from 5 to 11: six missing samples.
+    service.ingest_at("c_0", 11, sample(11, 0.0)).unwrap();
+    // Replay an old sequence number: must be dropped, not applied.
+    service.ingest_at("c_0", 3, vec![9_999.0, 9_999.0]).unwrap();
+    service.flush().unwrap();
+
+    let stats = service.stats();
+    assert_eq!(stats.shards[0].gap_samples, 6);
+    assert_eq!(stats.shards[0].quarantined_samples, 1);
+    let fc = service.forecast("c_0").unwrap();
+    assert_finite("c_0", &fc);
+    // The stale replay's absurd value must not have reached the model.
+    assert!(
+        fc[0] < 1_000.0,
+        "stale replay leaked into the history: {fc:?}"
+    );
+}
