@@ -1,0 +1,323 @@
+//! Tape-free inference: a scratch-arena forward pass for serving.
+//!
+//! Training needs the tape — every op records a node and allocates a fresh
+//! `Tensor` so `Graph::backward` can replay the chain rule. Serving needs
+//! neither: a forecast is a single forward evaluation, so the per-op
+//! bookkeeping and allocations are pure overhead. This module provides the
+//! serving alternative:
+//!
+//! * [`InferenceContext`] — a pool of reusable `Vec<f32>` scratch buffers.
+//!   Layers `take` a buffer, compute into it and `give` it back; after a
+//!   warm-up pass the pool serves every request and the steady-state path
+//!   performs **zero heap allocations** ([`InferenceContext::fresh_allocs`]
+//!   counts the misses so benchmarks can prove it).
+//! * In-place activation / bias / softmax helpers that replicate the exact
+//!   arithmetic of the corresponding `tensor` kernels (same accumulation
+//!   widths, same evaluation order), so a tape-free forward pass matches the
+//!   taped one bit-for-bit wherever the layers share the underlying matmul
+//!   and conv kernels.
+//! * [`predict`] — the batched driver mirroring `train::predict`, routed
+//!   through [`SequenceModel::infer`](crate::SequenceModel::infer).
+//!
+//! Layers expose their tape-free forward as `infer` methods (see
+//! `layers::linear`, `layers::conv`, `layers::attention`, `layers::lstm`,
+//! `layers::gru`); models compose those into full-network `infer`
+//! implementations.
+
+use std::cell::RefCell;
+
+use tensor::Tensor;
+
+use crate::train::{take_rows, SequenceModel};
+
+/// Buffers kept in the pool; beyond this the extras are dropped. A full
+/// RPTCN forward pass holds well under this many buffers at once.
+const MAX_POOLED: usize = 64;
+
+/// A scratch arena for tape-free forward passes.
+///
+/// Not thread-safe by design — each shard / worker thread owns one (or uses
+/// [`with_thread_context`]). Buffers are recycled by *capacity*, so a
+/// context warmed up on one shape serves any smaller shape allocation-free.
+#[derive(Debug, Default)]
+pub struct InferenceContext {
+    pool: Vec<Vec<f32>>,
+    fresh_allocs: u64,
+}
+
+impl InferenceContext {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrow a zero-filled buffer of exactly `len` elements, reusing pooled
+    /// capacity when available.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        match self.pool.iter().position(|b| b.capacity() >= len) {
+            Some(i) => {
+                let mut buf = self.pool.swap_remove(i);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                self.fresh_allocs += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Return a buffer to the pool for reuse.
+    pub fn give(&mut self, buf: Vec<f32>) {
+        if self.pool.len() < MAX_POOLED && buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// How many `take` calls had to hit the heap. Flat across repeated
+    /// same-shape forward passes == the steady-state path is allocation-free.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh_allocs
+    }
+}
+
+thread_local! {
+    static THREAD_CTX: RefCell<InferenceContext> = RefCell::new(InferenceContext::new());
+}
+
+/// Run `f` with this thread's shared inference context. The serving hot
+/// path goes through here so every forecast on a shard thread reuses one
+/// warmed-up arena.
+pub fn with_thread_context<R>(f: impl FnOnce(&mut InferenceContext) -> R) -> R {
+    THREAD_CTX.with(|c| f(&mut c.borrow_mut()))
+}
+
+/// Fresh-allocation count of this thread's shared context.
+pub fn thread_context_allocs() -> u64 {
+    THREAD_CTX.with(|c| c.borrow().fresh_allocs())
+}
+
+// ---- in-place kernels ------------------------------------------------------
+//
+// Each helper replicates the arithmetic of the corresponding `tensor` op
+// exactly (same accumulator widths, same order), so tape-free activations
+// match taped ones bitwise.
+
+/// `x.max(0.0)` elementwise (replicates `tensor::ops::relu`).
+pub fn relu_in_place(buf: &mut [f32]) {
+    for v in buf {
+        *v = v.max(0.0);
+    }
+}
+
+/// `tanh(x)` elementwise (replicates `tensor::ops::tanh`).
+pub fn tanh_in_place(buf: &mut [f32]) {
+    for v in buf {
+        *v = v.tanh();
+    }
+}
+
+/// Numerically-stable logistic sigmoid, identical to the `tensor` kernel.
+#[inline]
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+/// Sigmoid elementwise (replicates `tensor::ops::sigmoid`).
+pub fn sigmoid_in_place(buf: &mut [f32]) {
+    for v in buf {
+        *v = stable_sigmoid(*v);
+    }
+}
+
+/// Row-wise softmax over a `[rows, cols]` buffer (replicates
+/// `tensor::reduce::softmax_rows`, including the f64 denominator).
+pub fn softmax_rows_in_place(buf: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(buf.len(), rows * cols, "softmax_rows_in_place shape");
+    for row in buf.chunks_mut(cols.max(1)).take(rows) {
+        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f64;
+        for x in row.iter_mut() {
+            let e = (*x - mx).exp();
+            *x = e;
+            denom += e as f64;
+        }
+        let inv = 1.0 / denom as f32;
+        for slot in row.iter_mut() {
+            *slot *= inv;
+        }
+    }
+}
+
+/// `out[r][j] += bias[j]` — the `[batch, n] + [n]` broadcast of the tape.
+pub fn add_row_bias(out: &mut [f32], bias: &[f32], rows: usize, cols: usize) {
+    assert_eq!(out.len(), rows * cols, "add_row_bias shape");
+    assert_eq!(bias.len(), cols, "add_row_bias bias length");
+    for row in out.chunks_mut(cols) {
+        for (o, &b) in row.iter_mut().zip(bias) {
+            *o += b;
+        }
+    }
+}
+
+/// `out[b][c][t] += bias[c]` — the `[batch, ch, time] + [ch, 1]` broadcast
+/// the conv layer's tape performs.
+pub fn add_channel_bias(out: &mut [f32], bias: &[f32], batch: usize, ch: usize, time: usize) {
+    assert_eq!(out.len(), batch * ch * time, "add_channel_bias shape");
+    assert_eq!(bias.len(), ch, "add_channel_bias bias length");
+    for item in out.chunks_mut(ch * time).take(batch) {
+        for (c, row) in item.chunks_mut(time).enumerate() {
+            let b = bias[c];
+            for o in row {
+                *o += b;
+            }
+        }
+    }
+}
+
+/// `out[b][c] = src[b][c][t]` — replicates `Graph::select_time`.
+pub fn select_time_into(
+    src: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    ch: usize,
+    time: usize,
+    t: usize,
+) {
+    assert!(t < time, "select_time_into {t} out of {time}");
+    assert_eq!(src.len(), batch * ch * time, "select_time_into src shape");
+    assert_eq!(out.len(), batch * ch, "select_time_into out shape");
+    for bi in 0..batch {
+        for ci in 0..ch {
+            out[bi * ch + ci] = src[(bi * ch + ci) * time + t];
+        }
+    }
+}
+
+/// Tape-free batched inference over `x: [n, time, features]`, chunked like
+/// `train::predict` and routed through [`SequenceModel::infer`].
+pub fn predict<M: SequenceModel + ?Sized>(
+    model: &M,
+    x: &Tensor,
+    batch_size: usize,
+    ctx: &mut InferenceContext,
+) -> Tensor {
+    let n = x.shape()[0];
+    let cap = batch_size.max(1);
+    if n <= cap {
+        // The serving hot path: no row gather, straight into the model.
+        return model.infer(ctx, x);
+    }
+    let horizon = model.horizon();
+    let mut out = Vec::with_capacity(n * horizon);
+    let rows: Vec<usize> = (0..n).collect();
+    for chunk in rows.chunks(cap) {
+        let xb = take_rows(x, chunk);
+        out.extend_from_slice(model.infer(ctx, &xb).as_slice());
+    }
+    Tensor::from_vec(out, &[n, horizon])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::{ops, reduce, Rng};
+
+    #[test]
+    fn arena_reuses_buffers_after_warmup() {
+        let mut ctx = InferenceContext::new();
+        let a = ctx.take(128);
+        let b = ctx.take(64);
+        assert_eq!(ctx.fresh_allocs(), 2);
+        ctx.give(a);
+        ctx.give(b);
+        // Smaller and equal requests are served from the pool.
+        let c = ctx.take(100);
+        let d = ctx.take(64);
+        assert_eq!(ctx.fresh_allocs(), 2, "pool miss after warm-up");
+        assert!(c.iter().all(|&v| v == 0.0), "recycled buffer not zeroed");
+        ctx.give(c);
+        ctx.give(d);
+    }
+
+    #[test]
+    fn arena_counts_fresh_allocations() {
+        let mut ctx = InferenceContext::new();
+        let a = ctx.take(16);
+        ctx.give(a);
+        let _bigger = ctx.take(32); // cannot be served by the 16-cap buffer
+        assert_eq!(ctx.fresh_allocs(), 2);
+    }
+
+    #[test]
+    fn softmax_matches_tensor_kernel_bitwise() {
+        let mut rng = Rng::seed_from(1);
+        let t = Tensor::rand_normal(&[5, 7], 0.0, 3.0, &mut rng);
+        let reference = reduce::softmax_rows(&t);
+        let mut buf = t.as_slice().to_vec();
+        softmax_rows_in_place(&mut buf, 5, 7);
+        assert_eq!(buf.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn activations_match_tensor_kernels_bitwise() {
+        let mut rng = Rng::seed_from(2);
+        let t = Tensor::rand_normal(&[64], 0.0, 10.0, &mut rng);
+        let mut relu = t.as_slice().to_vec();
+        relu_in_place(&mut relu);
+        assert_eq!(relu.as_slice(), ops::relu(&t).as_slice());
+        let mut tanh = t.as_slice().to_vec();
+        tanh_in_place(&mut tanh);
+        assert_eq!(tanh.as_slice(), ops::tanh(&t).as_slice());
+        let mut sig = t.as_slice().to_vec();
+        sigmoid_in_place(&mut sig);
+        assert_eq!(sig.as_slice(), ops::sigmoid(&t).as_slice());
+    }
+
+    #[test]
+    fn row_and_channel_bias_match_broadcast_add() {
+        let mut rng = Rng::seed_from(3);
+        let y = Tensor::rand_normal(&[4, 3], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[3], 0.0, 1.0, &mut rng);
+        let reference = ops::add(&y, &b);
+        let mut buf = y.as_slice().to_vec();
+        add_row_bias(&mut buf, b.as_slice(), 4, 3);
+        assert_eq!(buf.as_slice(), reference.as_slice());
+
+        let y3 = Tensor::rand_normal(&[2, 3, 5], 0.0, 1.0, &mut rng);
+        let bc = Tensor::rand_normal(&[3, 1], 0.0, 1.0, &mut rng);
+        let reference = ops::add(&y3, &bc);
+        let mut buf = y3.as_slice().to_vec();
+        add_channel_bias(&mut buf, bc.as_slice(), 2, 3, 5);
+        assert_eq!(buf.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn select_time_matches_layout() {
+        let t = Tensor::arange(2 * 3 * 4).into_reshape(&[2, 3, 4]).unwrap();
+        let mut out = vec![0.0f32; 2 * 3];
+        select_time_into(t.as_slice(), &mut out, 2, 3, 4, 2);
+        // src[b][c][t=2] = (b*3 + c)*4 + 2
+        assert_eq!(out, &[2.0, 6.0, 10.0, 14.0, 18.0, 22.0]);
+    }
+
+    #[test]
+    fn thread_context_is_reused() {
+        let before = thread_context_allocs();
+        with_thread_context(|ctx| {
+            let buf = ctx.take(256);
+            ctx.give(buf);
+        });
+        with_thread_context(|ctx| {
+            let buf = ctx.take(256);
+            ctx.give(buf);
+        });
+        assert_eq!(thread_context_allocs(), before + 1);
+    }
+}

@@ -49,6 +49,35 @@ impl FeatureAttention {
         g.mul(attn, values)
     }
 
+    /// Tape-free forward with `query == values`: gates `h` (`[rows, dim]`)
+    /// in place, replicating the taped score → softmax → rescale → multiply
+    /// chain exactly.
+    pub fn infer_in_place(
+        &self,
+        store: &ParamStore,
+        ctx: &mut crate::infer::InferenceContext,
+        h: &mut [f32],
+        rows: usize,
+    ) {
+        debug_assert_eq!(h.len(), rows * self.dim, "FeatureAttention input shape");
+        let mut scores = self.proj.infer(store, ctx, h, rows);
+        crate::infer::softmax_rows_in_place(&mut scores, rows, self.dim);
+        let dim = self.dim as f32;
+        for (hv, &s) in h.iter_mut().zip(scores.iter()) {
+            *hv *= s * dim;
+        }
+        ctx.give(scores);
+    }
+
+    /// The score projection (for streaming inference).
+    pub fn proj(&self) -> &Linear {
+        &self.proj
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     pub fn param_ids(&self) -> Vec<ParamId> {
         self.proj.param_ids()
     }
@@ -111,6 +140,56 @@ impl TemporalAttention {
             });
         }
         context.expect("temporal attention over empty sequence")
+    }
+
+    /// Tape-free forward: `seq` is `[batch, channels, time]` row-major,
+    /// returns the `[batch, channels]` context in a buffer from `ctx`.
+    /// Mirrors the taped per-step score / softmax / weighted-sum order.
+    pub fn infer(
+        &self,
+        store: &ParamStore,
+        ctx: &mut crate::infer::InferenceContext,
+        seq: &[f32],
+        batch: usize,
+        time: usize,
+    ) -> Vec<f32> {
+        let ch = self.channels;
+        debug_assert_eq!(seq.len(), batch * ch * time, "TemporalAttention shape");
+        let mut h_t = ctx.take(batch * ch);
+        let mut a = ctx.take(batch * ch);
+        let mut logits = ctx.take(batch * time);
+        for t in 0..time {
+            crate::infer::select_time_into(seq, &mut h_t, batch, ch, time, t);
+            a.copy_from_slice(&h_t);
+            crate::infer::tanh_in_place(&mut a);
+            let s = self.score.infer(store, ctx, &a, batch); // [batch, 1]
+            for (b, &sv) in s.iter().enumerate() {
+                logits[b * time + t] = sv;
+            }
+            ctx.give(s);
+        }
+        crate::infer::softmax_rows_in_place(&mut logits, batch, time);
+        // context = sum_t w_t * h_t, accumulated in ascending t like the tape.
+        let mut context = ctx.take(batch * ch);
+        for t in 0..time {
+            crate::infer::select_time_into(seq, &mut h_t, batch, ch, time, t);
+            for b in 0..batch {
+                let w = logits[b * time + t];
+                let row = &h_t[b * ch..(b + 1) * ch];
+                let out = &mut context[b * ch..(b + 1) * ch];
+                for (o, &hv) in out.iter_mut().zip(row) {
+                    *o += hv * w;
+                }
+            }
+        }
+        ctx.give(h_t);
+        ctx.give(a);
+        ctx.give(logits);
+        context
+    }
+
+    pub fn channels(&self) -> usize {
+        self.channels
     }
 
     pub fn param_ids(&self) -> Vec<ParamId> {
@@ -186,6 +265,49 @@ mod tests {
         let x = g.input(data);
         let ctx = attn.forward(&mut g, x);
         assert!(g.value(ctx).allclose(&step.reshape(&[1, 3]).unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn feature_attention_infer_matches_taped_forward() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(7);
+        let attn = FeatureAttention::new(&mut store, "attn", 6, &mut rng);
+        // Give the projection non-trivial weights so the gate is not uniform.
+        for id in attn.param_ids() {
+            let t = Tensor::rand_normal(store.value(id).shape(), 0.0, 0.5, &mut rng);
+            *store.value_mut(id) = t;
+        }
+        let data = Tensor::rand_normal(&[4, 6], 0.0, 1.0, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.input(data.clone());
+        let y = attn.forward(&mut g, x, x);
+        let taped = g.value(y).clone();
+
+        let mut ctx = crate::infer::InferenceContext::new();
+        let mut buf = data.as_slice().to_vec();
+        attn.infer_in_place(&store, &mut ctx, &mut buf, 4);
+        assert_eq!(buf.as_slice(), taped.as_slice());
+    }
+
+    #[test]
+    fn temporal_attention_infer_matches_taped_forward() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(8);
+        let attn = TemporalAttention::new(&mut store, "tattn", 5, &mut rng);
+        let data = Tensor::rand_normal(&[3, 5, 7], 0.0, 1.0, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.input(data.clone());
+        let y = attn.forward(&mut g, x);
+        let taped = g.value(y).clone();
+
+        let mut ctx = crate::infer::InferenceContext::new();
+        let out = attn.infer(&store, &mut ctx, data.as_slice(), 3, 7);
+        assert!(
+            out.iter()
+                .zip(taped.as_slice())
+                .all(|(a, b)| (a - b).abs() <= 1e-6),
+            "temporal attention diverged from tape"
+        );
     }
 
     #[test]

@@ -96,13 +96,94 @@ impl CausalConv1d {
         g.add(y, b)
     }
 
+    /// Fold the weight-norm reparameterisation into a dense `[out, in, k]`
+    /// weight, replicating the tape's op sequence exactly (f32 squares
+    /// accumulated in f64, sqrt, `+ 1e-6`, divide, then gain) so the folded
+    /// weight is bit-identical to the one the taped forward convolves with.
+    pub fn materialize_weight(&self, store: &ParamStore, out: &mut [f32]) {
+        let v = store.value(self.v).as_slice();
+        assert_eq!(out.len(), v.len(), "materialize_weight buffer size");
+        match self.gain {
+            Some(gain_id) => {
+                let gain = store.value(gain_id).as_slice();
+                let per = self.in_ch * self.kernel;
+                for oc in 0..self.out_ch {
+                    let row = &v[oc * per..(oc + 1) * per];
+                    let mut ss = 0.0f64;
+                    for &x in row {
+                        ss += (x * x) as f64;
+                    }
+                    let norm = (ss as f32).sqrt() + 1e-6;
+                    let gn = gain[oc];
+                    for (o, &x) in out[oc * per..(oc + 1) * per].iter_mut().zip(row) {
+                        *o = (x / norm) * gn;
+                    }
+                }
+            }
+            None => out.copy_from_slice(v),
+        }
+    }
+
+    /// Tape-free forward: `x` is `[batch, in_ch, time]` row-major, returns a
+    /// `[batch, out_ch, time]` buffer drawn from `ctx`. Shares the conv
+    /// kernel with the taped path.
+    pub fn infer(
+        &self,
+        store: &ParamStore,
+        ctx: &mut crate::infer::InferenceContext,
+        x: &[f32],
+        batch: usize,
+        time: usize,
+    ) -> Vec<f32> {
+        let mut w = ctx.take(self.out_ch * self.in_ch * self.kernel);
+        self.materialize_weight(store, &mut w);
+        let mut out = ctx.take(batch * self.out_ch * time);
+        crate::conv_kernels::conv1d_into(
+            x,
+            &w,
+            &mut out,
+            batch,
+            self.in_ch,
+            self.out_ch,
+            time,
+            self.kernel,
+            self.dilation,
+        );
+        ctx.give(w);
+        crate::infer::add_channel_bias(
+            &mut out,
+            store.value(self.bias).as_slice(),
+            batch,
+            self.out_ch,
+            time,
+        );
+        out
+    }
+
+    /// Raw bias values `[out_ch]` (for streaming inference).
+    pub fn bias_values<'a>(&self, store: &'a ParamStore) -> &'a [f32] {
+        store.value(self.bias).as_slice()
+    }
+
     /// Receptive field of this single layer: `(k - 1)·d + 1`.
     pub fn receptive_field(&self) -> usize {
         (self.kernel - 1) * self.dilation + 1
     }
 
+    pub fn in_channels(&self) -> usize {
+        self.in_ch
+    }
+
     pub fn out_channels(&self) -> usize {
         self.out_ch
+    }
+
+    pub fn kernel_size(&self) -> usize {
+        self.kernel
+    }
+
+    pub fn dilation(&self) -> usize {
+        self.dilation
     }
 
     pub fn param_ids(&self) -> Vec<ParamId> {
@@ -164,6 +245,24 @@ mod tests {
         for id in conv.param_ids() {
             assert!(grads.get(id).is_some(), "no grad for {:?}", store.name(id));
             assert!(grads.get(id).unwrap().all_finite());
+        }
+    }
+
+    #[test]
+    fn infer_matches_taped_forward_bitwise() {
+        let mut rng = Rng::seed_from(11);
+        for weight_norm in [false, true] {
+            let mut store = ParamStore::new();
+            let conv = CausalConv1d::new(&mut store, "c", 3, 4, 3, 2, weight_norm, &mut rng);
+            let xdata = Tensor::rand_normal(&[2, 3, 9], 0.0, 1.0, &mut rng);
+            let mut g = Graph::new(&store);
+            let x = g.input(xdata.clone());
+            let y = conv.forward(&mut g, x);
+            let taped = g.value(y).clone();
+
+            let mut ctx = crate::infer::InferenceContext::new();
+            let out = conv.infer(&store, &mut ctx, xdata.as_slice(), 2, 9);
+            assert_eq!(out.as_slice(), taped.as_slice(), "wn={weight_norm}");
         }
     }
 

@@ -92,6 +92,47 @@ impl GruCell {
         g.add(diff, zh)
     }
 
+    /// One tape-free step. `x` is `[batch, input_dim]`; `h` is the
+    /// `[batch, hidden]` state updated in place; `xi`/`hi` are
+    /// `[batch, 3·hidden]` scratch. Replicates the taped op order exactly
+    /// (`n − z·n + z·h` evaluated as `(n − zn) + zh`).
+    pub fn infer_step(
+        &self,
+        store: &ParamStore,
+        x: &[f32],
+        batch: usize,
+        h: &mut [f32],
+        xi: &mut [f32],
+        hi: &mut [f32],
+    ) {
+        let hsz = self.hidden;
+        let w_ih = store.value(self.w_ih).as_slice();
+        let w_hh = store.value(self.w_hh).as_slice();
+        let b_ih = store.value(self.b_ih).as_slice();
+        let b_hh = store.value(self.b_hh).as_slice();
+        tensor::matmul::matmul_into(x, w_ih, xi, batch, self.input_dim, 3 * hsz);
+        crate::infer::add_row_bias(xi, b_ih, batch, 3 * hsz);
+        tensor::matmul::matmul_into(h, w_hh, hi, batch, hsz, 3 * hsz);
+        crate::infer::add_row_bias(hi, b_hh, batch, 3 * hsz);
+        for bi in 0..batch {
+            let xrow = &xi[bi * 3 * hsz..(bi + 1) * 3 * hsz];
+            let hrow_i = &hi[bi * 3 * hsz..(bi + 1) * 3 * hsz];
+            let hrow = &mut h[bi * hsz..(bi + 1) * hsz];
+            for j in 0..hsz {
+                let r = crate::infer::stable_sigmoid(xrow[j] + hrow_i[j]);
+                let z = crate::infer::stable_sigmoid(xrow[hsz + j] + hrow_i[hsz + j]);
+                let n = (xrow[2 * hsz + j] + r * hrow_i[2 * hsz + j]).tanh();
+                let zn = z * n;
+                let zh = z * hrow[j];
+                hrow[j] = (n - zn) + zh;
+            }
+        }
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
     pub fn hidden_size(&self) -> usize {
         self.hidden
     }
@@ -152,8 +193,54 @@ impl Gru {
             .expect("GRU over empty sequence")
     }
 
+    /// Tape-free unroll returning the top-layer hidden state at the final
+    /// step (`[batch, hidden]` in a buffer from `ctx`). `fill_step(t, out)`
+    /// writes step `t`'s `[batch, input_dim]` inputs into `out`.
+    pub fn infer_last<F: FnMut(usize, &mut [f32])>(
+        &self,
+        store: &ParamStore,
+        ctx: &mut crate::infer::InferenceContext,
+        batch: usize,
+        time: usize,
+        mut fill_step: F,
+    ) -> Vec<f32> {
+        assert!(time >= 1, "GRU over empty sequence");
+        let hidden = self.cells[0].hidden_size();
+        let in_dim = self.cells[0].input_dim();
+        let mut cur = ctx.take(time * batch * in_dim);
+        for t in 0..time {
+            fill_step(t, &mut cur[t * batch * in_dim..(t + 1) * batch * in_dim]);
+        }
+        let mut cur_width = in_dim;
+        let mut h = ctx.take(batch * hidden);
+        let mut xi = ctx.take(batch * 3 * hidden);
+        let mut hi = ctx.take(batch * 3 * hidden);
+        for cell in &self.cells {
+            let mut outputs = ctx.take(time * batch * hidden);
+            h.fill(0.0);
+            for t in 0..time {
+                let x_t = &cur[t * batch * cur_width..(t + 1) * batch * cur_width];
+                cell.infer_step(store, x_t, batch, &mut h, &mut xi, &mut hi);
+                outputs[t * batch * hidden..(t + 1) * batch * hidden].copy_from_slice(&h);
+            }
+            ctx.give(std::mem::replace(&mut cur, outputs));
+            cur_width = hidden;
+        }
+        let mut last = ctx.take(batch * hidden);
+        last.copy_from_slice(&cur[(time - 1) * batch * hidden..time * batch * hidden]);
+        ctx.give(cur);
+        ctx.give(h);
+        ctx.give(xi);
+        ctx.give(hi);
+        last
+    }
+
     pub fn hidden_size(&self) -> usize {
         self.cells[0].hidden_size()
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.cells[0].input_dim()
     }
 
     pub fn param_ids(&self) -> Vec<ParamId> {
@@ -214,6 +301,31 @@ mod tests {
             assert!(grads.get(id).is_some(), "no grad for {}", store.name(id));
             assert!(grads.get(id).unwrap().all_finite());
         }
+    }
+
+    #[test]
+    fn infer_last_matches_taped_forward_bitwise() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(5);
+        let gru = Gru::new(&mut store, "gru", 4, 6, 2, &mut rng);
+        let (batch, time) = (3, 5);
+        let data = Tensor::rand_normal(&[time, batch, 4], 0.0, 1.0, &mut rng);
+
+        let mut g = Graph::new(&store);
+        let steps: Vec<Var> = (0..time)
+            .map(|t| {
+                let step = data.as_slice()[t * batch * 4..(t + 1) * batch * 4].to_vec();
+                g.input(Tensor::from_vec(step, &[batch, 4]))
+            })
+            .collect();
+        let last = gru.forward_last(&mut g, &steps);
+        let taped = g.value(last).clone();
+
+        let mut ctx = crate::infer::InferenceContext::new();
+        let out = gru.infer_last(&store, &mut ctx, batch, time, |t, buf| {
+            buf.copy_from_slice(&data.as_slice()[t * batch * 4..(t + 1) * batch * 4]);
+        });
+        assert_eq!(out.as_slice(), taped.as_slice());
     }
 
     #[test]

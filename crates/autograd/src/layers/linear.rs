@@ -68,6 +68,36 @@ impl Linear {
         }
     }
 
+    /// Tape-free forward: `x` is `[rows, in_dim]` row-major, returns a
+    /// `[rows, out_dim]` buffer drawn from `ctx`. Shares the matmul kernel
+    /// with the taped path, so the outputs are bit-identical.
+    pub fn infer(
+        &self,
+        store: &ParamStore,
+        ctx: &mut crate::infer::InferenceContext,
+        x: &[f32],
+        rows: usize,
+    ) -> Vec<f32> {
+        debug_assert_eq!(x.len(), rows * self.in_dim, "Linear::infer input shape");
+        let w = store.value(self.w).as_slice();
+        let mut out = ctx.take(rows * self.out_dim);
+        tensor::matmul::matmul_into(x, w, &mut out, rows, self.in_dim, self.out_dim);
+        if let Some(b) = self.b {
+            crate::infer::add_row_bias(&mut out, store.value(b).as_slice(), rows, self.out_dim);
+        }
+        out
+    }
+
+    /// Raw weight values `[in_dim, out_dim]` (for streaming inference).
+    pub fn weight_values<'a>(&self, store: &'a ParamStore) -> &'a [f32] {
+        store.value(self.w).as_slice()
+    }
+
+    /// Raw bias values `[out_dim]`, when the layer has a bias.
+    pub fn bias_values<'a>(&self, store: &'a ParamStore) -> Option<&'a [f32]> {
+        self.b.map(|b| store.value(b).as_slice())
+    }
+
     pub fn in_dim(&self) -> usize {
         self.in_dim
     }
@@ -116,6 +146,22 @@ mod tests {
         let x = g.input(Tensor::ones(&[3, 4]));
         let y = layer.forward(&mut g, x);
         assert!(g.value(y).allclose(&Tensor::full(&[3, 2], 2.0), 1e-6));
+    }
+
+    #[test]
+    fn infer_matches_taped_forward_bitwise() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(9);
+        let layer = Linear::new(&mut store, "fc", 6, 4, &mut rng);
+        let xdata = Tensor::rand_normal(&[5, 6], 0.0, 1.0, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.input(xdata.clone());
+        let y = layer.forward(&mut g, x);
+        let taped = g.value(y).clone();
+
+        let mut ctx = crate::infer::InferenceContext::new();
+        let out = layer.infer(&store, &mut ctx, xdata.as_slice(), 5);
+        assert_eq!(out.as_slice(), taped.as_slice());
     }
 
     #[test]

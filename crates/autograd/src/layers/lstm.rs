@@ -86,6 +86,52 @@ impl LstmCell {
         (h_next, c_next)
     }
 
+    /// One tape-free step. `x` is `[batch, input_dim]`; `h`/`c` are
+    /// `[batch, hidden]` states updated in place; `xi`/`hi` are
+    /// `[batch, 4·hidden]` scratch. The gate arithmetic replicates the taped
+    /// op sequence — `xi` and `hi` are each computed fully, then combined
+    /// elementwise as `(xi + hi) + b` — so results are bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub fn infer_step(
+        &self,
+        store: &ParamStore,
+        x: &[f32],
+        batch: usize,
+        h: &mut [f32],
+        c: &mut [f32],
+        xi: &mut [f32],
+        hi: &mut [f32],
+    ) {
+        let hsz = self.hidden;
+        let w_ih = store.value(self.w_ih).as_slice();
+        let w_hh = store.value(self.w_hh).as_slice();
+        let b = store.value(self.bias).as_slice();
+        tensor::matmul::matmul_into(x, w_ih, xi, batch, self.input_dim, 4 * hsz);
+        tensor::matmul::matmul_into(h, w_hh, hi, batch, hsz, 4 * hsz);
+        for bi in 0..batch {
+            let z = &mut xi[bi * 4 * hsz..(bi + 1) * 4 * hsz];
+            let hrow_i = &hi[bi * 4 * hsz..(bi + 1) * 4 * hsz];
+            for ((zv, &hv), &bv) in z.iter_mut().zip(hrow_i).zip(b) {
+                *zv = (*zv + hv) + bv;
+            }
+            let hrow = &mut h[bi * hsz..(bi + 1) * hsz];
+            let crow = &mut c[bi * hsz..(bi + 1) * hsz];
+            for j in 0..hsz {
+                let i_gate = crate::infer::stable_sigmoid(z[j]);
+                let f_gate = crate::infer::stable_sigmoid(z[hsz + j]);
+                let g_gate = z[2 * hsz + j].tanh();
+                let o_gate = crate::infer::stable_sigmoid(z[3 * hsz + j]);
+                let c_next = (f_gate * crow[j]) + (i_gate * g_gate);
+                crow[j] = c_next;
+                hrow[j] = o_gate * c_next.tanh();
+            }
+        }
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
     pub fn hidden_size(&self) -> usize {
         self.hidden
     }
@@ -152,8 +198,58 @@ impl Lstm {
             .expect("LSTM over empty sequence")
     }
 
+    /// Tape-free unroll returning the top-layer hidden state at the final
+    /// step (`[batch, hidden]` in a buffer from `ctx`). `fill_step(t, out)`
+    /// writes step `t`'s `[batch, input_dim]` inputs into `out` — callers
+    /// slice their own window layout without staging `time` tensors.
+    pub fn infer_last<F: FnMut(usize, &mut [f32])>(
+        &self,
+        store: &ParamStore,
+        ctx: &mut crate::infer::InferenceContext,
+        batch: usize,
+        time: usize,
+        mut fill_step: F,
+    ) -> Vec<f32> {
+        assert!(time >= 1, "LSTM over empty sequence");
+        let hidden = self.cells[0].hidden_size();
+        let in_dim = self.cells[0].input_dim();
+        let mut cur = ctx.take(time * batch * in_dim);
+        for t in 0..time {
+            fill_step(t, &mut cur[t * batch * in_dim..(t + 1) * batch * in_dim]);
+        }
+        let mut cur_width = in_dim;
+        let mut h = ctx.take(batch * hidden);
+        let mut c = ctx.take(batch * hidden);
+        let mut xi = ctx.take(batch * 4 * hidden);
+        let mut hi = ctx.take(batch * 4 * hidden);
+        for cell in &self.cells {
+            let mut outputs = ctx.take(time * batch * hidden);
+            h.fill(0.0);
+            c.fill(0.0);
+            for t in 0..time {
+                let x_t = &cur[t * batch * cur_width..(t + 1) * batch * cur_width];
+                cell.infer_step(store, x_t, batch, &mut h, &mut c, &mut xi, &mut hi);
+                outputs[t * batch * hidden..(t + 1) * batch * hidden].copy_from_slice(&h);
+            }
+            ctx.give(std::mem::replace(&mut cur, outputs));
+            cur_width = hidden;
+        }
+        let mut last = ctx.take(batch * hidden);
+        last.copy_from_slice(&cur[(time - 1) * batch * hidden..time * batch * hidden]);
+        ctx.give(cur);
+        ctx.give(h);
+        ctx.give(c);
+        ctx.give(xi);
+        ctx.give(hi);
+        last
+    }
+
     pub fn hidden_size(&self) -> usize {
         self.cells[0].hidden_size()
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.cells[0].input_dim()
     }
 
     pub fn num_layers(&self) -> usize {
@@ -230,6 +326,31 @@ mod tests {
         let b = store.value(cell.param_ids()[2]);
         assert_eq!(&b.as_slice()[3..6], &[1.0, 1.0, 1.0]);
         assert_eq!(&b.as_slice()[0..3], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn infer_last_matches_taped_forward_bitwise() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(6);
+        let lstm = Lstm::new(&mut store, "lstm", 3, 5, 2, &mut rng);
+        let (batch, time) = (2, 6);
+        let data = Tensor::rand_normal(&[time, batch, 3], 0.0, 1.0, &mut rng);
+
+        let mut g = Graph::new(&store);
+        let steps: Vec<Var> = (0..time)
+            .map(|t| {
+                let step = data.as_slice()[t * batch * 3..(t + 1) * batch * 3].to_vec();
+                g.input(Tensor::from_vec(step, &[batch, 3]))
+            })
+            .collect();
+        let last = lstm.forward_last(&mut g, &steps);
+        let taped = g.value(last).clone();
+
+        let mut ctx = crate::infer::InferenceContext::new();
+        let out = lstm.infer_last(&store, &mut ctx, batch, time, |t, buf| {
+            buf.copy_from_slice(&data.as_slice()[t * batch * 3..(t + 1) * batch * 3]);
+        });
+        assert_eq!(out.as_slice(), taped.as_slice());
     }
 
     #[test]

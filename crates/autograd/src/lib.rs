@@ -22,6 +22,7 @@
 
 mod conv_kernels;
 mod graph;
+pub mod infer;
 pub mod init;
 pub mod layers;
 pub mod loss;
@@ -29,8 +30,11 @@ pub mod optim;
 mod params;
 pub mod train;
 
-pub use conv_kernels::{conv1d_backward_input, conv1d_backward_weight, conv1d_forward};
+pub use conv_kernels::{
+    conv1d_backward_input, conv1d_backward_weight, conv1d_forward, conv1d_into,
+};
 pub use graph::{Graph, Var};
+pub use infer::InferenceContext;
 pub use init::Init;
 pub use loss::LossKind;
 pub use params::{Gradients, ParamId, ParamStore, RestoreError};

@@ -4,6 +4,7 @@
 use tensor::{Rng, Tensor};
 
 use crate::graph::{Graph, Var};
+use crate::infer::InferenceContext;
 use crate::loss::LossKind;
 use crate::optim::Optimizer;
 use crate::params::ParamStore;
@@ -22,6 +23,21 @@ pub trait SequenceModel {
 
     /// Prediction horizon (target width).
     fn horizon(&self) -> usize;
+
+    /// Tape-free forward pass for serving: `x: [batch, time, features]` to
+    /// `[batch, horizon]` predictions, with scratch drawn from `ctx`.
+    ///
+    /// The default falls back to building a throwaway tape (correct but
+    /// slow); models override it with an arena-based implementation. The
+    /// RNG seed matches `models`' deterministic predict path — dropout is
+    /// off during inference, so the RNG is never actually consumed.
+    fn infer(&self, ctx: &mut InferenceContext, x: &Tensor) -> Tensor {
+        let _ = ctx;
+        let mut rng = Rng::seed_from(0);
+        let mut g = Graph::new(self.params());
+        let pred = self.forward(&mut g, x, false, &mut rng);
+        g.value(pred).clone()
+    }
 }
 
 /// Hyper-parameters for one [`fit`] call.

@@ -1,0 +1,129 @@
+//! Inference-engine microbenchmark: taped vs tape-free single-entity
+//! forecast latency at the paper configuration (RPTCN channels 16, levels
+//! 4, kernel 3; lookback 30), steady-state scratch-arena allocations per
+//! forecast, and streaming-push latency across lookback lengths (flat ⇒
+//! O(1) in window length). Emits `BENCH_infer.json` for the CI smoke job.
+//!
+//! Flags: `--quick` cuts iteration counts, `--seed` varies the weights.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use bench_harness::ExperimentArgs;
+use models::{Forecaster, RptcnForecaster, StreamingRptcn};
+use tensor::{Rng, Tensor};
+
+const FEATURES: usize = 8;
+const WINDOW: usize = 30;
+const LOOKBACKS: [usize; 3] = [32, 64, 128];
+
+fn quantiles(mut ns: Vec<u64>) -> (u64, u64) {
+    ns.sort_unstable();
+    let q = |p: f64| ns[((ns.len() - 1) as f64 * p).round() as usize];
+    (q(0.50), q(0.99))
+}
+
+/// Per-call latency quantiles `(p50, p99)` in nanoseconds.
+fn time_loop(iters: usize, mut f: impl FnMut()) -> (u64, u64) {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    quantiles(samples)
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let iters = if args.quick { 40 } else { 400 };
+    let warmup = iters / 10 + 1;
+
+    let mut model = RptcnForecaster::paper_default();
+    model.init_untrained(FEATURES, 1);
+    let mut rng = Rng::seed_from(args.seed);
+    let x = Tensor::rand_normal(&[1, WINDOW, FEATURES], 0.5, 0.2, &mut rng);
+
+    for _ in 0..warmup {
+        black_box(model.predict(&x));
+        black_box(model.predict_taped(&x));
+    }
+    let (taped_p50, taped_p99) = time_loop(iters, || {
+        black_box(model.predict_taped(&x));
+    });
+    let (free_p50, free_p99) = time_loop(iters, || {
+        black_box(model.predict(&x));
+    });
+    let speedup = taped_p50 as f64 / free_p50.max(1) as f64;
+
+    // Steady-state heap traffic: after warm-up the thread-local arena
+    // satisfies every buffer request from its pool.
+    let probe = 32u64;
+    let before = autograd::infer::thread_context_allocs();
+    for _ in 0..probe {
+        black_box(model.predict(&x));
+    }
+    let allocs_per_forecast =
+        (autograd::infer::thread_context_allocs() - before) as f64 / probe as f64;
+
+    // Streaming push must cost the same no matter how much history the
+    // stream has absorbed; the batch forward over the same history grows
+    // linearly and is shown for contrast.
+    let mut streaming = Vec::new();
+    for &lookback in &LOOKBACKS {
+        let mut stream = StreamingRptcn::new(&model).expect("paper config streams");
+        let history = Tensor::rand_normal(&[1, lookback, FEATURES], 0.5, 0.2, &mut rng);
+        for t in 0..lookback {
+            stream.push(&history.as_slice()[t * FEATURES..(t + 1) * FEATURES]);
+        }
+        let sample: Vec<f32> = history.as_slice()[..FEATURES].to_vec();
+        let (push_p50, push_p99) = time_loop(iters, || {
+            black_box(stream.push(&sample));
+        });
+        let (batch_p50, _) = time_loop(warmup.max(10), || {
+            black_box(model.predict(&history));
+        });
+        streaming.push((lookback, push_p50, push_p99, batch_p50));
+    }
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"model\": \"RPTCN paper_default\",").unwrap();
+    writeln!(
+        json,
+        "  \"config\": {{\"features\": {FEATURES}, \"window\": {WINDOW}, \"iters\": {iters}}},"
+    )
+    .unwrap();
+    writeln!(json, "  \"single_entity_forecast_ns\": {{").unwrap();
+    writeln!(json, "    \"taped_p50\": {taped_p50},").unwrap();
+    writeln!(json, "    \"taped_p99\": {taped_p99},").unwrap();
+    writeln!(json, "    \"tape_free_p50\": {free_p50},").unwrap();
+    writeln!(json, "    \"tape_free_p99\": {free_p99},").unwrap();
+    writeln!(json, "    \"speedup_p50\": {speedup:.2}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(
+        json,
+        "  \"allocations_per_forecast\": {allocs_per_forecast:.2},"
+    )
+    .unwrap();
+    writeln!(json, "  \"streaming_push_ns\": [").unwrap();
+    for (i, (lookback, p50, p99, batch)) in streaming.iter().enumerate() {
+        let sep = if i + 1 == streaming.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"lookback\": {lookback}, \"push_p50\": {p50}, \"push_p99\": {p99}, \"batch_forward_p50\": {batch}}}{sep}"
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write("BENCH_infer.json", &json).expect("write BENCH_infer.json");
+    print!("{json}");
+    eprintln!(
+        "tape-free forecast: p50 {:.1}us vs taped {:.1}us ({speedup:.1}x), {allocs_per_forecast:.2} allocs/forecast",
+        free_p50 as f64 / 1_000.0,
+        taped_p50 as f64 / 1_000.0,
+    );
+}

@@ -41,5 +41,5 @@ pub use pipeline::{
     prepare, run_model, FittedPreprocess, PipelineConfig, PipelineRun, PreparedData, ScalerScope,
 };
 pub use placement::{Arrival, PlacementOutcome, PlacementSimulator, PlacementStrategy, SimMachine};
-pub use predictor::{PredictorState, ResourcePredictor};
+pub use predictor::{new_shared_group, PredictorState, ResourcePredictor};
 pub use scenario::Scenario;

@@ -3,6 +3,8 @@
 //! (selected indicators, scaler, expansion) and serves rolling forecasts as
 //! new monitoring samples arrive, retraining periodically.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use models::checkpoint::{CheckpointError, ModelState};
 use models::Forecaster;
 use tensor::Tensor;
@@ -10,6 +12,14 @@ use timeseries::{clean, Expansion, FrameError, MinMaxScaler, TimeSeriesFrame};
 
 use crate::pipeline::{prepare, run_model, FittedPreprocess, PipelineConfig, PipelineRun};
 use crate::scenario::Scenario;
+
+static NEXT_GROUP: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh weight-sharing group id (see
+/// [`ResourcePredictor::set_shared_group`]).
+pub fn new_shared_group() -> u64 {
+    NEXT_GROUP.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A live predictor bound to one entity's indicator stream.
 pub struct ResourcePredictor {
@@ -28,6 +38,12 @@ pub struct ResourcePredictor {
     ///
     /// [`set_refit_schedule`]: ResourcePredictor::set_refit_schedule
     refit_every: usize,
+    /// Entities whose models share identical weights carry the same group
+    /// id, letting the serving layer stack their inference windows into one
+    /// batched forward pass. Any refit clears it — the weights have
+    /// diverged from the group. Deliberately not persisted in
+    /// [`PredictorState`]: group ids are process-local.
+    shared_group: Option<u64>,
 }
 
 /// Complete portable snapshot of one live predictor: fitted model weights,
@@ -70,9 +86,22 @@ impl ResourcePredictor {
                 preprocess: prepared.fitted(),
                 samples_since_fit: 0,
                 refit_every: 0,
+                shared_group: None,
             },
             run,
         ))
+    }
+
+    /// The weight-sharing group this predictor belongs to, if any.
+    pub fn shared_group(&self) -> Option<u64> {
+        self.shared_group
+    }
+
+    /// Tag (or untag) this predictor as sharing model weights with a group.
+    /// Only callers that actually installed identical weights may set this:
+    /// the serving layer batches forecasts across a group under one model.
+    pub fn set_shared_group(&mut self, group: Option<u64>) {
+        self.shared_group = group;
     }
 
     /// Refit after `every` new samples; 0 disables periodic refits.
@@ -122,6 +151,7 @@ impl ResourcePredictor {
         let run = run_model(self.model.as_mut(), &prepared);
         self.preprocess = prepared.fitted();
         self.samples_since_fit = 0;
+        self.shared_group = None;
         Ok(run)
     }
 
@@ -136,6 +166,7 @@ impl ResourcePredictor {
         self.model = model;
         self.preprocess = preprocess;
         self.samples_since_fit = 0;
+        self.shared_group = None;
     }
 
     /// Guarded variant of [`ResourcePredictor::install_refit`]: the
@@ -154,6 +185,7 @@ impl ResourcePredictor {
         match self.forecast() {
             Ok(fc) if fc.iter().all(|v| v.is_finite()) => {
                 self.samples_since_fit = 0;
+                self.shared_group = None;
                 Ok(())
             }
             outcome => {
@@ -196,6 +228,16 @@ impl ResourcePredictor {
     /// Forecast the next `horizon` target values (normalised units) from
     /// the most recent window of history.
     pub fn forecast_normalized(&self) -> Result<Vec<f32>, FrameError> {
+        let (x, w, f) = self.inference_window()?;
+        let pred = self.model.predict(&Tensor::from_vec(x, &[1, w, f]));
+        Ok(pred.into_vec())
+    }
+
+    /// The preprocessed `[window · features]` model input for the current
+    /// history tail, plus its `(window, features)` shape. The serving layer
+    /// stacks these across a weight-sharing group and answers them with a
+    /// single batched [`ResourcePredictor::predict_batch`] call.
+    pub fn inference_window(&self) -> Result<(Vec<f32>, usize, usize), FrameError> {
         let frame = self.current_frame()?;
         // Re-apply the fitted preprocessing to the tail of the stream,
         // starting with the same cleaning step training uses: non-finite
@@ -232,8 +274,20 @@ impl ResourcePredictor {
                 x[t * f + j] = tail.column_at(j)[t];
             }
         }
-        let pred = self.model.predict(&Tensor::from_vec(x, &[1, w, f]));
-        Ok(pred.into_vec())
+        Ok((x, w, f))
+    }
+
+    /// Run this predictor's model on a pre-stacked `[n, window, features]`
+    /// batch of inference windows (normalised units). Per-row kernels make
+    /// each output row exactly equal to the corresponding batch-1 call.
+    pub fn predict_batch(&self, x: &Tensor) -> Tensor {
+        self.model.predict(x)
+    }
+
+    /// De-normalise a model output with this predictor's fitted scaler —
+    /// the per-entity half of a batched forecast.
+    pub fn denormalize_forecast(&self, normalized: &[f32]) -> Vec<f32> {
+        self.preprocess.denormalize(&self.cfg.target, normalized)
     }
 
     /// Forecast in raw (de-normalised) target units.
@@ -321,6 +375,53 @@ impl ResourcePredictor {
             },
             samples_since_fit: state.samples_since_fit,
             refit_every: state.refit_every,
+            shared_group: None,
+        })
+    }
+
+    /// Clone this predictor for a new entity that shares its model weights:
+    /// the model is rebuilt bit-identically from its checkpoint state (no
+    /// retraining) and the template's indicator selection is kept — input
+    /// shapes must stay identical across the group for the serving layer to
+    /// stack windows into one batched call — while the scaler is re-fitted
+    /// on the entity's own bootstrap so each entity is normalised (and
+    /// de-normalised) in its own range. The clone inherits this predictor's
+    /// [`ResourcePredictor::shared_group`] tag.
+    pub fn clone_for_entity(
+        &self,
+        bootstrap: &TimeSeriesFrame,
+    ) -> Result<ResourcePredictor, FrameError> {
+        let model_state = self.model.state().ok_or_else(|| {
+            FrameError(format!(
+                "model {} does not support checkpointing, so its weights cannot be shared",
+                self.model.name()
+            ))
+        })?;
+        let model =
+            models::checkpoint::forecaster_from_state(&model_state).map_err(|e| FrameError(e.0))?;
+        let (cleaned, _) = clean(bootstrap, self.cfg.repair);
+        let selected: Vec<&str> = self
+            .preprocess
+            .selected
+            .iter()
+            .map(String::as_str)
+            .collect();
+        let screened = cleaned.select(&selected)?;
+        Ok(ResourcePredictor {
+            model,
+            cfg: self.cfg.clone(),
+            names: bootstrap.names().to_vec(),
+            history: (0..bootstrap.num_columns())
+                .map(|j| bootstrap.column_at(j).to_vec())
+                .collect(),
+            preprocess: FittedPreprocess {
+                scaler: MinMaxScaler::fit(&screened),
+                selected: self.preprocess.selected.clone(),
+                expanded_target: self.preprocess.expanded_target.clone(),
+            },
+            samples_since_fit: 0,
+            refit_every: self.refit_every,
+            shared_group: self.shared_group,
         })
     }
 
@@ -504,6 +605,48 @@ mod tests {
             .try_install_refit(fresh, prepared.fitted())
             .unwrap();
         assert!(predictor.forecast().unwrap()[0].is_finite());
+    }
+
+    #[test]
+    fn clone_for_entity_shares_weights_and_group() {
+        let (mut template, _) =
+            ResourcePredictor::fit(Box::new(NaiveForecaster::new()), &bootstrap(), cfg()).unwrap();
+        template.set_shared_group(Some(new_shared_group()));
+        // Same bootstrap → same history, same scaler → identical forecasts
+        // from the cloned weights.
+        let clone = template.clone_for_entity(&bootstrap()).unwrap();
+        assert_eq!(clone.shared_group(), template.shared_group());
+        assert_eq!(clone.forecast().unwrap(), template.forecast().unwrap());
+        // A different bootstrap yields its own history but stays grouped.
+        let other = cloudtrace::container::generate_container(
+            &ContainerConfig::new(WorkloadClass::BatchJob, 600, 7).with_diurnal_period(200),
+        );
+        let clone = template.clone_for_entity(&other).unwrap();
+        assert_eq!(clone.shared_group(), template.shared_group());
+        assert!(clone.forecast().unwrap()[0].is_finite());
+    }
+
+    #[test]
+    fn refit_clears_the_shared_group() {
+        let (mut predictor, _) =
+            ResourcePredictor::fit(Box::new(NaiveForecaster::new()), &bootstrap(), cfg()).unwrap();
+        predictor.set_shared_group(Some(new_shared_group()));
+        predictor.refit().unwrap();
+        assert_eq!(
+            predictor.shared_group(),
+            None,
+            "refit weights diverged from the group but the tag survived"
+        );
+    }
+
+    #[test]
+    fn batched_pieces_compose_to_forecast() {
+        let (predictor, _) =
+            ResourcePredictor::fit(Box::new(NaiveForecaster::new()), &bootstrap(), cfg()).unwrap();
+        let (x, w, f) = predictor.inference_window().unwrap();
+        let pred = predictor.predict_batch(&Tensor::from_vec(x, &[1, w, f]));
+        let fc = predictor.denormalize_forecast(pred.as_slice());
+        assert_eq!(fc, predictor.forecast().unwrap());
     }
 
     #[test]

@@ -58,6 +58,28 @@ impl SequenceModel for CnnLstmNetwork {
         self.head.forward(g, dropped)
     }
 
+    fn infer(&self, ctx: &mut autograd::InferenceContext, x: &Tensor) -> Tensor {
+        let (batch, time, features) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let mut ct = ctx.take(batch * features * time);
+        neural::to_channels_time_into(x, &mut ct);
+        let mut act = self.conv.infer(&self.store, ctx, &ct, batch, time);
+        autograd::infer::relu_in_place(&mut act);
+        ctx.give(ct);
+        let ch = self.conv.out_channels();
+        let last = self
+            .lstm
+            .infer_last(&self.store, ctx, batch, time, |t, buf| {
+                autograd::infer::select_time_into(&act, buf, batch, ch, time, t)
+            });
+        ctx.give(act);
+        // Dropout is a no-op at inference.
+        let out = self.head.infer(&self.store, ctx, &last, batch);
+        ctx.give(last);
+        let result = Tensor::from_vec(out[..batch * self.horizon].to_vec(), &[batch, self.horizon]);
+        ctx.give(out);
+        result
+    }
+
     fn params(&self) -> &ParamStore {
         &self.store
     }
@@ -149,6 +171,13 @@ impl CnnLstmForecaster {
         let mut m = Self::new(Self::config_from_state(state)?);
         m.load_state(state)?;
         Ok(m)
+    }
+
+    /// Taped-graph inference — the parity/benchmark reference for
+    /// [`Forecaster::predict`]'s tape-free path.
+    pub fn predict_taped(&self, x: &Tensor) -> Tensor {
+        let net = self.network.as_ref().expect("predict before fit");
+        neural::predict_network_taped(net, x, self.config.spec.batch_size)
     }
 }
 

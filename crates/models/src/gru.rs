@@ -47,6 +47,21 @@ impl SequenceModel for GruNetwork {
         self.head.forward(g, dropped)
     }
 
+    fn infer(&self, ctx: &mut autograd::InferenceContext, x: &Tensor) -> Tensor {
+        let (batch, time) = (x.shape()[0], x.shape()[1]);
+        let last = self
+            .gru
+            .infer_last(&self.store, ctx, batch, time, |t, buf| {
+                neural::fill_time_step(x, t, buf)
+            });
+        // Dropout is a no-op at inference.
+        let out = self.head.infer(&self.store, ctx, &last, batch);
+        ctx.give(last);
+        let result = Tensor::from_vec(out[..batch * self.horizon].to_vec(), &[batch, self.horizon]);
+        ctx.give(out);
+        result
+    }
+
     fn params(&self) -> &ParamStore {
         &self.store
     }
@@ -125,6 +140,13 @@ impl GruForecaster {
         let mut m = Self::new(Self::config_from_state(state)?);
         m.load_state(state)?;
         Ok(m)
+    }
+
+    /// Taped-graph inference — the parity/benchmark reference for
+    /// [`Forecaster::predict`]'s tape-free path.
+    pub fn predict_taped(&self, x: &Tensor) -> Tensor {
+        let net = self.network.as_ref().expect("predict before fit");
+        neural::predict_network_taped(net, x, self.config.spec.batch_size)
     }
 }
 

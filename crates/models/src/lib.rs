@@ -26,6 +26,7 @@ pub mod linear;
 pub mod lstm;
 mod neural;
 pub mod rptcn;
+pub mod streaming;
 pub mod tcn;
 
 pub use arima::{ArimaConfig, ArimaForecaster};
@@ -41,4 +42,5 @@ pub use linear::{LinearConfig, LinearForecaster};
 pub use lstm::{LstmConfig, LstmForecaster};
 pub use neural::NeuralTrainSpec;
 pub use rptcn::{AttentionKind, RptcnConfig, RptcnForecaster};
+pub use streaming::{StreamingError, StreamingRptcn};
 pub use tcn::{TcnBackbone, TcnConfig, TcnForecaster, TemporalBlock};

@@ -47,6 +47,21 @@ impl SequenceModel for LstmNetwork {
         self.head.forward(g, dropped)
     }
 
+    fn infer(&self, ctx: &mut autograd::InferenceContext, x: &Tensor) -> Tensor {
+        let (batch, time) = (x.shape()[0], x.shape()[1]);
+        let last = self
+            .lstm
+            .infer_last(&self.store, ctx, batch, time, |t, buf| {
+                neural::fill_time_step(x, t, buf)
+            });
+        // Dropout is a no-op at inference.
+        let out = self.head.infer(&self.store, ctx, &last, batch);
+        ctx.give(last);
+        let result = Tensor::from_vec(out[..batch * self.horizon].to_vec(), &[batch, self.horizon]);
+        ctx.give(out);
+        result
+    }
+
     fn params(&self) -> &ParamStore {
         &self.store
     }
@@ -131,6 +146,13 @@ impl LstmForecaster {
     /// Number of scalar parameters once built.
     pub fn num_parameters(&self) -> Option<usize> {
         self.network.as_ref().map(|n| n.store.num_scalars())
+    }
+
+    /// Taped-graph inference — the parity/benchmark reference for
+    /// [`Forecaster::predict`]'s tape-free path.
+    pub fn predict_taped(&self, x: &Tensor) -> Tensor {
+        let net = self.network.as_ref().expect("predict before fit");
+        neural::predict_network_taped(net, x, self.config.spec.batch_size)
     }
 }
 

@@ -107,10 +107,29 @@ pub(crate) fn fit_network<M: SequenceModel>(
     }
 }
 
-/// Run inference through the [`SequenceModel`] interface.
+/// Run inference through the tape-free engine, reusing this thread's
+/// scratch arena. All `Forecaster::predict` impls route through here, so
+/// serving forecasts never build a tape.
 pub(crate) fn predict_network<M: SequenceModel>(net: &M, x: &Tensor, batch: usize) -> Tensor {
+    autograd::infer::with_thread_context(|ctx| autograd::infer::predict(net, x, batch, ctx))
+}
+
+/// Run inference through the taped [`SequenceModel`] interface. Kept as the
+/// parity reference (and benchmark baseline) for the tape-free path.
+pub(crate) fn predict_network_taped<M: SequenceModel>(net: &M, x: &Tensor, batch: usize) -> Tensor {
     let mut rng = Rng::seed_from(0);
     autograd::predict(net, x, batch, &mut rng)
+}
+
+/// Write step `step`'s `[batch, features]` slice of a `[batch, time,
+/// features]` window batch into caller-provided scratch.
+pub(crate) fn fill_time_step(x: &Tensor, step: usize, out: &mut [f32]) {
+    let (b, t, f) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    debug_assert_eq!(out.len(), b * f, "fill_time_step scratch shape");
+    for bi in 0..b {
+        out[bi * f..(bi + 1) * f]
+            .copy_from_slice(&x.as_slice()[(bi * t + step) * f..(bi * t + step) * f + f]);
+    }
 }
 
 /// Slice a `[batch, time, features]` window batch into per-step
@@ -120,21 +139,18 @@ pub(crate) fn time_step_inputs(g: &mut Graph, x: &Tensor) -> Vec<Var> {
     (0..t)
         .map(|step| {
             let mut data = vec![0.0f32; b * f];
-            for bi in 0..b {
-                data[bi * f..(bi + 1) * f]
-                    .copy_from_slice(&x.as_slice()[(bi * t + step) * f..(bi * t + step) * f + f]);
-            }
+            fill_time_step(x, step, &mut data);
             g.input(Tensor::from_vec(data, &[b, f]))
         })
         .collect()
 }
 
-/// Rearrange `[batch, time, features]` into the `[batch, channels, time]`
-/// layout convolutional models consume.
-pub(crate) fn to_channels_time(x: &Tensor) -> Tensor {
+/// Rearrange `[batch, time, features]` into `[batch, channels, time]`,
+/// writing into caller-provided scratch (no allocation on the serving path).
+pub(crate) fn to_channels_time_into(x: &Tensor, out: &mut [f32]) {
     let (b, t, f) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    debug_assert_eq!(out.len(), b * f * t, "to_channels_time scratch shape");
     let src = x.as_slice();
-    let mut out = vec![0.0f32; b * f * t];
     for bi in 0..b {
         for ti in 0..t {
             for fi in 0..f {
@@ -142,6 +158,14 @@ pub(crate) fn to_channels_time(x: &Tensor) -> Tensor {
             }
         }
     }
+}
+
+/// Rearrange `[batch, time, features]` into the `[batch, channels, time]`
+/// layout convolutional models consume.
+pub(crate) fn to_channels_time(x: &Tensor) -> Tensor {
+    let (b, t, f) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let mut out = vec![0.0f32; b * f * t];
+    to_channels_time_into(x, &mut out);
     Tensor::from_vec(out, &[b, f, t])
 }
 
@@ -175,6 +199,24 @@ mod tests {
         // Step 1 holds x[:, 1, :] = [[2, 3], [8, 9]].
         assert_eq!(g.value(steps[1]).as_slice(), &[2.0, 3.0, 8.0, 9.0]);
         assert_eq!(g.value(steps[1]).shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_helpers() {
+        let x = Tensor::arange(2 * 4 * 3).into_reshape(&[2, 4, 3]).unwrap();
+        let ct = to_channels_time(&x);
+        let mut scratch = vec![f32::NAN; 2 * 3 * 4];
+        to_channels_time_into(&x, &mut scratch);
+        assert_eq!(scratch.as_slice(), ct.as_slice());
+
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let steps = time_step_inputs(&mut g, &x);
+        for (t, &step) in steps.iter().enumerate() {
+            let mut buf = vec![f32::NAN; 2 * 3];
+            fill_time_step(&x, t, &mut buf);
+            assert_eq!(buf.as_slice(), g.value(step).as_slice());
+        }
     }
 
     #[test]

@@ -60,14 +60,14 @@ impl Default for RptcnConfig {
     }
 }
 
-struct RptcnNetwork {
-    store: ParamStore,
-    backbone: TcnBackbone,
-    fc: Option<Linear>,
-    feature_attention: Option<FeatureAttention>,
-    temporal_attention: Option<TemporalAttention>,
+pub(crate) struct RptcnNetwork {
+    pub(crate) store: ParamStore,
+    pub(crate) backbone: TcnBackbone,
+    pub(crate) fc: Option<Linear>,
+    pub(crate) feature_attention: Option<FeatureAttention>,
+    pub(crate) temporal_attention: Option<TemporalAttention>,
     dropout: Dropout,
-    head: Linear,
+    pub(crate) head: Linear,
     features: usize,
     horizon: usize,
 }
@@ -94,6 +94,41 @@ impl SequenceModel for RptcnNetwork {
             h = attn.forward(g, h, h);
         }
         self.head.forward(g, h)
+    }
+
+    fn infer(&self, ctx: &mut autograd::InferenceContext, x: &Tensor) -> Tensor {
+        let (batch, time, features) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let mut ct = ctx.take(batch * features * time);
+        neural::to_channels_time_into(x, &mut ct);
+        let seq = self.backbone.infer(&self.store, ctx, &ct, batch, time);
+        ctx.give(ct);
+        let ch = self.backbone.out_channels();
+
+        let mut h = match &self.temporal_attention {
+            Some(attn) => attn.infer(&self.store, ctx, &seq, batch, time),
+            None => {
+                let mut last = ctx.take(batch * ch);
+                autograd::infer::select_time_into(&seq, &mut last, batch, ch, time, time - 1);
+                last
+            }
+        };
+        ctx.give(seq);
+
+        // Dropout is a no-op at inference, so the FC branch is just
+        // linear → relu, matching the taped graph with `training=false`.
+        if let Some(fc) = &self.fc {
+            let mut next = fc.infer(&self.store, ctx, &h, batch);
+            autograd::infer::relu_in_place(&mut next);
+            ctx.give(std::mem::replace(&mut h, next));
+        }
+        if let Some(attn) = &self.feature_attention {
+            attn.infer_in_place(&self.store, ctx, &mut h, batch);
+        }
+        let out = self.head.infer(&self.store, ctx, &h, batch);
+        ctx.give(h);
+        let result = Tensor::from_vec(out[..batch * self.horizon].to_vec(), &[batch, self.horizon]);
+        ctx.give(out);
+        result
     }
 
     fn params(&self) -> &ParamStore {
@@ -213,6 +248,44 @@ impl RptcnForecaster {
     /// Scalar parameter count once built.
     pub fn num_parameters(&self) -> Option<usize> {
         self.network.as_ref().map(|n| n.store.num_scalars())
+    }
+
+    /// Internal network handle (used by the streaming inference engine).
+    pub(crate) fn network(&self) -> Option<&RptcnNetwork> {
+        self.network.as_ref()
+    }
+
+    /// Build the network without training, perturbing every parameter with
+    /// small Gaussian noise. The head and attention projection are
+    /// zero-initialised, so a freshly built network would short-circuit most
+    /// of the forward path; the noise makes benchmarks and parity tests
+    /// exercise realistic weights without paying for a fit.
+    pub fn init_untrained(&mut self, features: usize, horizon: usize) {
+        let mut net = self.build(features, horizon);
+        let mut rng = Rng::seed_from(self.config.spec.seed.wrapping_add(0x1DF5));
+        let perturbed: Vec<(String, Tensor)> = net
+            .store
+            .export_named()
+            .into_iter()
+            .map(|(name, mut t)| {
+                let noise = Tensor::rand_normal(t.shape(), 0.0, 0.05, &mut rng);
+                for (v, &n) in t.as_mut_slice().iter_mut().zip(noise.as_slice()) {
+                    *v += n;
+                }
+                (name, t)
+            })
+            .collect();
+        net.store
+            .import_named(&perturbed)
+            .expect("perturbed tensors keep their names and shapes");
+        self.network = Some(net);
+    }
+
+    /// Taped-graph inference — the parity/benchmark reference for
+    /// [`Forecaster::predict`]'s tape-free path.
+    pub fn predict_taped(&self, x: &Tensor) -> Tensor {
+        let net = self.network.as_ref().expect("predict before fit");
+        neural::predict_network_taped(net, x, self.config.spec.batch_size)
     }
 }
 

@@ -92,9 +92,55 @@ impl TemporalBlock {
         g.relu(sum)
     }
 
+    /// Tape-free forward: `x` is `[batch, in_ch, time]` row-major, returns
+    /// `[batch, out_ch, time]` in a buffer from `ctx`. Dropout is inactive
+    /// at inference, so the block reduces to conv→relu→conv→relu plus the
+    /// residual sum — fused here as `(res + h).max(0)` in the output buffer.
+    pub fn infer(
+        &self,
+        store: &ParamStore,
+        ctx: &mut autograd::InferenceContext,
+        x: &[f32],
+        batch: usize,
+        time: usize,
+    ) -> Vec<f32> {
+        let mut h1 = self.conv1.infer(store, ctx, x, batch, time);
+        autograd::infer::relu_in_place(&mut h1);
+        let mut out = self.conv2.infer(store, ctx, &h1, batch, time);
+        autograd::infer::relu_in_place(&mut out);
+        ctx.give(h1);
+        match &self.downsample {
+            Some(d) => {
+                let res = d.infer(store, ctx, x, batch, time);
+                for (o, &r) in out.iter_mut().zip(res.iter()) {
+                    *o = (r + *o).max(0.0);
+                }
+                ctx.give(res);
+            }
+            None => {
+                for (o, &r) in out.iter_mut().zip(x.iter()) {
+                    *o = (r + *o).max(0.0);
+                }
+            }
+        }
+        out
+    }
+
     /// Receptive-field contribution of this block: `2·(k−1)·d`.
     pub fn receptive_contribution(&self) -> usize {
         2 * (self.conv1.receptive_field() - 1)
+    }
+
+    pub fn conv1(&self) -> &CausalConv1d {
+        &self.conv1
+    }
+
+    pub fn conv2(&self) -> &CausalConv1d {
+        &self.conv2
+    }
+
+    pub fn downsample(&self) -> Option<&CausalConv1d> {
+        self.downsample.as_ref()
     }
 }
 
@@ -150,8 +196,33 @@ impl TcnBackbone {
         h
     }
 
+    /// Tape-free forward: `x` is `[batch, features, time]` row-major,
+    /// returns `[batch, channels, time]` in a buffer from `ctx`.
+    pub fn infer(
+        &self,
+        store: &ParamStore,
+        ctx: &mut autograd::InferenceContext,
+        x: &[f32],
+        batch: usize,
+        time: usize,
+    ) -> Vec<f32> {
+        let mut owned: Option<Vec<f32>> = None;
+        for block in &self.blocks {
+            let cur: &[f32] = owned.as_deref().unwrap_or(x);
+            let next = block.infer(store, ctx, cur, batch, time);
+            if let Some(prev) = owned.replace(next) {
+                ctx.give(prev);
+            }
+        }
+        owned.expect("backbone has at least one block")
+    }
+
     pub fn out_channels(&self) -> usize {
         self.out_channels
+    }
+
+    pub fn blocks(&self) -> &[TemporalBlock] {
+        &self.blocks
     }
 
     /// Total receptive field: `1 + Σ 2·(k−1)·2^l`.
@@ -205,6 +276,23 @@ impl SequenceModel for TcnNetwork {
         let seq = self.backbone.forward(g, ct, training, rng);
         let last = g.select_time(seq, time - 1);
         self.head.forward(g, last)
+    }
+
+    fn infer(&self, ctx: &mut autograd::InferenceContext, x: &Tensor) -> Tensor {
+        let (batch, time, features) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let mut ct = ctx.take(batch * features * time);
+        neural::to_channels_time_into(x, &mut ct);
+        let seq = self.backbone.infer(&self.store, ctx, &ct, batch, time);
+        ctx.give(ct);
+        let ch = self.backbone.out_channels();
+        let mut last = ctx.take(batch * ch);
+        autograd::infer::select_time_into(&seq, &mut last, batch, ch, time, time - 1);
+        ctx.give(seq);
+        let out = self.head.infer(&self.store, ctx, &last, batch);
+        ctx.give(last);
+        let result = Tensor::from_vec(out[..batch * self.horizon].to_vec(), &[batch, self.horizon]);
+        ctx.give(out);
+        result
     }
 
     fn params(&self) -> &ParamStore {
@@ -289,6 +377,15 @@ impl Forecaster for TcnForecaster {
     fn predict(&self, x: &Tensor) -> Tensor {
         let net = self.network.as_ref().expect("predict before fit");
         neural::predict_network(net, x, self.config.spec.batch_size)
+    }
+}
+
+impl TcnForecaster {
+    /// Taped-graph inference — the parity/benchmark reference for
+    /// [`Forecaster::predict`]'s tape-free path.
+    pub fn predict_taped(&self, x: &Tensor) -> Tensor {
+        let net = self.network.as_ref().expect("predict before fit");
+        neural::predict_network_taped(net, x, self.config.spec.batch_size)
     }
 }
 

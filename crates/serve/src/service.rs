@@ -20,7 +20,7 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use models::Forecaster;
-use rptcn::{PipelineConfig, PipelineRun, ResourcePredictor};
+use rptcn::{new_shared_group, PipelineConfig, PipelineRun, ResourcePredictor};
 use timeseries::TimeSeriesFrame;
 
 use crate::checkpoint::{load_fleet, save_fleet};
@@ -223,6 +223,50 @@ impl PredictionService {
         let (predictor, run) =
             ResourcePredictor::fit(model, bootstrap, cfg).map_err(ServeError::from)?;
         self.install(id, predictor)?;
+        Ok(run)
+    }
+
+    /// Onboard a fleet of entities that share ONE model: the model is
+    /// fitted once on the first entity's bootstrap, then cloned
+    /// bit-identically (no retraining) for every other entity, each with
+    /// its own history and a scaler fitted on its own bootstrap. All
+    /// members are tagged with a fresh weight-sharing group, so their
+    /// shard answers same-shape forecast requests with one batched engine
+    /// call until any member is refitted away from the group.
+    ///
+    /// The model must support checkpointing (neural forecasters and the
+    /// naive baseline do) — cloning weights goes through its state.
+    pub fn add_entities_shared(
+        &mut self,
+        entities: &[(&str, TimeSeriesFrame)],
+        cfg: PipelineConfig,
+        model: Box<dyn Forecaster + Send>,
+    ) -> Result<PipelineRun, ServeError> {
+        let Some(((first_id, first_frame), rest)) = entities.split_first() else {
+            return Err(ServeError::Frame(
+                "add_entities_shared needs at least one entity".into(),
+            ));
+        };
+        let mut seen = BTreeSet::new();
+        for (id, _) in entities {
+            if self.ids.contains(*id) || !seen.insert(*id) {
+                return Err(ServeError::DuplicateEntity(id.to_string()));
+            }
+        }
+        let (mut template, run) =
+            ResourcePredictor::fit(model, first_frame, cfg).map_err(ServeError::from)?;
+        template.set_shared_group(Some(new_shared_group()));
+        // Clone every member before installing any, so a bad bootstrap
+        // leaves the service unchanged.
+        let mut members = Vec::with_capacity(rest.len());
+        for (id, frame) in rest {
+            let clone = template.clone_for_entity(frame).map_err(ServeError::from)?;
+            members.push((*id, clone));
+        }
+        self.install(first_id, template)?;
+        for (id, predictor) in members {
+            self.install(id, predictor)?;
+        }
         Ok(run)
     }
 

@@ -31,6 +31,7 @@ use models::Forecaster;
 use rptcn::{
     prepare, run_model, FittedPreprocess, PipelineConfig, PredictorState, ResourcePredictor,
 };
+use tensor::Tensor;
 use timeseries::TimeSeriesFrame;
 
 use crate::error::ServeError;
@@ -185,27 +186,7 @@ pub(crate) fn shard_loop(
                 *current = None;
             }
             ShardMsg::ForecastBatch { ids, reply } => {
-                let results: ForecastReplies = ids
-                    .into_iter()
-                    .map(|id| {
-                        let started = Instant::now();
-                        *current = Some(id.clone());
-                        if let Some(plan) = &ctx.faults {
-                            if plan.take_forecast_panic(&id) {
-                                panic!("fault injection: model panic while forecasting `{id}`");
-                            }
-                        }
-                        let res = forecast_entity(ctx, slots, &id);
-                        *current = None;
-                        if res.is_ok() {
-                            ctx.stats.forecasts.fetch_add(1, Ordering::Relaxed);
-                            lock_recover(&ctx.stats.latency)
-                                .record(started.elapsed().as_nanos() as u64);
-                        }
-                        (id, res)
-                    })
-                    .collect();
-                let _ = reply.send(results);
+                let _ = reply.send(forecast_many(ctx, slots, current, ids));
             }
             ShardMsg::RefitDone { id, outcome } => {
                 *current = Some(id.clone());
@@ -402,6 +383,157 @@ fn rolling_forecast(ctx: &ShardContext, slot: &mut EntitySlot) -> Option<Vec<f32
         }
     }
     slot.fallback.forecast(slot.horizon)
+}
+
+/// Serve a batch of forecast requests. Healthy entities that share a
+/// weight group (see [`ResourcePredictor::shared_group`]) and produce
+/// identically-shaped input windows are stacked into ONE batched engine
+/// call; every other entity — degraded, unknown, ungrouped, or alone in
+/// its group — takes the per-entity path unchanged, so the fallback and
+/// degradation semantics of [`forecast_entity`] are preserved exactly.
+fn forecast_many(
+    ctx: &ShardContext,
+    slots: &mut HashMap<String, EntitySlot>,
+    current: &mut Option<String>,
+    ids: Vec<String>,
+) -> ForecastReplies {
+    /// (shared group, window, features): entities whose keys match can be
+    /// stacked into one batch.
+    type GroupKey = (u64, usize, usize);
+    let mut replies: Vec<Option<Result<Vec<f32>, ServeError>>> =
+        (0..ids.len()).map(|_| None).collect();
+    // group key → [(reply index, normalized window)]
+    let mut groups: HashMap<GroupKey, Vec<(usize, Vec<f32>)>> = HashMap::new();
+
+    for (idx, id) in ids.iter().enumerate() {
+        *current = Some(id.clone());
+        if let Some(plan) = &ctx.faults {
+            if plan.take_forecast_panic(id) {
+                panic!("fault injection: model panic while forecasting `{id}`");
+            }
+        }
+        let batchable = slots.get(id).and_then(|slot| {
+            if slot.health != EntityHealth::Healthy {
+                return None;
+            }
+            let group = slot.predictor.shared_group()?;
+            match catch_unwind(AssertUnwindSafe(|| slot.predictor.inference_window())) {
+                Ok(Ok((x, w, f))) => Some(((group, w, f), x)),
+                // Window preparation failed or panicked: the per-entity
+                // path below re-runs it under its own guard and degrades.
+                _ => None,
+            }
+        });
+        match batchable {
+            Some((key, x)) => groups.entry(key).or_default().push((idx, x)),
+            None => replies[idx] = Some(forecast_one(ctx, slots, id)),
+        }
+        *current = None;
+    }
+
+    for ((_, window, features), mut members) in groups {
+        // A singleton gains nothing from stacking; keep it on the
+        // per-entity path so its behaviour and latency accounting are
+        // identical to an ungrouped entity.
+        if members.len() == 1 {
+            let idx = members[0].0;
+            let id = &ids[idx];
+            *current = Some(id.clone());
+            replies[idx] = Some(forecast_one(ctx, slots, id));
+            *current = None;
+            continue;
+        }
+        let started = Instant::now();
+        let rows = members.len();
+        let mut stacked = Vec::with_capacity(rows * window * features);
+        for (_, x) in &members {
+            stacked.extend_from_slice(x);
+        }
+        let leader = &ids[members[0].0];
+        *current = Some(leader.clone());
+        let x = Tensor::from_vec(stacked, &[rows, window, features]);
+        let pred = {
+            let slot = slots.get(leader).expect("batch leader was just grouped");
+            catch_unwind(AssertUnwindSafe(|| slot.predictor.predict_batch(&x)))
+        };
+        *current = None;
+        let pred = match pred {
+            Ok(pred) => pred,
+            Err(_) => {
+                // The batched call panicked; retry each member alone so the
+                // per-entity guard pins down and degrades the culprit while
+                // its groupmates still get answers.
+                for (idx, _) in members {
+                    let id = &ids[idx];
+                    *current = Some(id.clone());
+                    replies[idx] = Some(forecast_one(ctx, slots, id));
+                    *current = None;
+                }
+                continue;
+            }
+        };
+        ctx.stats.batch_calls.fetch_add(1, Ordering::Relaxed);
+        let per_entity_nanos = started.elapsed().as_nanos() as u64 / rows as u64;
+        let horizon = pred.shape()[1];
+        members.sort_by_key(|(idx, _)| *idx);
+        for (row, (idx, _)) in members.iter().enumerate() {
+            let id = &ids[*idx];
+            *current = Some(id.clone());
+            let normalized = &pred.as_slice()[row * horizon..(row + 1) * horizon];
+            let slot = slots.get_mut(id).expect("batch member was just grouped");
+            let fc = slot.predictor.denormalize_forecast(normalized);
+            if !fc.is_empty() && fc.iter().all(|v| v.is_finite()) {
+                ctx.stats.forecasts.fetch_add(1, Ordering::Relaxed);
+                ctx.stats.batched_forecasts.fetch_add(1, Ordering::Relaxed);
+                lock_recover(&ctx.stats.latency).record(per_entity_nanos);
+                replies[*idx] = Some(Ok(fc));
+            } else {
+                // A bad row degrades only its own entity; the shared
+                // fallback machinery answers, mirroring `forecast_entity`.
+                degrade(
+                    ctx,
+                    slot,
+                    ServeError::Frame(format!("non-finite forecast {fc:?}")),
+                );
+                if ctx.refit_enabled && !slot.refit_in_flight {
+                    dispatch_refit(ctx, id, slot);
+                }
+                replies[*idx] = Some(match slot.fallback.forecast(slot.horizon) {
+                    Some(fb) => {
+                        ctx.stats.fallback_forecasts.fetch_add(1, Ordering::Relaxed);
+                        ctx.stats.forecasts.fetch_add(1, Ordering::Relaxed);
+                        lock_recover(&ctx.stats.latency).record(per_entity_nanos);
+                        Ok(fb)
+                    }
+                    None => Err(ServeError::Poisoned(id.clone())),
+                });
+            }
+            *current = None;
+        }
+    }
+
+    ids.into_iter()
+        .zip(replies)
+        .map(|(id, res)| {
+            let res = res.expect("every requested id was answered");
+            (id, res)
+        })
+        .collect()
+}
+
+/// Per-entity forecast with the original timing and counter accounting.
+fn forecast_one(
+    ctx: &ShardContext,
+    slots: &mut HashMap<String, EntitySlot>,
+    id: &str,
+) -> Result<Vec<f32>, ServeError> {
+    let started = Instant::now();
+    let res = forecast_entity(ctx, slots, id);
+    if res.is_ok() {
+        ctx.stats.forecasts.fetch_add(1, Ordering::Relaxed);
+        lock_recover(&ctx.stats.latency).record(started.elapsed().as_nanos() as u64);
+    }
+    res
 }
 
 /// Serve one forecast request. Healthy entities use their model; any

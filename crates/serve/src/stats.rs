@@ -128,6 +128,10 @@ pub struct ShardStatsCore {
     pub degraded: AtomicUsize,
     /// Forecasts answered by the naive fallback instead of the model.
     pub fallback_forecasts: AtomicU64,
+    /// Forecasts answered through a batched (multi-entity) engine call.
+    pub batched_forecasts: AtomicU64,
+    /// Batched engine calls issued (each covers ≥2 entities).
+    pub batch_calls: AtomicU64,
     /// Samples with non-finite values repaired by forward-filling the last
     /// valid observation at the shard boundary.
     pub repaired_samples: AtomicU64,
@@ -161,6 +165,8 @@ impl ShardStatsCore {
             restarts: AtomicU64::new(0),
             degraded: AtomicUsize::new(0),
             fallback_forecasts: AtomicU64::new(0),
+            batched_forecasts: AtomicU64::new(0),
+            batch_calls: AtomicU64::new(0),
             repaired_samples: AtomicU64::new(0),
             quarantined_samples: AtomicU64::new(0),
             gap_samples: AtomicU64::new(0),
@@ -195,6 +201,8 @@ impl ShardStatsCore {
             restarts: self.restarts.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
             fallback_forecasts: self.fallback_forecasts.load(Ordering::Relaxed),
+            batched_forecasts: self.batched_forecasts.load(Ordering::Relaxed),
+            batch_calls: self.batch_calls.load(Ordering::Relaxed),
             repaired_samples: self.repaired_samples.load(Ordering::Relaxed),
             quarantined_samples: self.quarantined_samples.load(Ordering::Relaxed),
             gap_samples: self.gap_samples.load(Ordering::Relaxed),
@@ -225,6 +233,10 @@ pub struct ShardStats {
     pub restarts: u64,
     pub degraded: usize,
     pub fallback_forecasts: u64,
+    /// Forecasts answered through a batched (multi-entity) engine call.
+    pub batched_forecasts: u64,
+    /// Batched engine calls issued (each covers ≥2 entities).
+    pub batch_calls: u64,
     pub repaired_samples: u64,
     pub quarantined_samples: u64,
     pub gap_samples: u64,
@@ -257,6 +269,8 @@ impl Default for ShardStats {
             restarts: 0,
             degraded: 0,
             fallback_forecasts: 0,
+            batched_forecasts: 0,
+            batch_calls: 0,
             repaired_samples: 0,
             quarantined_samples: 0,
             gap_samples: 0,
@@ -309,6 +323,14 @@ impl ServiceStats {
 
     pub fn total_fallback_forecasts(&self) -> u64 {
         self.shards.iter().map(|s| s.fallback_forecasts).sum()
+    }
+
+    pub fn total_batched_forecasts(&self) -> u64 {
+        self.shards.iter().map(|s| s.batched_forecasts).sum()
+    }
+
+    pub fn total_batch_calls(&self) -> u64 {
+        self.shards.iter().map(|s| s.batch_calls).sum()
     }
 
     pub fn total_repaired_samples(&self) -> u64 {

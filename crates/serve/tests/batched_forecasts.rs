@@ -1,0 +1,152 @@
+//! Batched shard forecasts: entities onboarded with
+//! `add_entities_shared` share one model's weights and are answered by a
+//! single stacked engine call per shard — bit-identical to the per-entity
+//! path — while degraded or faulted members fall back to individual
+//! serving without disturbing their groupmates.
+
+use models::NaiveForecaster;
+use rptcn::{PipelineConfig, Scenario};
+use serve::{EntityHealth, FaultPlan, PredictionService, ServeError, ServiceConfig};
+use timeseries::TimeSeriesFrame;
+
+fn bootstrap_frame(n: usize, phase: f32) -> TimeSeriesFrame {
+    let cpu: Vec<f32> = (0..n)
+        .map(|i| 40.0 + 25.0 * ((i as f32 * 0.2 + phase).sin()))
+        .collect();
+    let mem: Vec<f32> = (0..n)
+        .map(|i| 30.0 + 10.0 * ((i as f32 * 0.13 + phase).cos()))
+        .collect();
+    TimeSeriesFrame::from_columns(&[("cpu_util_percent", cpu), ("mem_util_percent", mem)]).unwrap()
+}
+
+fn uni_config() -> PipelineConfig {
+    PipelineConfig {
+        scenario: Scenario::Uni,
+        window: 12,
+        horizon: 1,
+        ..Default::default()
+    }
+}
+
+fn shared_service(config: ServiceConfig, entities: usize) -> (PredictionService, Vec<String>) {
+    let mut service = PredictionService::new(config);
+    let frames: Vec<(String, TimeSeriesFrame)> = (0..entities)
+        .map(|i| (format!("s_{i}"), bootstrap_frame(96, i as f32)))
+        .collect();
+    let refs: Vec<(&str, TimeSeriesFrame)> = frames
+        .iter()
+        .map(|(id, f)| (id.as_str(), f.clone()))
+        .collect();
+    service
+        .add_entities_shared(&refs, uni_config(), Box::new(NaiveForecaster::new()))
+        .unwrap();
+    let ids = frames.into_iter().map(|(id, _)| id).collect();
+    (service, ids)
+}
+
+#[test]
+fn batched_forecasts_match_per_entity_path_bitwise() {
+    let (service, ids) = shared_service(
+        ServiceConfig {
+            shards: 1,
+            refit_workers: 0,
+            score_on_ingest: false,
+            ..Default::default()
+        },
+        5,
+    );
+    for (i, id) in ids.iter().enumerate() {
+        service.ingest(id, vec![50.0 + i as f32, 31.0]).unwrap();
+    }
+    service.flush().unwrap();
+
+    // Single-id requests are singleton groups and take the per-entity path.
+    let singles: Vec<Vec<f32>> = ids.iter().map(|id| service.forecast(id).unwrap()).collect();
+    let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+    let batched = service.forecast_many(&refs);
+    for ((id, res), single) in batched.iter().zip(&singles) {
+        let fc = res.as_ref().unwrap();
+        assert_eq!(fc.len(), 1);
+        for (a, b) in fc.iter().zip(single) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "batched forecast for {id} differs from per-entity path: {a} vs {b}"
+            );
+        }
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.total_batch_calls(), 1, "{stats:?}");
+    assert_eq!(stats.total_batched_forecasts(), 5, "{stats:?}");
+    // 5 singles + 5 batched.
+    assert_eq!(stats.total_forecasts(), 10);
+    assert_eq!(stats.total_fallback_forecasts(), 0);
+}
+
+#[test]
+fn shared_onboarding_rejects_duplicates_and_empty_fleets() {
+    let mut service = PredictionService::new(ServiceConfig {
+        shards: 1,
+        refit_workers: 0,
+        ..Default::default()
+    });
+    let err = service
+        .add_entities_shared(&[], uni_config(), Box::new(NaiveForecaster::new()))
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Frame(_)), "{err}");
+
+    let frame = bootstrap_frame(96, 0.0);
+    let err = service
+        .add_entities_shared(
+            &[("dup", frame.clone()), ("dup", frame)],
+            uni_config(),
+            Box::new(NaiveForecaster::new()),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ServeError::DuplicateEntity(_)), "{err}");
+    assert_eq!(service.entity_count(), 0, "failed onboarding left entities");
+}
+
+#[test]
+fn degraded_member_bypasses_the_batch_and_groupmates_keep_batching() {
+    let (service, ids) = shared_service(
+        ServiceConfig {
+            shards: 1,
+            refit_workers: 0,
+            score_on_ingest: false,
+            faults: Some(FaultPlan::seeded(7).panic_on_forecast("s_1", 1)),
+            ..Default::default()
+        },
+        4,
+    );
+    let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+
+    // First request: the injected panic kills the shard loop mid-batch; the
+    // supervisor restarts it and the caller sees ShardDown for this request.
+    let crashed = service.forecast_many(&refs);
+    assert!(
+        crashed
+            .iter()
+            .any(|(_, r)| matches!(r, Err(ServeError::ShardDown(_)))),
+        "expected a ShardDown from the injected panic: {crashed:?}"
+    );
+    service.flush().unwrap();
+    let health = service.entity_health().unwrap();
+    assert_eq!(health["s_1"].health, EntityHealth::Degraded);
+    assert_eq!(health["s_1"].crashes, 1);
+
+    // Retry: the degraded member is served by its fallback on the
+    // per-entity path while the three healthy groupmates share one call.
+    let retried = service.forecast_many(&refs);
+    for (id, res) in &retried {
+        let fc = res.as_ref().unwrap_or_else(|e| panic!("{id} failed: {e}"));
+        assert!(fc.iter().all(|v| v.is_finite()), "{id} returned {fc:?}");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.total_restarts(), 1);
+    assert_eq!(stats.total_degraded(), 1);
+    assert_eq!(stats.total_fallback_forecasts(), 1, "{stats:?}");
+    assert_eq!(stats.total_batch_calls(), 1, "{stats:?}");
+    assert_eq!(stats.total_batched_forecasts(), 3, "{stats:?}");
+}

@@ -14,6 +14,62 @@ use crate::tensor::Tensor;
 /// FLOPs, so we keep a conservative threshold.
 const PAR_THRESHOLD: usize = 64 * 64 * 64;
 
+/// Accumulate `out_row += a_row · B` for one output row. The k loop is
+/// unrolled four-wide so the compiler keeps four independent accumulator
+/// streams in registers; no zero-skip — a data-dependent branch in the hot
+/// loop defeats auto-vectorisation on dense inputs (sparse weights are only
+/// common in the conv kernel, which keeps its own skip).
+#[inline]
+fn row_mul_acc(a_row: &[f32], db: &[f32], out_row: &mut [f32]) {
+    let n = out_row.len();
+    let k = a_row.len();
+    let mut kk = 0usize;
+    while kk + 4 <= k {
+        let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+        let b0 = &db[kk * n..(kk + 1) * n];
+        let b1 = &db[(kk + 1) * n..(kk + 2) * n];
+        let b2 = &db[(kk + 2) * n..(kk + 3) * n];
+        let b3 = &db[(kk + 3) * n..(kk + 4) * n];
+        for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+            *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+        }
+        kk += 4;
+    }
+    while kk < k {
+        let a0 = a_row[kk];
+        let b_row = &db[kk * n..(kk + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+            *o += a0 * bv;
+        }
+        kk += 1;
+    }
+}
+
+/// `out += A · B` over raw row-major slices: `A: [m, k]`, `B: [k, n]`,
+/// `out: [m, n]`. This is the allocation-free kernel the tape-free inference
+/// engine builds on; `matmul` routes through it too, so both paths produce
+/// bit-identical rows.
+pub fn matmul_acc_into(da: &[f32], db: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(da.len(), m * k, "matmul_acc_into lhs length mismatch");
+    assert_eq!(db.len(), k * n, "matmul_acc_into rhs length mismatch");
+    assert_eq!(out.len(), m * n, "matmul_acc_into out length mismatch");
+    if m * n * k >= PAR_THRESHOLD && n > 0 {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| row_mul_acc(&da[i * k..(i + 1) * k], db, row));
+    } else {
+        for (i, row) in out.chunks_mut(n).enumerate() {
+            row_mul_acc(&da[i * k..(i + 1) * k], db, row);
+        }
+    }
+}
+
+/// `out = A · B` over raw row-major slices; `out` is fully overwritten.
+pub fn matmul_into(da: &[f32], db: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    out.fill(0.0);
+    matmul_acc_into(da, db, out, m, k, n);
+}
+
 /// `C = A · B` for row-major matrices `A: [m, k]`, `B: [k, n]`.
 ///
 /// # Panics
@@ -42,31 +98,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     );
 
     let mut out = vec![0.0f32; m * n];
-    let da = a.as_slice();
-    let db = b.as_slice();
-
-    let row_kernel = |i: usize, out_row: &mut [f32]| {
-        let a_row = &da[i * k..(i + 1) * k];
-        for (kk, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let b_row = &db[kk * n..(kk + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += aik * bv;
-            }
-        }
-    };
-
-    if m * n * k >= PAR_THRESHOLD && n > 0 {
-        out.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, row)| row_kernel(i, row));
-    } else {
-        for (i, row) in out.chunks_mut(n).enumerate() {
-            row_kernel(i, row);
-        }
-    }
+    matmul_acc_into(a.as_slice(), b.as_slice(), &mut out, m, k, n);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -130,9 +162,6 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
         let a_row = &da[kk * m..(kk + 1) * m];
         let b_row = &db[kk * n..(kk + 1) * n];
         for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
             let out_row = &mut out[i * n..(i + 1) * n];
             for (o, &bv) in out_row.iter_mut().zip(b_row) {
                 *o += av * bv;
@@ -268,5 +297,42 @@ mod tests {
     #[should_panic(expected = "inner dims differ")]
     fn dimension_mismatch_panics() {
         matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn slice_kernel_matches_tensor_matmul_bitwise() {
+        let mut rng = Rng::seed_from(7);
+        for &(m, k, n) in &[(1, 1, 1), (2, 7, 3), (5, 13, 4), (1, 30, 16)] {
+            let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+            let via_tensor = matmul(&a, &b);
+            let mut out = vec![0.0f32; m * n];
+            matmul_into(a.as_slice(), b.as_slice(), &mut out, m, k, n);
+            assert_eq!(out.as_slice(), via_tensor.as_slice());
+        }
+    }
+
+    #[test]
+    fn acc_into_accumulates_on_top_of_existing() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let mut out = vec![1.0f32; 4];
+        matmul_acc_into(a.as_slice(), b.as_slice(), &mut out, 2, 2, 2);
+        assert_eq!(out.as_slice(), &[20.0, 23.0, 44.0, 51.0]);
+    }
+
+    #[test]
+    fn zeros_in_lhs_do_not_change_result() {
+        // The dense path no longer skips zero multiplicands; make sure the
+        // arithmetic is unaffected (x + 0*y == x for finite y).
+        let mut rng = Rng::seed_from(8);
+        let mut a = Tensor::rand_normal(&[4, 9], 0.0, 1.0, &mut rng);
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::rand_normal(&[9, 6], 0.0, 1.0, &mut rng);
+        assert!(matmul(&a, &b).allclose(&matmul_ref(&a, &b), 1e-4));
     }
 }
