@@ -1,0 +1,67 @@
+//! `rptcn-analysis` — workspace-native static analysis.
+//!
+//! The serving stack promises things the compiler cannot check: every
+//! `unsafe` block justified, no panics in library paths, allocation-free
+//! hot paths, poison-safe locking, documented public API. This crate
+//! machine-checks those promises on every commit:
+//!
+//! * a hand-rolled lexer ([`lex`]) — comment/string/raw-string aware,
+//!   brace-tracking, no external parser (the offline build vendors every
+//!   dependency, so `syn` is out of reach by design);
+//! * a rule engine ([`rules`]) walking every `crates/*/src` file and
+//!   emitting CI-failing diagnostics with `file:line` output.
+//!
+//! The rule catalogue (see [`Rule`]) and the per-line allowlist syntax
+//! (`// lint: allow(r2)`) are documented in DESIGN.md under
+//! "Static analysis & sanitizers". Run locally with
+//! `cargo run -p rptcn-analysis -- check`.
+
+pub mod lex;
+pub mod rules;
+
+pub use rules::{check_source, rules_for, Diagnostic, Rule};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Check every `crates/*/src/**/*.rs` file under `root` with the rules the
+/// repo policy assigns to it ([`rules_for`]). Paths in diagnostics are
+/// relative to `root`. Files are visited in sorted order so output is
+/// deterministic.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut out = Vec::new();
+    for file in files {
+        let text = std::fs::read_to_string(&file)?;
+        let rel = file.strip_prefix(root).unwrap_or(&file);
+        out.extend(check_source(rel, &text, &rules_for(rel)));
+    }
+    Ok(out)
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,730 @@
+//! The rule engine: repo invariants enforced as CI-failing diagnostics.
+//!
+//! Every rule works on the token stream of [`crate::lex`], plus a few
+//! derived views: attribute token ranges, `#[cfg(test)] mod` line regions
+//! and `// hot-path`-marked function bodies. Findings carry `file:line`
+//! and can be silenced per line with a trailing `// lint: allow(<rule>)`
+//! marker (e.g. `// lint: allow(r2)`).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::lex::{lex, Lexed, TokKind, Token};
+
+/// The rule catalogue. Ids (`R1`…`R5`) are stable: CI logs, allowlist
+/// markers and DESIGN.md all refer to them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// R1: every `unsafe` block / fn / impl is immediately preceded by a
+    /// `// SAFETY:` comment (a doc `# Safety` section also counts).
+    SafetyComment,
+    /// R2: no `unwrap()` / `expect()` / `panic!` / `todo!` in non-test
+    /// library code.
+    NoPanicPaths,
+    /// R3: no timing or allocation calls inside functions marked with a
+    /// `// hot-path` comment.
+    HotPathAlloc,
+    /// R4: no bare `Mutex`/`RwLock` acquisition (`.lock()` / `.read()` /
+    /// `.write()`); use the poison-safe `lock_recover` helper.
+    LockRecover,
+    /// R5: every public item (`pub fn` / `struct` / `enum` / `trait` /
+    /// `type` / `const` / `static`) carries a doc comment.
+    MissingDocs,
+}
+
+impl Rule {
+    /// Stable short id (`R1`…`R5`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::SafetyComment => "R1",
+            Rule::NoPanicPaths => "R2",
+            Rule::HotPathAlloc => "R3",
+            Rule::LockRecover => "R4",
+            Rule::MissingDocs => "R5",
+        }
+    }
+
+    /// One-line description, shown by `rptcn-analysis rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::SafetyComment => {
+                "unsafe block/fn/impl must be preceded by a `// SAFETY:` comment"
+            }
+            Rule::NoPanicPaths => {
+                "no unwrap()/expect()/panic!/todo! in non-test library code (serve, core, models)"
+            }
+            Rule::HotPathAlloc => {
+                "no Instant::now()/allocations inside functions marked `// hot-path`"
+            }
+            Rule::LockRecover => {
+                "Mutex/RwLock acquisitions in serve must go through `lock_recover`"
+            }
+            Rule::MissingDocs => "public items in serve and core must have doc comments",
+        }
+    }
+
+    /// Every rule, in id order.
+    pub fn all() -> [Rule; 5] {
+        [
+            Rule::SafetyComment,
+            Rule::NoPanicPaths,
+            Rule::HotPathAlloc,
+            Rule::LockRecover,
+            Rule::MissingDocs,
+        ]
+    }
+}
+
+/// One finding: a rule violated at `file:line`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// File the finding is in (as passed to the checker).
+    pub file: PathBuf,
+    /// 1-based source line.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Which rules apply to a workspace file, by repo policy:
+/// R1 and R3 everywhere, R2 in `serve`/`core`/`models`, R4 in `serve`,
+/// R5 in `serve` and `core`.
+pub fn rules_for(path: &Path) -> Vec<Rule> {
+    let p = path.to_string_lossy().replace('\\', "/");
+    let in_crate = |c: &str| p.contains(&format!("crates/{c}/src/"));
+    let mut rules = vec![Rule::SafetyComment, Rule::HotPathAlloc];
+    if in_crate("serve") || in_crate("core") || in_crate("models") {
+        rules.push(Rule::NoPanicPaths);
+    }
+    if in_crate("serve") {
+        rules.push(Rule::LockRecover);
+    }
+    if in_crate("serve") || in_crate("core") {
+        rules.push(Rule::MissingDocs);
+    }
+    rules
+}
+
+/// Run `rules` over one file's source text.
+pub fn check_source(path: &Path, src: &str, rules: &[Rule]) -> Vec<Diagnostic> {
+    let ctx = FileContext::new(path, src);
+    let mut out = Vec::new();
+    for &rule in rules {
+        match rule {
+            Rule::SafetyComment => ctx.check_safety(&mut out),
+            Rule::NoPanicPaths => ctx.check_no_panic(&mut out),
+            Rule::HotPathAlloc => ctx.check_hot_path(&mut out),
+            Rule::LockRecover => ctx.check_lock_recover(&mut out),
+            Rule::MissingDocs => ctx.check_missing_docs(&mut out),
+        }
+    }
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+/// Lexed file plus the derived views the rules share.
+struct FileContext<'a> {
+    path: &'a Path,
+    lexed: Lexed,
+    /// `in_attr[i]` — token `i` is inside a `#[...]` / `#![...]` attribute.
+    in_attr: Vec<bool>,
+    /// Line ranges (inclusive) of `#[cfg(test)] mod … { … }` bodies.
+    test_regions: Vec<(usize, usize)>,
+    /// Token index ranges (exclusive end) of `// hot-path` fn bodies.
+    hot_fn_spans: Vec<(usize, usize)>,
+    /// Lines whose tokens are all attribute tokens.
+    attr_only_lines: Vec<usize>,
+}
+
+impl<'a> FileContext<'a> {
+    fn new(path: &'a Path, src: &str) -> Self {
+        let lexed = lex(src);
+        let in_attr = mark_attributes(&lexed.tokens);
+        let attr_only_lines = attr_only_lines(&lexed.tokens, &in_attr);
+        let test_regions = find_test_regions(&lexed.tokens, &in_attr);
+        let mut ctx = Self {
+            path,
+            lexed,
+            in_attr,
+            test_regions,
+            hot_fn_spans: Vec::new(),
+            attr_only_lines,
+        };
+        ctx.hot_fn_spans = ctx.find_hot_fn_spans();
+        ctx
+    }
+
+    fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+
+    fn ident_at(&self, i: usize) -> Option<&str> {
+        match self.tokens().get(i).map(|t| &t.kind) {
+            Some(TokKind::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn punct_at(&self, i: usize) -> Option<char> {
+        match self.tokens().get(i).map(|t| &t.kind) {
+            Some(TokKind::Punct(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    fn line_of(&self, i: usize) -> usize {
+        self.tokens()[i].line
+    }
+
+    fn in_test_region(&self, line: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| line >= lo && line <= hi)
+    }
+
+    /// Trailing `// lint: allow(rN)` marker on `line`?
+    fn allowed(&self, line: usize, rule: Rule) -> bool {
+        let marker = format!("lint: allow({})", rule.id().to_ascii_lowercase());
+        self.lexed
+            .comment_on(line)
+            .to_ascii_lowercase()
+            .contains(&marker)
+    }
+
+    fn emit(&self, out: &mut Vec<Diagnostic>, line: usize, rule: Rule, message: String) {
+        if self.in_test_region(line) || self.allowed(line, rule) {
+            return;
+        }
+        out.push(Diagnostic {
+            file: self.path.to_path_buf(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    /// The contiguous run of comment-only / attribute-only lines directly
+    /// above `line`, concatenated (nearest line first).
+    fn comment_run_above(&self, line: usize) -> String {
+        let mut text = String::new();
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if self.lexed.is_comment_only(l) || self.attr_only_lines.binary_search(&l).is_ok() {
+                text.push_str(self.lexed.comment_on(l));
+                text.push('\n');
+            } else {
+                break;
+            }
+        }
+        text
+    }
+
+    /// A `// hot-path` marker in the comment run directly above `line`?
+    /// The marker must be a plain line comment whose text *starts* with
+    /// `hot-path` (after the slashes) — a doc comment merely mentioning
+    /// the phrase does not opt a function in.
+    fn has_hot_path_marker_above(&self, line: usize) -> bool {
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if self.attr_only_lines.binary_search(&l).is_ok() {
+                continue;
+            }
+            if self.lexed.is_comment_only(l) {
+                let c = self.lexed.comment_on(l).trim_start();
+                if !c.starts_with("///") && !c.starts_with("//!") {
+                    let body = c.trim_start_matches('/').trim_start();
+                    if body.starts_with("hot-path") {
+                        return true;
+                    }
+                }
+                continue;
+            }
+            break;
+        }
+        false
+    }
+
+    /// Does the comment run above `line` contain a `///` doc comment?
+    fn has_doc_above(&self, line: usize) -> bool {
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if self.attr_only_lines.binary_search(&l).is_ok() {
+                continue;
+            }
+            if self.lexed.is_comment_only(l) {
+                let c = self.lexed.comment_on(l);
+                let t = c.trim_start();
+                if t.starts_with("///") || t.starts_with("/**") {
+                    return true;
+                }
+                continue;
+            }
+            break;
+        }
+        false
+    }
+
+    /// Walk back from token `i` over attributes and item modifiers
+    /// (`pub`, `pub(crate)`, `unsafe`, `async`, `const`, `extern "C"`) to
+    /// the first token of the item declaration; returns its index.
+    fn item_start(&self, mut i: usize) -> usize {
+        const MODIFIERS: [&str; 6] = ["pub", "unsafe", "async", "const", "extern", "default"];
+        loop {
+            if i == 0 {
+                return 0;
+            }
+            let prev = i - 1;
+            // Skip a trailing `)` of `pub(crate)` / `pub(super)`.
+            if self.punct_at(prev) == Some(')') {
+                let mut depth = 0usize;
+                let mut j = prev;
+                loop {
+                    match self.punct_at(j) {
+                        Some(')') => depth += 1,
+                        Some('(') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if j == 0 {
+                        break;
+                    }
+                    j -= 1;
+                }
+                if j > 0 && self.ident_at(j - 1) == Some("pub") {
+                    i = j - 1;
+                    continue;
+                }
+                return i;
+            }
+            if self.in_attr[prev] {
+                // Skip the whole attribute.
+                let mut j = prev;
+                while j > 0 && self.in_attr[j - 1] {
+                    j -= 1;
+                }
+                i = j;
+                continue;
+            }
+            match self.ident_at(prev) {
+                Some(m) if MODIFIERS.contains(&m) => {
+                    i = prev;
+                    continue;
+                }
+                _ => return i,
+            }
+        }
+    }
+
+    /// Token index of the `{` opening the body of the fn whose `fn`
+    /// keyword is at `fn_idx`, or `None` for a bodyless declaration.
+    fn fn_body_open(&self, fn_idx: usize) -> Option<usize> {
+        let toks = self.tokens();
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        for (off, t) in toks.iter().enumerate().skip(fn_idx + 1) {
+            match t.kind {
+                TokKind::Punct('(') => paren += 1,
+                TokKind::Punct(')') => paren -= 1,
+                TokKind::Punct('[') => bracket += 1,
+                TokKind::Punct(']') => bracket -= 1,
+                TokKind::Punct('{') if paren == 0 && bracket == 0 => return Some(off),
+                TokKind::Punct(';') if paren == 0 && bracket == 0 => return None,
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Index one past the `}` matching the `{` at `open`.
+    fn matching_close(&self, open: usize) -> usize {
+        let toks = self.tokens();
+        let mut depth = 0i32;
+        for (off, t) in toks.iter().enumerate().skip(open) {
+            match t.kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return off + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        toks.len()
+    }
+
+    /// Body spans of functions whose leading comment run contains a
+    /// `hot-path` marker.
+    fn find_hot_fn_spans(&self) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        for i in 0..self.tokens().len() {
+            if self.ident_at(i) != Some("fn") || self.in_attr[i] {
+                continue;
+            }
+            let start = self.item_start(i);
+            if !self.has_hot_path_marker_above(self.line_of(start)) {
+                continue;
+            }
+            if let Some(open) = self.fn_body_open(i) {
+                spans.push((open, self.matching_close(open)));
+            }
+        }
+        spans
+    }
+
+    // ---- R1 ---------------------------------------------------------------
+
+    fn check_safety(&self, out: &mut Vec<Diagnostic>) {
+        for i in 0..self.tokens().len() {
+            if self.ident_at(i) != Some("unsafe") || self.in_attr[i] {
+                continue;
+            }
+            // `unsafe` in a type position (`unsafe fn` pointer types,
+            // `unsafe extern` blocks) is rare here; treat every keyword
+            // use as a site needing justification.
+            let start = self.item_start(i);
+            let line = self.line_of(start);
+            let same_line = self.lexed.comment_on(self.line_of(i));
+            let above = self.comment_run_above(line);
+            let ok = same_line.contains("SAFETY:")
+                || above.contains("SAFETY:")
+                || above.contains("# Safety");
+            if !ok {
+                let what = match self.ident_at(i + 1) {
+                    Some("fn") => "unsafe fn",
+                    Some("impl") => "unsafe impl",
+                    _ => "unsafe block",
+                };
+                self.emit(
+                    out,
+                    self.line_of(i),
+                    Rule::SafetyComment,
+                    format!("{what} without an immediately-preceding `// SAFETY:` comment"),
+                );
+            }
+        }
+    }
+
+    // ---- R2 ---------------------------------------------------------------
+
+    fn check_no_panic(&self, out: &mut Vec<Diagnostic>) {
+        for i in 0..self.tokens().len() {
+            let Some(name) = self.ident_at(i) else {
+                continue;
+            };
+            if self.in_attr[i] {
+                continue;
+            }
+            match name {
+                "unwrap" | "expect" => {
+                    let method = i > 0
+                        && self.punct_at(i - 1) == Some('.')
+                        && self.punct_at(i + 1) == Some('(');
+                    if method {
+                        self.emit(
+                            out,
+                            self.line_of(i),
+                            Rule::NoPanicPaths,
+                            format!("`.{name}()` in library code; return a typed error instead"),
+                        );
+                    }
+                }
+                "panic" | "todo" | "unimplemented" if self.punct_at(i + 1) == Some('!') => {
+                    self.emit(
+                        out,
+                        self.line_of(i),
+                        Rule::NoPanicPaths,
+                        format!("`{name}!` in library code; return a typed error instead"),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ---- R3 ---------------------------------------------------------------
+
+    fn check_hot_path(&self, out: &mut Vec<Diagnostic>) {
+        for &(lo, hi) in &self.hot_fn_spans {
+            for i in lo..hi {
+                let Some(name) = self.ident_at(i) else {
+                    continue;
+                };
+                if self.in_attr[i] {
+                    continue;
+                }
+                let flagged: Option<&str> = match name {
+                    "now" if self.path_prefix_is(i, "Instant") => Some("Instant::now()"),
+                    "new" if self.path_prefix_is(i, "Vec") => Some("Vec::new()"),
+                    "new" if self.path_prefix_is(i, "Box") => Some("Box::new()"),
+                    "vec" if self.punct_at(i + 1) == Some('!') => Some("vec!"),
+                    "with_capacity" if self.punct_at(i + 1) == Some('(') => Some("with_capacity()"),
+                    "to_vec" | "clone" | "to_string" | "to_owned" | "collect"
+                        if i > 0
+                            && self.punct_at(i - 1) == Some('.')
+                            && self.punct_at(i + 1) == Some('(') =>
+                    {
+                        Some("allocating method call")
+                    }
+                    "format" if self.punct_at(i + 1) == Some('!') => Some("format!"),
+                    _ => None,
+                };
+                if let Some(what) = flagged {
+                    self.emit(
+                        out,
+                        self.line_of(i),
+                        Rule::HotPathAlloc,
+                        format!("{what} (`{name}`) inside a `// hot-path` function"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Token `i` is preceded by `prefix ::` (e.g. `Instant :: now`).
+    fn path_prefix_is(&self, i: usize, prefix: &str) -> bool {
+        i >= 3
+            && self.punct_at(i - 1) == Some(':')
+            && self.punct_at(i - 2) == Some(':')
+            && self.ident_at(i - 3) == Some(prefix)
+    }
+
+    // ---- R4 ---------------------------------------------------------------
+
+    fn check_lock_recover(&self, out: &mut Vec<Diagnostic>) {
+        for i in 0..self.tokens().len() {
+            let Some(name) = self.ident_at(i) else {
+                continue;
+            };
+            if !matches!(name, "lock" | "read" | "write") || self.in_attr[i] {
+                continue;
+            }
+            // `.lock()` / `.read()` / `.write()` with an empty argument
+            // list — the Mutex/RwLock acquisition shape. IO calls such as
+            // `write_all(buf)` have arguments and stay untouched.
+            let bare_acquire = i > 0
+                && self.punct_at(i - 1) == Some('.')
+                && self.punct_at(i + 1) == Some('(')
+                && self.punct_at(i + 2) == Some(')');
+            if bare_acquire {
+                self.emit(
+                    out,
+                    self.line_of(i),
+                    Rule::LockRecover,
+                    format!(
+                        "bare `.{name}()` acquisition; use the poison-safe `lock_recover` helper"
+                    ),
+                );
+            }
+        }
+    }
+
+    // ---- R5 ---------------------------------------------------------------
+
+    fn check_missing_docs(&self, out: &mut Vec<Diagnostic>) {
+        const ITEM_KEYWORDS: [&str; 7] =
+            ["fn", "struct", "enum", "trait", "type", "const", "static"];
+        for i in 0..self.tokens().len() {
+            if self.ident_at(i) != Some("pub") || self.in_attr[i] {
+                continue;
+            }
+            // `pub(crate)` / `pub(super)` are not public API.
+            if self.punct_at(i + 1) == Some('(') {
+                continue;
+            }
+            // Item position: previous non-attribute token opens/closes a
+            // block or ends a statement. Tuple-struct fields (`(pub f32)`)
+            // and similar positions are skipped.
+            let mut p = i;
+            while p > 0 && self.in_attr[p - 1] {
+                p -= 1;
+            }
+            if p > 0 && !matches!(self.punct_at(p - 1), Some('{') | Some('}') | Some(';')) {
+                continue;
+            }
+            // Reach the item keyword through modifiers.
+            let mut j = i + 1;
+            while matches!(
+                self.ident_at(j),
+                Some("unsafe") | Some("async") | Some("extern") | Some("default")
+            ) || matches!(self.tokens().get(j).map(|t| &t.kind), Some(TokKind::Str))
+            {
+                j += 1;
+            }
+            // `pub const fn` is a fn; bare `pub const NAME` is a const.
+            if self.ident_at(j) == Some("const") && self.ident_at(j + 1) == Some("fn") {
+                j += 1;
+            }
+            let Some(kw) = self.ident_at(j) else { continue };
+            if !ITEM_KEYWORDS.contains(&kw) {
+                continue;
+            }
+            let item_name = self.ident_at(j + 1).unwrap_or("?").to_string();
+            let start = self.item_start(j);
+            if !self.has_doc_above(self.line_of(start)) {
+                self.emit(
+                    out,
+                    self.line_of(i),
+                    Rule::MissingDocs,
+                    format!("public {kw} `{item_name}` has no doc comment"),
+                );
+            }
+        }
+    }
+}
+
+/// Mark tokens inside `#[...]` / `#![...]` attributes.
+fn mark_attributes(tokens: &[Token]) -> Vec<bool> {
+    let mut out = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        let hash = matches!(tokens[i].kind, TokKind::Punct('#'));
+        let open = |k: usize| matches!(tokens.get(k).map(|t| &t.kind), Some(TokKind::Punct('[')));
+        let bang = |k: usize| matches!(tokens.get(k).map(|t| &t.kind), Some(TokKind::Punct('!')));
+        if hash && (open(i + 1) || (bang(i + 1) && open(i + 2))) {
+            let bracket_at = if open(i + 1) { i + 1 } else { i + 2 };
+            let mut depth = 0i32;
+            let mut j = bracket_at;
+            while j < tokens.len() {
+                match tokens[j].kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            for slot in out.iter_mut().take((j + 1).min(tokens.len())).skip(i) {
+                *slot = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Lines whose tokens are all attribute tokens (sorted, for binary search).
+fn attr_only_lines(tokens: &[Token], in_attr: &[bool]) -> Vec<usize> {
+    use std::collections::BTreeMap;
+    let mut per_line: BTreeMap<usize, (bool, bool)> = BTreeMap::new();
+    for (t, &ia) in tokens.iter().zip(in_attr) {
+        let e = per_line.entry(t.line).or_insert((false, false));
+        if ia {
+            e.0 = true;
+        } else {
+            e.1 = true;
+        }
+    }
+    per_line
+        .into_iter()
+        .filter_map(|(line, (attr, code))| (attr && !code).then_some(line))
+        .collect()
+}
+
+/// Line ranges of `#[cfg(test)] mod name { … }` bodies.
+fn find_test_regions(tokens: &[Token], in_attr: &[bool]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Find an attribute opening at i that contains cfg(test).
+        let is_hash = matches!(tokens[i].kind, TokKind::Punct('#'))
+            && matches!(
+                tokens.get(i + 1).map(|t| &t.kind),
+                Some(TokKind::Punct('['))
+            );
+        if !is_hash {
+            i += 1;
+            continue;
+        }
+        // Attribute extent.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let attr_tokens = &tokens[i..=j.min(tokens.len() - 1)];
+        let has = |name: &str| {
+            attr_tokens
+                .iter()
+                .any(|t| matches!(&t.kind, TokKind::Ident(s) if s == name))
+        };
+        if has("cfg") && has("test") {
+            // Skip further attributes, then expect `mod name {`.
+            let mut k = j + 1;
+            while k < tokens.len() && in_attr[k] {
+                k += 1;
+            }
+            if matches!(tokens.get(k).map(|t| &t.kind), Some(TokKind::Ident(s)) if s == "mod") {
+                // Find the opening brace of the module body.
+                let mut open = k + 1;
+                while open < tokens.len()
+                    && !matches!(tokens[open].kind, TokKind::Punct('{') | TokKind::Punct(';'))
+                {
+                    open += 1;
+                }
+                if open < tokens.len() && matches!(tokens[open].kind, TokKind::Punct('{')) {
+                    let mut d = 0i32;
+                    let mut c = open;
+                    while c < tokens.len() {
+                        match tokens[c].kind {
+                            TokKind::Punct('{') => d += 1,
+                            TokKind::Punct('}') => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        c += 1;
+                    }
+                    let end_line = tokens.get(c).map(|t| t.line).unwrap_or(usize::MAX);
+                    regions.push((tokens[i].line, end_line));
+                    i = c + 1;
+                    continue;
+                }
+            }
+        }
+        i = j + 1;
+    }
+    regions
+}

@@ -1,0 +1,55 @@
+//! Exit-code contract of the `rptcn-analysis` binary: zero on a clean tree,
+//! non-zero with `file:line` diagnostics when any fixture rule fires.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Builds a throwaway workspace root containing `crates/serve/src/<file>`
+/// copied from the named fixture, so the CLI's `crates/*/src` walk finds it
+/// and the serve-crate rule policy (R2/R4/R5) applies.
+fn scratch_root(tag: &str, fixture: &str) -> PathBuf {
+    let root =
+        std::env::temp_dir().join(format!("rptcn-analysis-cli-{}-{tag}", std::process::id()));
+    let src_dir = root.join("crates/serve/src");
+    fs::create_dir_all(&src_dir).expect("create scratch workspace");
+    let from = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    fs::copy(&from, src_dir.join(fixture)).expect("copy fixture");
+    root
+}
+
+fn run_check(root: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_rptcn-analysis"))
+        .args(["check", "--root"])
+        .arg(root)
+        .output()
+        .expect("spawn rptcn-analysis")
+}
+
+#[test]
+fn check_fails_loudly_on_a_bad_tree() {
+    let root = scratch_root("bad", "r2_bad.rs");
+    let out = run_check(&root);
+    fs::remove_dir_all(&root).ok();
+    assert!(!out.status.success(), "bad tree must fail the check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("r2_bad.rs:4: [R2]"),
+        "diagnostics must carry file:line: {stdout}"
+    );
+}
+
+#[test]
+fn check_passes_on_a_clean_tree() {
+    let root = scratch_root("clean", "clean.rs");
+    let out = run_check(&root);
+    fs::remove_dir_all(&root).ok();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "clean tree must pass: stdout={stdout} stderr={stderr}"
+    );
+}

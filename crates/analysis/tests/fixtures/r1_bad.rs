@@ -1,0 +1,11 @@
+//! R1 fixture: an `unsafe` block with no `// SAFETY:` comment.
+
+pub fn read_first(v: &[f32]) -> f32 {
+    let p = v.as_ptr();
+    unsafe { *p }
+}
+
+/// An unsafe fn whose doc never states its contract.
+pub unsafe fn head_unchecked(v: &[f32]) -> f32 {
+    *v.get_unchecked(0)
+}

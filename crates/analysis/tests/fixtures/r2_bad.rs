@@ -1,0 +1,21 @@
+//! R2 fixture: panicking calls in library code.
+
+pub fn head(v: &[f32]) -> f32 {
+    *v.first().unwrap()
+}
+
+pub fn lookup(v: &[f32], i: usize) -> f32 {
+    *v.get(i).expect("index in range")
+}
+
+pub fn unreachable_branch(flag: bool) -> u32 {
+    if flag {
+        1
+    } else {
+        panic!("flag must be set")
+    }
+}
+
+pub fn not_done() {
+    todo!()
+}

@@ -1,0 +1,17 @@
+//! R3 fixture: allocation and timing inside a `// hot-path` function.
+
+// hot-path: one call per ingested sample
+pub fn score_row(xs: &[f32]) -> Vec<f32> {
+    let started = std::time::Instant::now();
+    let mut out = Vec::new();
+    out.extend_from_slice(xs);
+    let copy = xs.to_vec();
+    drop(copy);
+    let _elapsed = started.elapsed();
+    out
+}
+
+/// Not marked: the same body is fine outside a hot path.
+pub fn score_row_cold(xs: &[f32]) -> Vec<f32> {
+    xs.to_vec()
+}

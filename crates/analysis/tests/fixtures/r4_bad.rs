@@ -1,0 +1,12 @@
+//! R4 fixture: bare lock acquisitions instead of `lock_recover`.
+
+use std::sync::{Mutex, RwLock};
+
+pub fn bump(m: &Mutex<u64>) {
+    let mut guard = m.lock().unwrap();
+    *guard += 1;
+}
+
+pub fn peek(l: &RwLock<u64>) -> u64 {
+    *l.read().unwrap()
+}

@@ -1,0 +1,18 @@
+//! R5 fixture: public items without doc comments.
+
+pub struct Widget {
+    size: usize,
+}
+
+impl Widget {
+    pub fn poke(&self) -> usize {
+        self.size
+    }
+}
+
+pub enum Mode {
+    /// Documented variant (variants are not checked; the enum is).
+    On,
+}
+
+pub const LIMIT: usize = 8;

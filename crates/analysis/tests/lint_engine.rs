@@ -1,0 +1,84 @@
+//! End-to-end tests for the lint engine: each bad fixture must trip its rule
+//! at the expected line, and the clean fixture must produce zero findings
+//! even with every rule enabled.
+
+use std::path::Path;
+
+use analysis::{check_source, Diagnostic, Rule};
+
+fn run_fixture(name: &str, rules: &[Rule]) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {name}: {e}"));
+    check_source(Path::new(name), &src, rules)
+}
+
+fn lines_for(diags: &[Diagnostic], rule: Rule) -> Vec<usize> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn r1_flags_safety_less_unsafe_sites() {
+    let diags = run_fixture("r1_bad.rs", &[Rule::SafetyComment]);
+    // Line 5: unsafe block with no SAFETY comment.
+    // Line 9: unsafe fn whose docs lack a safety note.
+    assert_eq!(lines_for(&diags, Rule::SafetyComment), vec![5, 9]);
+}
+
+#[test]
+fn r2_flags_each_panicking_call() {
+    let diags = run_fixture("r2_bad.rs", &[Rule::NoPanicPaths]);
+    // unwrap (4), expect (8), panic! (15), todo! (20).
+    assert_eq!(lines_for(&diags, Rule::NoPanicPaths), vec![4, 8, 15, 20]);
+}
+
+#[test]
+fn r3_flags_hot_path_alloc_and_timing_only() {
+    let diags = run_fixture("r3_bad.rs", &[Rule::HotPathAlloc]);
+    // Instant::now (5), Vec::new (6), to_vec (8) — all inside the marked fn.
+    assert_eq!(lines_for(&diags, Rule::HotPathAlloc), vec![5, 6, 8]);
+    // The unmarked sibling with identical body must stay silent, so no
+    // diagnostic past the marked fn's closing brace (line 12).
+    assert!(
+        diags.iter().all(|d| d.line <= 12),
+        "cold fn was flagged: {diags:?}"
+    );
+}
+
+#[test]
+fn r4_flags_bare_lock_acquisitions() {
+    let diags = run_fixture("r4_bad.rs", &[Rule::LockRecover]);
+    // m.lock() (6) and l.read() (11).
+    assert_eq!(lines_for(&diags, Rule::LockRecover), vec![6, 11]);
+}
+
+#[test]
+fn r5_flags_undocumented_public_items() {
+    let diags = run_fixture("r5_bad.rs", &[Rule::MissingDocs]);
+    // struct Widget (3), fn poke (8), enum Mode (13), const LIMIT (18).
+    assert_eq!(lines_for(&diags, Rule::MissingDocs), vec![3, 8, 13, 18]);
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    let diags = run_fixture("clean.rs", &Rule::all());
+    assert!(
+        diags.is_empty(),
+        "clean fixture produced findings: {diags:?}"
+    );
+}
+
+#[test]
+fn diagnostics_render_as_file_line_rule() {
+    let diags = run_fixture("r2_bad.rs", &[Rule::NoPanicPaths]);
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("r2_bad.rs:4: [R2]"),
+        "unexpected rendering: {rendered}"
+    );
+}

@@ -14,6 +14,7 @@ const PAR_THRESHOLD: usize = 1 << 16;
 
 #[cfg(target_arch = "x86_64")]
 mod simd {
+    #[cfg(not(miri))]
     use std::arch::x86_64::*;
 
     /// Capacity of the on-stack left-padded input scratch; the AVX path
@@ -52,7 +53,190 @@ mod simd {
     /// `in_ch * (time + 2*dilation) + 8 <= PAD_CAP`, and
     /// `time <= MAX_TIME`.
     #[allow(clippy::too_many_arguments)]
+    #[cfg(not(miri))]
     #[target_feature(enable = "avx")]
+    pub unsafe fn item_fused_avx(
+        x_item: &[f32],
+        dw: &[f32],
+        out_item: &mut [f32],
+        in_ch: usize,
+        out_ch: usize,
+        time: usize,
+        d: usize,
+    ) {
+        // SAFETY: the whole kernel relies on the fn contract above —
+        // AVX verified by the caller, `k == 3`, `2*dilation < time`,
+        // row-major slices of the stated lengths, and the scratch-fit
+        // bounds `in_ch*(time+2d)+8 <= PAD_CAP`, `time <= MAX_TIME`.
+        // The per-loop bounds are spelled out where each loop starts.
+        unsafe {
+            let head = 2 * d;
+            let stride = time + head;
+            let mut pad = [0.0f32; PAD_CAP];
+            for ic in 0..in_ch {
+                pad[ic * stride + head..(ic + 1) * stride]
+                    .copy_from_slice(&x_item[ic * time..(ic + 1) * time]);
+            }
+            let st = (time + 7) & !7;
+            let mut ys = [0.0f32; Y_CAP];
+            let mut rows = out_item.chunks_exact_mut(time);
+            let mut oc = 0;
+            while oc + 4 <= out_ch {
+                // Two output chunks per pass give eight independent accumulator
+                // chains — enough to hide vaddps latency — and the 8-aligned
+                // scratch rows make every store full-width: lanes past `time`
+                // hold garbage from over-reading the padded input and are
+                // dropped at copy-out.
+                let mut i = 0;
+                // SAFETY: the fn contract bounds every access. Input loads read
+                // `pad[ic*stride + i .. +head+16]`; the worst case
+                // `i = st-16 <= time-9` gives an end offset of at most
+                // `in_ch*(time+head) + 8 <= PAD_CAP`. Weight reads stop at
+                // `(oc+3)*in_ch*3 + 3 <= dw.len()`. Stores write
+                // `ys[3*st + i .. +16] <= 4*st <= Y_CAP` (`time <= MAX_TIME`).
+                while i + 16 <= st {
+                    let mut v0a = _mm256_setzero_ps();
+                    let mut v1a = _mm256_setzero_ps();
+                    let mut v2a = _mm256_setzero_ps();
+                    let mut v3a = _mm256_setzero_ps();
+                    let mut v0b = _mm256_setzero_ps();
+                    let mut v1b = _mm256_setzero_ps();
+                    let mut v2b = _mm256_setzero_ps();
+                    let mut v3b = _mm256_setzero_ps();
+                    for ic in 0..in_ch {
+                        let xp = pad.as_ptr().add(ic * stride + i);
+                        let a0 = _mm256_loadu_ps(xp);
+                        let b0 = _mm256_loadu_ps(xp.add(d));
+                        let c0 = _mm256_loadu_ps(xp.add(head));
+                        let a1 = _mm256_loadu_ps(xp.add(8));
+                        let b1 = _mm256_loadu_ps(xp.add(d + 8));
+                        let c1 = _mm256_loadu_ps(xp.add(head + 8));
+                        let wr = dw.as_ptr().add((oc * in_ch + ic) * 3);
+                        let w0 = _mm256_set1_ps(*wr);
+                        let w1 = _mm256_set1_ps(*wr.add(1));
+                        let w2 = _mm256_set1_ps(*wr.add(2));
+                        v0a = _mm256_add_ps(v0a, _mm256_mul_ps(w0, a0));
+                        v0a = _mm256_add_ps(v0a, _mm256_mul_ps(w1, b0));
+                        v0a = _mm256_add_ps(v0a, _mm256_mul_ps(w2, c0));
+                        v0b = _mm256_add_ps(v0b, _mm256_mul_ps(w0, a1));
+                        v0b = _mm256_add_ps(v0b, _mm256_mul_ps(w1, b1));
+                        v0b = _mm256_add_ps(v0b, _mm256_mul_ps(w2, c1));
+                        let wr = dw.as_ptr().add(((oc + 1) * in_ch + ic) * 3);
+                        let w0 = _mm256_set1_ps(*wr);
+                        let w1 = _mm256_set1_ps(*wr.add(1));
+                        let w2 = _mm256_set1_ps(*wr.add(2));
+                        v1a = _mm256_add_ps(v1a, _mm256_mul_ps(w0, a0));
+                        v1a = _mm256_add_ps(v1a, _mm256_mul_ps(w1, b0));
+                        v1a = _mm256_add_ps(v1a, _mm256_mul_ps(w2, c0));
+                        v1b = _mm256_add_ps(v1b, _mm256_mul_ps(w0, a1));
+                        v1b = _mm256_add_ps(v1b, _mm256_mul_ps(w1, b1));
+                        v1b = _mm256_add_ps(v1b, _mm256_mul_ps(w2, c1));
+                        let wr = dw.as_ptr().add(((oc + 2) * in_ch + ic) * 3);
+                        let w0 = _mm256_set1_ps(*wr);
+                        let w1 = _mm256_set1_ps(*wr.add(1));
+                        let w2 = _mm256_set1_ps(*wr.add(2));
+                        v2a = _mm256_add_ps(v2a, _mm256_mul_ps(w0, a0));
+                        v2a = _mm256_add_ps(v2a, _mm256_mul_ps(w1, b0));
+                        v2a = _mm256_add_ps(v2a, _mm256_mul_ps(w2, c0));
+                        v2b = _mm256_add_ps(v2b, _mm256_mul_ps(w0, a1));
+                        v2b = _mm256_add_ps(v2b, _mm256_mul_ps(w1, b1));
+                        v2b = _mm256_add_ps(v2b, _mm256_mul_ps(w2, c1));
+                        let wr = dw.as_ptr().add(((oc + 3) * in_ch + ic) * 3);
+                        let w0 = _mm256_set1_ps(*wr);
+                        let w1 = _mm256_set1_ps(*wr.add(1));
+                        let w2 = _mm256_set1_ps(*wr.add(2));
+                        v3a = _mm256_add_ps(v3a, _mm256_mul_ps(w0, a0));
+                        v3a = _mm256_add_ps(v3a, _mm256_mul_ps(w1, b0));
+                        v3a = _mm256_add_ps(v3a, _mm256_mul_ps(w2, c0));
+                        v3b = _mm256_add_ps(v3b, _mm256_mul_ps(w0, a1));
+                        v3b = _mm256_add_ps(v3b, _mm256_mul_ps(w1, b1));
+                        v3b = _mm256_add_ps(v3b, _mm256_mul_ps(w2, c1));
+                    }
+                    _mm256_storeu_ps(ys.as_mut_ptr().add(i), v0a);
+                    _mm256_storeu_ps(ys.as_mut_ptr().add(i + 8), v0b);
+                    _mm256_storeu_ps(ys.as_mut_ptr().add(st + i), v1a);
+                    _mm256_storeu_ps(ys.as_mut_ptr().add(st + i + 8), v1b);
+                    _mm256_storeu_ps(ys.as_mut_ptr().add(2 * st + i), v2a);
+                    _mm256_storeu_ps(ys.as_mut_ptr().add(2 * st + i + 8), v2b);
+                    _mm256_storeu_ps(ys.as_mut_ptr().add(3 * st + i), v3a);
+                    _mm256_storeu_ps(ys.as_mut_ptr().add(3 * st + i + 8), v3b);
+                    i += 16;
+                }
+                while i < st {
+                    let mut v0 = _mm256_setzero_ps();
+                    let mut v1 = _mm256_setzero_ps();
+                    let mut v2 = _mm256_setzero_ps();
+                    let mut v3 = _mm256_setzero_ps();
+                    for ic in 0..in_ch {
+                        let xp = pad.as_ptr().add(ic * stride + i);
+                        let a = _mm256_loadu_ps(xp);
+                        let b = _mm256_loadu_ps(xp.add(d));
+                        let c = _mm256_loadu_ps(xp.add(head));
+                        let wr = dw.as_ptr().add((oc * in_ch + ic) * 3);
+                        v0 = _mm256_add_ps(v0, _mm256_mul_ps(_mm256_set1_ps(*wr), a));
+                        v0 = _mm256_add_ps(v0, _mm256_mul_ps(_mm256_set1_ps(*wr.add(1)), b));
+                        v0 = _mm256_add_ps(v0, _mm256_mul_ps(_mm256_set1_ps(*wr.add(2)), c));
+                        let wr = dw.as_ptr().add(((oc + 1) * in_ch + ic) * 3);
+                        v1 = _mm256_add_ps(v1, _mm256_mul_ps(_mm256_set1_ps(*wr), a));
+                        v1 = _mm256_add_ps(v1, _mm256_mul_ps(_mm256_set1_ps(*wr.add(1)), b));
+                        v1 = _mm256_add_ps(v1, _mm256_mul_ps(_mm256_set1_ps(*wr.add(2)), c));
+                        let wr = dw.as_ptr().add(((oc + 2) * in_ch + ic) * 3);
+                        v2 = _mm256_add_ps(v2, _mm256_mul_ps(_mm256_set1_ps(*wr), a));
+                        v2 = _mm256_add_ps(v2, _mm256_mul_ps(_mm256_set1_ps(*wr.add(1)), b));
+                        v2 = _mm256_add_ps(v2, _mm256_mul_ps(_mm256_set1_ps(*wr.add(2)), c));
+                        let wr = dw.as_ptr().add(((oc + 3) * in_ch + ic) * 3);
+                        v3 = _mm256_add_ps(v3, _mm256_mul_ps(_mm256_set1_ps(*wr), a));
+                        v3 = _mm256_add_ps(v3, _mm256_mul_ps(_mm256_set1_ps(*wr.add(1)), b));
+                        v3 = _mm256_add_ps(v3, _mm256_mul_ps(_mm256_set1_ps(*wr.add(2)), c));
+                    }
+                    _mm256_storeu_ps(ys.as_mut_ptr().add(i), v0);
+                    _mm256_storeu_ps(ys.as_mut_ptr().add(st + i), v1);
+                    _mm256_storeu_ps(ys.as_mut_ptr().add(2 * st + i), v2);
+                    _mm256_storeu_ps(ys.as_mut_ptr().add(3 * st + i), v3);
+                    i += 8;
+                }
+                let y0 = rows.next().expect("row count");
+                let y1 = rows.next().expect("row count");
+                let y2 = rows.next().expect("row count");
+                let y3 = rows.next().expect("row count");
+                y0.copy_from_slice(&ys[..time]);
+                y1.copy_from_slice(&ys[st..st + time]);
+                y2.copy_from_slice(&ys[2 * st..2 * st + time]);
+                y3.copy_from_slice(&ys[3 * st..3 * st + time]);
+                oc += 4;
+            }
+            for y_row in rows {
+                for ic in 0..in_ch {
+                    let xp = &pad[ic * stride..(ic + 1) * stride];
+                    let w = &dw[(oc * in_ch + ic) * 3..][..3];
+                    for t in 0..time {
+                        let mut v = y_row[t];
+                        v += w[0] * xp[t];
+                        v += w[1] * xp[t + d];
+                        v += w[2] * xp[t + head];
+                        y_row[t] = v;
+                    }
+                }
+                oc += 1;
+            }
+        }
+    }
+
+    /// Scalar twin of the AVX kernel for Miri runs: the same padded-scratch
+    /// layout, the same raw-pointer arithmetic and the same per-element
+    /// `(in-channel, tap)` accumulation order, so Miri checks the bounds
+    /// and aliasing reasoning the vector path relies on while the result
+    /// stays bitwise identical to `tap_accumulate` under the fused-path
+    /// preconditions (see the parity argument on the AVX variant).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as the AVX variant minus the CPU-feature requirement:
+    /// `k == 3`, `2*dilation < time`, finite nonzero weights, slice lengths
+    /// matching the `[in_ch|out_ch, time]` row-major layout and
+    /// `in_ch * (time + 2*dilation) + 8 <= PAD_CAP`.
+    #[allow(clippy::too_many_arguments)]
+    #[cfg(miri)]
     pub unsafe fn item_fused_avx(
         x_item: &[f32],
         dw: &[f32],
@@ -69,142 +253,50 @@ mod simd {
             pad[ic * stride + head..(ic + 1) * stride]
                 .copy_from_slice(&x_item[ic * time..(ic + 1) * time]);
         }
-        let st = (time + 7) & !7;
-        let mut ys = [0.0f32; Y_CAP];
-        let mut rows = out_item.chunks_exact_mut(time);
-        let mut oc = 0;
-        while oc + 4 <= out_ch {
-            // Two output chunks per pass give eight independent accumulator
-            // chains — enough to hide vaddps latency — and the 8-aligned
-            // scratch rows make every store full-width: lanes past `time`
-            // hold garbage from over-reading the padded input and are
-            // dropped at copy-out.
-            let mut i = 0;
-            while i + 16 <= st {
-                let mut v0a = _mm256_setzero_ps();
-                let mut v1a = _mm256_setzero_ps();
-                let mut v2a = _mm256_setzero_ps();
-                let mut v3a = _mm256_setzero_ps();
-                let mut v0b = _mm256_setzero_ps();
-                let mut v1b = _mm256_setzero_ps();
-                let mut v2b = _mm256_setzero_ps();
-                let mut v3b = _mm256_setzero_ps();
+        let padp = pad.as_ptr();
+        let wp = dw.as_ptr();
+        let outp = out_item.as_mut_ptr();
+        for oc in 0..out_ch {
+            for t in 0..time {
+                let mut acc = 0.0f32;
                 for ic in 0..in_ch {
-                    let xp = pad.as_ptr().add(ic * stride + i);
-                    let a0 = _mm256_loadu_ps(xp);
-                    let b0 = _mm256_loadu_ps(xp.add(d));
-                    let c0 = _mm256_loadu_ps(xp.add(head));
-                    let a1 = _mm256_loadu_ps(xp.add(8));
-                    let b1 = _mm256_loadu_ps(xp.add(d + 8));
-                    let c1 = _mm256_loadu_ps(xp.add(head + 8));
-                    let wr = dw.as_ptr().add((oc * in_ch + ic) * 3);
-                    let w0 = _mm256_set1_ps(*wr);
-                    let w1 = _mm256_set1_ps(*wr.add(1));
-                    let w2 = _mm256_set1_ps(*wr.add(2));
-                    v0a = _mm256_add_ps(v0a, _mm256_mul_ps(w0, a0));
-                    v0a = _mm256_add_ps(v0a, _mm256_mul_ps(w1, b0));
-                    v0a = _mm256_add_ps(v0a, _mm256_mul_ps(w2, c0));
-                    v0b = _mm256_add_ps(v0b, _mm256_mul_ps(w0, a1));
-                    v0b = _mm256_add_ps(v0b, _mm256_mul_ps(w1, b1));
-                    v0b = _mm256_add_ps(v0b, _mm256_mul_ps(w2, c1));
-                    let wr = dw.as_ptr().add(((oc + 1) * in_ch + ic) * 3);
-                    let w0 = _mm256_set1_ps(*wr);
-                    let w1 = _mm256_set1_ps(*wr.add(1));
-                    let w2 = _mm256_set1_ps(*wr.add(2));
-                    v1a = _mm256_add_ps(v1a, _mm256_mul_ps(w0, a0));
-                    v1a = _mm256_add_ps(v1a, _mm256_mul_ps(w1, b0));
-                    v1a = _mm256_add_ps(v1a, _mm256_mul_ps(w2, c0));
-                    v1b = _mm256_add_ps(v1b, _mm256_mul_ps(w0, a1));
-                    v1b = _mm256_add_ps(v1b, _mm256_mul_ps(w1, b1));
-                    v1b = _mm256_add_ps(v1b, _mm256_mul_ps(w2, c1));
-                    let wr = dw.as_ptr().add(((oc + 2) * in_ch + ic) * 3);
-                    let w0 = _mm256_set1_ps(*wr);
-                    let w1 = _mm256_set1_ps(*wr.add(1));
-                    let w2 = _mm256_set1_ps(*wr.add(2));
-                    v2a = _mm256_add_ps(v2a, _mm256_mul_ps(w0, a0));
-                    v2a = _mm256_add_ps(v2a, _mm256_mul_ps(w1, b0));
-                    v2a = _mm256_add_ps(v2a, _mm256_mul_ps(w2, c0));
-                    v2b = _mm256_add_ps(v2b, _mm256_mul_ps(w0, a1));
-                    v2b = _mm256_add_ps(v2b, _mm256_mul_ps(w1, b1));
-                    v2b = _mm256_add_ps(v2b, _mm256_mul_ps(w2, c1));
-                    let wr = dw.as_ptr().add(((oc + 3) * in_ch + ic) * 3);
-                    let w0 = _mm256_set1_ps(*wr);
-                    let w1 = _mm256_set1_ps(*wr.add(1));
-                    let w2 = _mm256_set1_ps(*wr.add(2));
-                    v3a = _mm256_add_ps(v3a, _mm256_mul_ps(w0, a0));
-                    v3a = _mm256_add_ps(v3a, _mm256_mul_ps(w1, b0));
-                    v3a = _mm256_add_ps(v3a, _mm256_mul_ps(w2, c0));
-                    v3b = _mm256_add_ps(v3b, _mm256_mul_ps(w0, a1));
-                    v3b = _mm256_add_ps(v3b, _mm256_mul_ps(w1, b1));
-                    v3b = _mm256_add_ps(v3b, _mm256_mul_ps(w2, c1));
+                    // SAFETY: `t < time` and the contract's scratch-fit
+                    // bound keep `ic*stride + t + head < PAD_CAP`; the
+                    // weight row ends at `(oc*in_ch + ic)*3 + 3
+                    // <= dw.len()`. Taps read the padded row at offsets
+                    // `t`, `t+d`, `t+head` — the leading `head` zeros
+                    // stand in for the causal warm-up.
+                    unsafe {
+                        let xp = padp.add(ic * stride + t);
+                        let wr = wp.add((oc * in_ch + ic) * 3);
+                        acc += *wr * *xp;
+                        acc += *wr.add(1) * *xp.add(d);
+                        acc += *wr.add(2) * *xp.add(head);
+                    }
                 }
-                _mm256_storeu_ps(ys.as_mut_ptr().add(i), v0a);
-                _mm256_storeu_ps(ys.as_mut_ptr().add(i + 8), v0b);
-                _mm256_storeu_ps(ys.as_mut_ptr().add(st + i), v1a);
-                _mm256_storeu_ps(ys.as_mut_ptr().add(st + i + 8), v1b);
-                _mm256_storeu_ps(ys.as_mut_ptr().add(2 * st + i), v2a);
-                _mm256_storeu_ps(ys.as_mut_ptr().add(2 * st + i + 8), v2b);
-                _mm256_storeu_ps(ys.as_mut_ptr().add(3 * st + i), v3a);
-                _mm256_storeu_ps(ys.as_mut_ptr().add(3 * st + i + 8), v3b);
-                i += 16;
-            }
-            while i < st {
-                let mut v0 = _mm256_setzero_ps();
-                let mut v1 = _mm256_setzero_ps();
-                let mut v2 = _mm256_setzero_ps();
-                let mut v3 = _mm256_setzero_ps();
-                for ic in 0..in_ch {
-                    let xp = pad.as_ptr().add(ic * stride + i);
-                    let a = _mm256_loadu_ps(xp);
-                    let b = _mm256_loadu_ps(xp.add(d));
-                    let c = _mm256_loadu_ps(xp.add(head));
-                    let wr = dw.as_ptr().add((oc * in_ch + ic) * 3);
-                    v0 = _mm256_add_ps(v0, _mm256_mul_ps(_mm256_set1_ps(*wr), a));
-                    v0 = _mm256_add_ps(v0, _mm256_mul_ps(_mm256_set1_ps(*wr.add(1)), b));
-                    v0 = _mm256_add_ps(v0, _mm256_mul_ps(_mm256_set1_ps(*wr.add(2)), c));
-                    let wr = dw.as_ptr().add(((oc + 1) * in_ch + ic) * 3);
-                    v1 = _mm256_add_ps(v1, _mm256_mul_ps(_mm256_set1_ps(*wr), a));
-                    v1 = _mm256_add_ps(v1, _mm256_mul_ps(_mm256_set1_ps(*wr.add(1)), b));
-                    v1 = _mm256_add_ps(v1, _mm256_mul_ps(_mm256_set1_ps(*wr.add(2)), c));
-                    let wr = dw.as_ptr().add(((oc + 2) * in_ch + ic) * 3);
-                    v2 = _mm256_add_ps(v2, _mm256_mul_ps(_mm256_set1_ps(*wr), a));
-                    v2 = _mm256_add_ps(v2, _mm256_mul_ps(_mm256_set1_ps(*wr.add(1)), b));
-                    v2 = _mm256_add_ps(v2, _mm256_mul_ps(_mm256_set1_ps(*wr.add(2)), c));
-                    let wr = dw.as_ptr().add(((oc + 3) * in_ch + ic) * 3);
-                    v3 = _mm256_add_ps(v3, _mm256_mul_ps(_mm256_set1_ps(*wr), a));
-                    v3 = _mm256_add_ps(v3, _mm256_mul_ps(_mm256_set1_ps(*wr.add(1)), b));
-                    v3 = _mm256_add_ps(v3, _mm256_mul_ps(_mm256_set1_ps(*wr.add(2)), c));
+                // SAFETY: `oc < out_ch` and `t < time`, and the contract
+                // guarantees `out_item.len() == out_ch * time`.
+                unsafe {
+                    *outp.add(oc * time + t) = acc;
                 }
-                _mm256_storeu_ps(ys.as_mut_ptr().add(i), v0);
-                _mm256_storeu_ps(ys.as_mut_ptr().add(st + i), v1);
-                _mm256_storeu_ps(ys.as_mut_ptr().add(2 * st + i), v2);
-                _mm256_storeu_ps(ys.as_mut_ptr().add(3 * st + i), v3);
-                i += 8;
             }
-            let y0 = rows.next().expect("row count");
-            let y1 = rows.next().expect("row count");
-            let y2 = rows.next().expect("row count");
-            let y3 = rows.next().expect("row count");
-            y0.copy_from_slice(&ys[..time]);
-            y1.copy_from_slice(&ys[st..st + time]);
-            y2.copy_from_slice(&ys[2 * st..2 * st + time]);
-            y3.copy_from_slice(&ys[3 * st..3 * st + time]);
-            oc += 4;
         }
-        for y_row in rows {
-            for ic in 0..in_ch {
-                let xp = &pad[ic * stride..(ic + 1) * stride];
-                let w = &dw[(oc * in_ch + ic) * 3..][..3];
-                for t in 0..time {
-                    let mut v = y_row[t];
-                    v += w[0] * xp[t];
-                    v += w[1] * xp[t + d];
-                    v += w[2] * xp[t + head];
-                    y_row[t] = v;
-                }
-            }
-            oc += 1;
-        }
+    }
+}
+
+/// Runtime AVX detection. Under Miri the scalar twin stands in for the
+/// vector kernel, so the fast path is always "available" — that is the
+/// point: Miri interprets the twin's raw-pointer arithmetic and validates
+/// the layout reasoning the real AVX kernel shares.
+#[cfg(target_arch = "x86_64")]
+fn avx_available() -> bool {
+    #[cfg(miri)]
+    {
+        true
+    }
+    #[cfg(not(miri))]
+    {
+        std::is_x86_feature_detected!("avx")
     }
 }
 
@@ -277,7 +369,7 @@ pub fn conv1d_into(
         && dw.iter().all(|&w| w.is_finite())
         && in_ch * (time + 2 * dilation) + 8 <= simd::PAD_CAP
         && time <= simd::MAX_TIME
-        && std::is_x86_feature_detected!("avx");
+        && avx_available();
 
     let item_fused = |b: usize, out_item: &mut [f32]| {
         let x_item = &dx[b * in_ch * time..(b + 1) * in_ch * time];

@@ -103,6 +103,7 @@ pub fn thread_context_allocs() -> u64 {
 // exactly (same accumulator widths, same order), so tape-free activations
 // match taped ones bitwise.
 
+// hot-path: per-push inference kernel, must stay allocation-free
 /// `x.max(0.0)` elementwise (replicates `tensor::ops::relu`).
 pub fn relu_in_place(buf: &mut [f32]) {
     for v in buf {
@@ -110,6 +111,7 @@ pub fn relu_in_place(buf: &mut [f32]) {
     }
 }
 
+// hot-path: per-push inference kernel, must stay allocation-free
 /// `tanh(x)` elementwise (replicates `tensor::ops::tanh`).
 pub fn tanh_in_place(buf: &mut [f32]) {
     for v in buf {
@@ -117,6 +119,7 @@ pub fn tanh_in_place(buf: &mut [f32]) {
     }
 }
 
+// hot-path: per-push inference kernel, must stay allocation-free
 /// Numerically-stable logistic sigmoid, identical to the `tensor` kernel.
 #[inline]
 pub fn stable_sigmoid(x: f32) -> f32 {
@@ -129,6 +132,7 @@ pub fn stable_sigmoid(x: f32) -> f32 {
     }
 }
 
+// hot-path: per-push inference kernel, must stay allocation-free
 /// Sigmoid elementwise (replicates `tensor::ops::sigmoid`).
 pub fn sigmoid_in_place(buf: &mut [f32]) {
     for v in buf {
@@ -136,6 +140,7 @@ pub fn sigmoid_in_place(buf: &mut [f32]) {
     }
 }
 
+// hot-path: per-push inference kernel, must stay allocation-free
 /// Row-wise softmax over a `[rows, cols]` buffer (replicates
 /// `tensor::reduce::softmax_rows`, including the f64 denominator).
 pub fn softmax_rows_in_place(buf: &mut [f32], rows: usize, cols: usize) {
@@ -155,6 +160,7 @@ pub fn softmax_rows_in_place(buf: &mut [f32], rows: usize, cols: usize) {
     }
 }
 
+// hot-path: per-push inference kernel, must stay allocation-free
 /// `out[r][j] += bias[j]` — the `[batch, n] + [n]` broadcast of the tape.
 pub fn add_row_bias(out: &mut [f32], bias: &[f32], rows: usize, cols: usize) {
     assert_eq!(out.len(), rows * cols, "add_row_bias shape");
@@ -166,6 +172,7 @@ pub fn add_row_bias(out: &mut [f32], bias: &[f32], rows: usize, cols: usize) {
     }
 }
 
+// hot-path: per-push inference kernel, must stay allocation-free
 /// `out[b][c][t] += bias[c]` — the `[batch, ch, time] + [ch, 1]` broadcast
 /// the conv layer's tape performs.
 pub fn add_channel_bias(out: &mut [f32], bias: &[f32], batch: usize, ch: usize, time: usize) {
@@ -181,6 +188,7 @@ pub fn add_channel_bias(out: &mut [f32], bias: &[f32], batch: usize, ch: usize, 
     }
 }
 
+// hot-path: per-push inference kernel, must stay allocation-free
 /// `out[b][c] = src[b][c][t]` — replicates `Graph::select_time`.
 pub fn select_time_into(
     src: &[f32],

@@ -20,6 +20,10 @@
 //! value, so optimisers take `(&mut ParamStore, &Gradients)` with no interior
 //! mutability anywhere.
 
+// The SIMD conv kernels are the workspace's only unsafe code; make every
+// unsafe operation inside an `unsafe fn` carry its own block + SAFETY note.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod conv_kernels;
 mod graph;
 pub mod infer;

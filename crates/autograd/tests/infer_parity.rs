@@ -1,0 +1,130 @@
+//! Bitwise parity of the fused conv fast paths against an independent
+//! tap-wise reference, plus the in-place inference kernels against their
+//! taped `tensor` counterparts.
+//!
+//! This is the suite the Miri CI job interprets: under Miri the AVX kernel
+//! is replaced by a raw-pointer scalar twin with the same padded-scratch
+//! layout (`cfg(miri)` in `conv_kernels.rs`), so Miri checks the bounds and
+//! aliasing reasoning of the fast path while these assertions pin its
+//! numerics to the reference bit for bit. Shapes are kept small enough for
+//! an interpreter but large enough to cover the remainder (non-multiple-
+//! of-4 output channels, non-multiple-of-8 time) lanes.
+
+use autograd::conv1d_forward;
+use autograd::infer::{
+    add_channel_bias, add_row_bias, relu_in_place, sigmoid_in_place, softmax_rows_in_place,
+    tanh_in_place,
+};
+use tensor::{Rng, Tensor};
+
+/// Independent reference: accumulate tap-by-tap in `(out-channel,
+/// in-channel, tap)` order, skipping exact-zero weights and the causal
+/// warm-up region — a reimplementation of the slow path, NOT a call to it.
+fn conv_reference(x: &Tensor, w: &Tensor, dilation: usize) -> Vec<f32> {
+    let (batch, in_ch, time) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let (out_ch, _, k) = (w.shape()[0], w.shape()[1], w.shape()[2]);
+    let dx = x.as_slice();
+    let dw = w.as_slice();
+    let mut out = vec![0.0f32; batch * out_ch * time];
+    for b in 0..batch {
+        for oc in 0..out_ch {
+            let y = &mut out[(b * out_ch + oc) * time..(b * out_ch + oc + 1) * time];
+            for ic in 0..in_ch {
+                let xr = &dx[(b * in_ch + ic) * time..(b * in_ch + ic + 1) * time];
+                let wr = &dw[(oc * in_ch + ic) * k..(oc * in_ch + ic + 1) * k];
+                for (kk, &wv) in wr.iter().enumerate() {
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    let shift = (k - 1 - kk) * dilation;
+                    for t in shift..time {
+                        y[t] += wv * xr[t - shift];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Weights with no exact zeros, so the fused fast path engages.
+fn nonzero_weights(shape: &[usize], rng: &mut Rng) -> Tensor {
+    let mut w = Tensor::rand_normal(shape, 0.0, 0.5, rng);
+    for v in w.as_mut_slice() {
+        if *v == 0.0 {
+            *v = 0.25;
+        }
+    }
+    w
+}
+
+#[test]
+fn fused_conv_matches_reference_bitwise_across_dilations() {
+    let mut rng = Rng::seed_from(33);
+    // 6 output channels exercise the 4-wide main loop plus remainder rows;
+    // time=19 exercises the partial final vector lane.
+    let (ic, oc, time) = (4, 6, 19);
+    for &d in &[1usize, 2, 4] {
+        let x = Tensor::rand_normal(&[2, ic, time], 0.0, 1.0, &mut rng);
+        let w = nonzero_weights(&[oc, ic, 3], &mut rng);
+        let fast = conv1d_forward(&x, &w, d);
+        let reference = conv_reference(&x, &w, d);
+        for (i, (a, b)) in fast.as_slice().iter().zip(&reference).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "d={d} idx={i}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn zero_weights_route_to_the_reference_path_and_agree() {
+    let mut rng = Rng::seed_from(34);
+    let x = Tensor::rand_normal(&[1, 3, 12], 0.0, 1.0, &mut rng);
+    let mut w = Tensor::rand_normal(&[2, 3, 3], 0.0, 0.5, &mut rng);
+    // An exact zero disables the fused path; results must still agree.
+    w.as_mut_slice()[4] = 0.0;
+    let out = conv1d_forward(&x, &w, 2);
+    let reference = conv_reference(&x, &w, 2);
+    for (a, b) in out.as_slice().iter().zip(&reference) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[test]
+fn in_place_activations_match_taped_kernels_bitwise() {
+    let mut rng = Rng::seed_from(35);
+    let x = Tensor::rand_normal(&[4, 9], 0.0, 2.0, &mut rng);
+
+    let mut buf = x.as_slice().to_vec();
+    relu_in_place(&mut buf);
+    assert_eq!(buf, tensor::ops::relu(&x).as_slice());
+
+    let mut buf = x.as_slice().to_vec();
+    tanh_in_place(&mut buf);
+    assert_eq!(buf, tensor::ops::tanh(&x).as_slice());
+
+    let mut buf = x.as_slice().to_vec();
+    sigmoid_in_place(&mut buf);
+    assert_eq!(buf, tensor::ops::sigmoid(&x).as_slice());
+
+    let mut buf = x.as_slice().to_vec();
+    softmax_rows_in_place(&mut buf, 4, 9);
+    assert_eq!(buf, tensor::reduce::softmax_rows(&x).as_slice());
+}
+
+#[test]
+fn bias_broadcasts_match_taped_adds_bitwise() {
+    let mut rng = Rng::seed_from(36);
+    let (rows, cols) = (3, 5);
+    let out = Tensor::rand_normal(&[rows, cols], 0.0, 1.0, &mut rng);
+    let bias = Tensor::rand_normal(&[cols], 0.0, 1.0, &mut rng);
+    let mut buf = out.as_slice().to_vec();
+    add_row_bias(&mut buf, bias.as_slice(), rows, cols);
+    assert_eq!(buf, tensor::ops::add(&out, &bias).as_slice());
+
+    let (batch, ch, time) = (2, 3, 7);
+    let out = Tensor::rand_normal(&[batch, ch, time], 0.0, 1.0, &mut rng);
+    let bias = Tensor::rand_normal(&[ch, 1], 0.0, 1.0, &mut rng);
+    let mut buf = out.as_slice().to_vec();
+    add_channel_bias(&mut buf, bias.as_slice(), batch, ch, time);
+    assert_eq!(buf, tensor::ops::add(&out, &bias).as_slice());
+}

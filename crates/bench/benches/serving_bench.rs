@@ -54,7 +54,8 @@ fn fitted_service_with(
         refit_every: 0,
         faults,
         ..Default::default()
-    });
+    })
+    .expect("spawn service");
     let mut ids = Vec::with_capacity(ENTITIES);
     for (i, frame) in frames.iter().enumerate() {
         let id = format!("container_{i:03}");

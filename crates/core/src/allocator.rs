@@ -72,6 +72,7 @@ pub struct CapacityPlanner {
 }
 
 impl CapacityPlanner {
+    /// A planner with empty residual history and zeroed counters.
     pub fn new(config: PlannerConfig) -> Self {
         Self {
             config,
@@ -109,6 +110,7 @@ impl CapacityPlanner {
         }
     }
 
+    /// Cumulative allocation outcomes observed so far.
     pub fn stats(&self) -> &PlannerStats {
         &self.stats
     }

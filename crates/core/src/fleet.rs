@@ -79,6 +79,7 @@ pub struct FleetService {
 }
 
 impl FleetService {
+    /// An empty fleet governed by `config`.
     pub fn new(config: FleetConfig) -> Self {
         Self {
             config,
@@ -91,6 +92,7 @@ impl FleetService {
         self.entities.len()
     }
 
+    /// True before any entity is onboarded.
     pub fn is_empty(&self) -> bool {
         self.entities.is_empty()
     }

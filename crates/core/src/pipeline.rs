@@ -54,6 +54,7 @@ impl Default for PipelineConfig {
 }
 
 impl PipelineConfig {
+    /// Builder-style override of the input scenario.
     pub fn with_scenario(mut self, scenario: Scenario) -> Self {
         self.scenario = scenario;
         self

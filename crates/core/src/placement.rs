@@ -25,6 +25,7 @@ pub struct SimMachine {
 }
 
 impl SimMachine {
+    /// A machine with the given background load series and nothing placed.
     pub fn new(background: Vec<f32>) -> Self {
         let n = background.len();
         Self {
@@ -67,6 +68,7 @@ pub struct PlacementOutcome {
 }
 
 impl PlacementOutcome {
+    /// Fraction of machine-steps spent above the overload threshold.
     pub fn overload_rate(&self) -> f64 {
         if self.total_steps == 0 {
             0.0
@@ -89,6 +91,7 @@ pub struct PlacementSimulator {
 }
 
 impl PlacementSimulator {
+    /// A simulator over a non-empty cluster of equal-horizon machines.
     pub fn new(machines: Vec<SimMachine>, overload_threshold: f32) -> Self {
         assert!(!machines.is_empty());
         let len = machines[0].background.len();
@@ -100,6 +103,7 @@ impl PlacementSimulator {
         }
     }
 
+    /// Number of machines in the simulated cluster.
     pub fn num_machines(&self) -> usize {
         self.machines.len()
     }
@@ -118,12 +122,14 @@ impl PlacementSimulator {
                 let vals: Vec<f32> = (lo..=t).map(|s| self.machines[m].load_at(s)).collect();
                 tensor::stats::mean(&vals) as f32
             }
-            PlacementStrategy::Predicted => {
-                let f = forecasts.expect("Predicted strategy requires forecasts");
-                f[m].get(t)
-                    .copied()
-                    .unwrap_or_else(|| self.machines[m].load_at(t))
-            }
+            PlacementStrategy::Predicted => forecasts
+                // `run` asserts forecasts are present up front; falling
+                // back to the instantaneous load here keeps this helper
+                // total for any future caller.
+                .and_then(|f| f.get(m))
+                .and_then(|f| f.get(t))
+                .copied()
+                .unwrap_or_else(|| self.machines[m].load_at(t)),
         }
     }
 
@@ -136,6 +142,10 @@ impl PlacementSimulator {
         strategy: PlacementStrategy,
         forecasts: Option<&[Vec<f32>]>,
     ) -> PlacementOutcome {
+        assert!(
+            strategy != PlacementStrategy::Predicted || forecasts.is_some(),
+            "Predicted strategy requires forecasts"
+        );
         let horizon = self.machines[0].background.len();
         let mut outcome = PlacementOutcome {
             placements: arrivals.len(),
@@ -143,13 +153,14 @@ impl PlacementSimulator {
         };
         for arrival in arrivals {
             assert!(arrival.at < horizon, "arrival beyond simulation horizon");
+            // `total_cmp` orders NaN estimates last instead of panicking,
+            // and `new` guarantees at least one machine exists.
             let best = (0..self.machines.len())
                 .min_by(|&a, &b| {
                     self.estimated_load(a, arrival.at, strategy, forecasts)
-                        .partial_cmp(&self.estimated_load(b, arrival.at, strategy, forecasts))
-                        .expect("NaN load estimate")
+                        .total_cmp(&self.estimated_load(b, arrival.at, strategy, forecasts))
                 })
-                .expect("no machines");
+                .unwrap_or(0);
             self.machines[best].add_container(arrival.at, &arrival.demand);
         }
         for m in &self.machines {

@@ -13,6 +13,7 @@ pub enum Scenario {
 }
 
 impl Scenario {
+    /// Every scenario, in Table II order.
     pub const ALL: [Scenario; 3] = [Scenario::Uni, Scenario::Mul, Scenario::MulExp];
 
     /// Display name matching Table II's row labels.

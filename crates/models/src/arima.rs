@@ -209,7 +209,9 @@ impl ArimaForecaster {
             let mut lasts: Vec<f64> = Vec::with_capacity(d);
             let mut cur: Vec<f32> = history.to_vec();
             for _ in 0..d {
-                lasts.push(*cur.last().unwrap() as f64);
+                // `fit` validates the history is long enough to difference
+                // `d` times; an empty tail would restore as 0.0 offsets.
+                lasts.push(cur.last().copied().unwrap_or(0.0) as f64);
                 cur = difference(&cur, 1);
             }
             for h in 0..horizon {

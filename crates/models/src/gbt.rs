@@ -303,10 +303,10 @@ impl Forecaster for GbtForecaster {
             .into_par_iter()
             .map(|f| {
                 let mut idx: Vec<u32> = (0..n as u32).collect();
+                // `total_cmp` orders NaN features last instead of
+                // panicking on pathological inputs.
                 idx.sort_by(|&a, &b| {
-                    rows[a as usize * flat + f]
-                        .partial_cmp(&rows[b as usize * flat + f])
-                        .expect("NaN feature")
+                    rows[a as usize * flat + f].total_cmp(&rows[b as usize * flat + f])
                 });
                 idx
             })

@@ -145,7 +145,7 @@ impl GruForecaster {
     /// Taped-graph inference — the parity/benchmark reference for
     /// [`Forecaster::predict`]'s tape-free path.
     pub fn predict_taped(&self, x: &Tensor) -> Tensor {
-        let net = self.network.as_ref().expect("predict before fit");
+        let net = self.network.as_ref().expect("predict before fit"); // lint: allow(r2) — Forecaster::predict contract
         neural::predict_network_taped(net, x, self.config.spec.batch_size)
     }
 }
@@ -163,7 +163,7 @@ impl Forecaster for GruForecaster {
     }
 
     fn predict(&self, x: &Tensor) -> Tensor {
-        let net = self.network.as_ref().expect("predict before fit");
+        let net = self.network.as_ref().expect("predict before fit"); // lint: allow(r2) — Forecaster::predict contract
         neural::predict_network(net, x, self.config.spec.batch_size)
     }
 

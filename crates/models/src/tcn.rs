@@ -214,7 +214,7 @@ impl TcnBackbone {
                 ctx.give(prev);
             }
         }
-        owned.expect("backbone has at least one block")
+        owned.expect("backbone has at least one block") // lint: allow(r2) — spec guarantees ≥1 block
     }
 
     pub fn out_channels(&self) -> usize {
@@ -375,7 +375,7 @@ impl Forecaster for TcnForecaster {
     }
 
     fn predict(&self, x: &Tensor) -> Tensor {
-        let net = self.network.as_ref().expect("predict before fit");
+        let net = self.network.as_ref().expect("predict before fit"); // lint: allow(r2) — Forecaster::predict contract
         neural::predict_network(net, x, self.config.spec.batch_size)
     }
 }
@@ -384,7 +384,7 @@ impl TcnForecaster {
     /// Taped-graph inference — the parity/benchmark reference for
     /// [`Forecaster::predict`]'s tape-free path.
     pub fn predict_taped(&self, x: &Tensor) -> Tensor {
-        let net = self.network.as_ref().expect("predict before fit");
+        let net = self.network.as_ref().expect("predict before fit"); // lint: allow(r2) — Forecaster::predict contract
         neural::predict_network_taped(net, x, self.config.spec.batch_size)
     }
 }

@@ -29,6 +29,9 @@ pub enum ServeError {
     Frame(String),
     /// Checkpoint serialisation or restore failure.
     Checkpoint(String),
+    /// The OS refused to spawn a worker thread while bringing the
+    /// service up (resource exhaustion); the service cannot start.
+    Spawn(String),
 }
 
 impl fmt::Display for ServeError {
@@ -51,6 +54,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::Frame(msg) => write!(f, "pipeline error: {msg}"),
             ServeError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            ServeError::Spawn(msg) => write!(f, "failed to spawn worker thread: {msg}"),
         }
     }
 }

@@ -27,6 +27,7 @@ impl Default for FallbackForecaster {
 }
 
 impl FallbackForecaster {
+    /// An empty window retaining at most `capacity` observations.
     pub fn new(capacity: usize) -> Self {
         Self {
             window: VecDeque::with_capacity(capacity.max(1)),
@@ -59,6 +60,7 @@ impl FallbackForecaster {
         self.window.len()
     }
 
+    /// True before the first finite observation.
     pub fn is_empty(&self) -> bool {
         self.window.is_empty()
     }

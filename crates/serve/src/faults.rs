@@ -148,6 +148,14 @@ impl FaultPlan {
         }
     }
 
+    /// Deliberately unwind to emulate a model crash mid-forecast. The
+    /// panic lives here — not on the serving path — so `shard.rs` stays
+    /// free of panicking macros; the supervisor catches the unwind and
+    /// degrades the entity exactly like a real model crash.
+    pub(crate) fn forecast_panic_now(entity: &str) -> ! {
+        panic!("fault injection: model panic while forecasting `{entity}`") // lint: allow(r2)
+    }
+
     /// Hook: the planned fault for a refit of `entity`, if any.
     pub(crate) fn refit_fault(&self, entity: &str) -> Option<RefitFault> {
         lock_recover(&self.inner.refit).get(entity).copied()

@@ -136,7 +136,11 @@ pub struct PredictionService {
 
 impl PredictionService {
     /// Spawn the shard workers and the refit pool.
-    pub fn new(config: ServiceConfig) -> Self {
+    ///
+    /// Fails with [`ServeError::Spawn`] if the OS refuses to start a
+    /// worker thread; a partially-spawned service is dropped cleanly
+    /// (already-started shards see their channels close and exit).
+    pub fn new(config: ServiceConfig) -> Result<Self, ServeError> {
         assert!(config.shards > 0, "service needs at least one shard");
         assert!(
             config.queue_capacity > 0,
@@ -171,7 +175,7 @@ impl PredictionService {
             let handle = thread::Builder::new()
                 .name(format!("serve-shard-{shard_id}"))
                 .spawn(move || run_supervised_shard(ctx, rx))
-                .expect("failed to spawn shard worker");
+                .map_err(|e| ServeError::Spawn(format!("shard worker {shard_id}: {e}")))?;
             shard_txs.push(tx);
             stats.push(core);
             shard_handles.push(handle);
@@ -185,27 +189,27 @@ impl PredictionService {
             .cloned()
             .zip(stats.iter().map(Arc::clone))
             .collect();
-        let refit_handles = (0..workers)
-            .map(|w| {
-                let rx = Arc::clone(&refit_rx);
-                let pool = pool.clone();
-                let policy = config.refit_policy.clone();
-                let faults = config.faults.clone();
-                thread::Builder::new()
-                    .name(format!("serve-refit-{w}"))
-                    .spawn(move || run_refit_worker(rx, pool, policy, faults))
-                    .expect("failed to spawn refit worker")
-            })
-            .collect();
+        let mut refit_handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let rx = Arc::clone(&refit_rx);
+            let pool = pool.clone();
+            let policy = config.refit_policy.clone();
+            let faults = config.faults.clone();
+            let handle = thread::Builder::new()
+                .name(format!("serve-refit-{w}"))
+                .spawn(move || run_refit_worker(rx, pool, policy, faults))
+                .map_err(|e| ServeError::Spawn(format!("refit worker {w}: {e}")))?;
+            refit_handles.push(handle);
+        }
 
-        Self {
+        Ok(Self {
             config,
             ids: BTreeSet::new(),
             shard_txs,
             stats,
             shard_handles,
             refit_handles,
-        }
+        })
     }
 
     /// Fit `model` on `bootstrap` (on the caller's thread — shards never
@@ -491,7 +495,7 @@ impl PredictionService {
     /// history, so forecasts resume exactly where the checkpoint left off.
     pub fn restore(path: &Path, config: ServiceConfig) -> Result<Self, ServeError> {
         let entities = load_fleet(path)?;
-        let mut service = Self::new(config);
+        let mut service = Self::new(config)?;
         for (id, state) in &entities {
             let predictor = ResourcePredictor::from_state(state)?;
             service.install(id, predictor)?;
@@ -565,7 +569,7 @@ mod tests {
     }
 
     fn service_with_entities(config: ServiceConfig, n: usize) -> PredictionService {
-        let mut service = PredictionService::new(config);
+        let mut service = PredictionService::new(config).expect("spawn service");
         for i in 0..n {
             service
                 .add_entity(

@@ -409,7 +409,7 @@ fn forecast_many(
         *current = Some(id.clone());
         if let Some(plan) = &ctx.faults {
             if plan.take_forecast_panic(id) {
-                panic!("fault injection: model panic while forecasting `{id}`");
+                FaultPlan::forecast_panic_now(id);
             }
         }
         let batchable = slots.get(id).and_then(|slot| {
@@ -452,14 +452,16 @@ fn forecast_many(
         let leader = &ids[members[0].0];
         *current = Some(leader.clone());
         let x = Tensor::from_vec(stacked, &[rows, window, features]);
-        let pred = {
-            let slot = slots.get(leader).expect("batch leader was just grouped");
-            catch_unwind(AssertUnwindSafe(|| slot.predictor.predict_batch(&x)))
-        };
+        // The leader was grouped from `slots` moments ago, so the lookup
+        // cannot miss; treating a miss like a panicked batch keeps this
+        // path panic-free and still answers every member below.
+        let pred = slots
+            .get(leader)
+            .map(|slot| catch_unwind(AssertUnwindSafe(|| slot.predictor.predict_batch(&x))));
         *current = None;
         let pred = match pred {
-            Ok(pred) => pred,
-            Err(_) => {
+            Some(Ok(pred)) => pred,
+            None | Some(Err(_)) => {
                 // The batched call panicked; retry each member alone so the
                 // per-entity guard pins down and degrades the culprit while
                 // its groupmates still get answers.
@@ -480,7 +482,13 @@ fn forecast_many(
             let id = &ids[*idx];
             *current = Some(id.clone());
             let normalized = &pred.as_slice()[row * horizon..(row + 1) * horizon];
-            let slot = slots.get_mut(id).expect("batch member was just grouped");
+            // Members were grouped from `slots` in this same call, so the
+            // lookup cannot miss; answer UnknownEntity rather than panic.
+            let Some(slot) = slots.get_mut(id) else {
+                replies[*idx] = Some(Err(ServeError::UnknownEntity(id.clone())));
+                *current = None;
+                continue;
+            };
             let fc = slot.predictor.denormalize_forecast(normalized);
             if !fc.is_empty() && fc.iter().all(|v| v.is_finite()) {
                 ctx.stats.forecasts.fetch_add(1, Ordering::Relaxed);
@@ -515,7 +523,9 @@ fn forecast_many(
     ids.into_iter()
         .zip(replies)
         .map(|(id, res)| {
-            let res = res.expect("every requested id was answered");
+            // Every index is answered by the loops above; a hole would be
+            // a batching bug, surfaced as an error instead of a panic.
+            let res = res.unwrap_or_else(|| Err(ServeError::UnknownEntity(id.clone())));
             (id, res)
         })
         .collect()

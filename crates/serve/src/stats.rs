@@ -27,7 +27,7 @@ pub enum EntityHealth {
 /// not take observability down with it — the guarded data is only ever a
 /// counter accumulator and stays usable after an unwind.
 pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner()) // lint: allow(r4) — the one blessed bare lock
 }
 
 /// Fixed-size ring of recent forecast latencies (nanoseconds).
@@ -39,6 +39,7 @@ pub struct LatencyRing {
 }
 
 impl LatencyRing {
+    /// A ring retaining the latest `capacity` samples (at least one).
     pub fn new(capacity: usize) -> Self {
         Self {
             buf: vec![0; capacity.max(1)],
@@ -47,6 +48,7 @@ impl LatencyRing {
         }
     }
 
+    /// Push one latency sample, evicting the oldest once full.
     pub fn record(&mut self, nanos: u64) {
         self.buf[self.next] = nanos;
         self.next = (self.next + 1) % self.buf.len();
@@ -64,10 +66,12 @@ impl LatencyRing {
         Some(window[rank - 1])
     }
 
+    /// Number of samples currently retained.
     pub fn len(&self) -> usize {
         self.filled
     }
 
+    /// True before the first recorded sample.
     pub fn is_empty(&self) -> bool {
         self.filled == 0
     }
@@ -83,6 +87,7 @@ pub struct ScoreAccum {
 }
 
 impl ScoreAccum {
+    /// Fold one (forecast, later-arriving truth) pair into the error sums.
     pub fn score(&mut self, forecast: f32, actual: f32) {
         let err = (forecast - actual) as f64;
         self.abs_err_sum += err.abs();
@@ -90,6 +95,7 @@ impl ScoreAccum {
         self.scored += 1;
     }
 
+    /// Mean absolute error over everything scored so far (0.0 if nothing).
     pub fn mae(&self) -> f64 {
         if self.scored == 0 {
             0.0
@@ -98,6 +104,7 @@ impl ScoreAccum {
         }
     }
 
+    /// Mean squared error over everything scored so far (0.0 if nothing).
     pub fn mse(&self) -> f64 {
         if self.scored == 0 {
             0.0
@@ -152,6 +159,7 @@ pub struct ShardStatsCore {
 }
 
 impl ShardStatsCore {
+    /// Zeroed counters with a latency ring of `latency_window` samples.
     pub fn new(latency_window: usize) -> Self {
         Self {
             entities: AtomicUsize::new(0),
@@ -293,58 +301,72 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
+    /// Entities currently installed across all shards.
     pub fn total_entities(&self) -> usize {
         self.shards.iter().map(|s| s.entities).sum()
     }
 
+    /// Samples applied across all shards.
     pub fn total_ingested(&self) -> u64 {
         self.shards.iter().map(|s| s.ingested).sum()
     }
 
+    /// Forecasts answered across all shards (model, batched or fallback).
     pub fn total_forecasts(&self) -> u64 {
         self.shards.iter().map(|s| s.forecasts).sum()
     }
 
+    /// Background refits that finished and installed a model.
     pub fn total_refits_completed(&self) -> u64 {
         self.shards.iter().map(|s| s.refits_completed).sum()
     }
 
+    /// Samples rejected fleet-wide under `Reject` backpressure.
     pub fn total_rejected(&self) -> u64 {
         self.shards.iter().map(|s| s.rejected).sum()
     }
 
+    /// Shard worker restarts after an escaped panic, fleet-wide.
     pub fn total_restarts(&self) -> u64 {
         self.shards.iter().map(|s| s.restarts).sum()
     }
 
+    /// Entities currently serving from the naive fallback.
     pub fn total_degraded(&self) -> usize {
         self.shards.iter().map(|s| s.degraded).sum()
     }
 
+    /// Forecasts answered by the fallback instead of the model.
     pub fn total_fallback_forecasts(&self) -> u64 {
         self.shards.iter().map(|s| s.fallback_forecasts).sum()
     }
 
+    /// Forecasts answered through batched engine calls.
     pub fn total_batched_forecasts(&self) -> u64 {
         self.shards.iter().map(|s| s.batched_forecasts).sum()
     }
 
+    /// Batched engine calls issued fleet-wide.
     pub fn total_batch_calls(&self) -> u64 {
         self.shards.iter().map(|s| s.batch_calls).sum()
     }
 
+    /// Non-finite samples repaired at the shard boundary.
     pub fn total_repaired_samples(&self) -> u64 {
         self.shards.iter().map(|s| s.repaired_samples).sum()
     }
 
+    /// Samples dropped at the shard boundary.
     pub fn total_quarantined_samples(&self) -> u64 {
         self.shards.iter().map(|s| s.quarantined_samples).sum()
     }
 
+    /// Background refits that failed every attempt.
     pub fn total_refit_failures(&self) -> u64 {
         self.shards.iter().map(|s| s.refit_failures).sum()
     }
 
+    /// Background refits abandoned at the deadline.
     pub fn total_refit_timeouts(&self) -> u64 {
         self.shards.iter().map(|s| s.refit_timeouts).sum()
     }

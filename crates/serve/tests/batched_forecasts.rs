@@ -29,7 +29,7 @@ fn uni_config() -> PipelineConfig {
 }
 
 fn shared_service(config: ServiceConfig, entities: usize) -> (PredictionService, Vec<String>) {
-    let mut service = PredictionService::new(config);
+    let mut service = PredictionService::new(config).expect("spawn service");
     let frames: Vec<(String, TimeSeriesFrame)> = (0..entities)
         .map(|i| (format!("s_{i}"), bootstrap_frame(96, i as f32)))
         .collect();
@@ -90,7 +90,8 @@ fn shared_onboarding_rejects_duplicates_and_empty_fleets() {
         shards: 1,
         refit_workers: 0,
         ..Default::default()
-    });
+    })
+    .expect("spawn service");
     let err = service
         .add_entities_shared(&[], uni_config(), Box::new(NaiveForecaster::new()))
         .unwrap_err();

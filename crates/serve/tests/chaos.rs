@@ -40,7 +40,7 @@ fn sample(i: usize, phase: f32) -> Vec<f32> {
 }
 
 fn naive_service(config: ServiceConfig, entities: usize) -> PredictionService {
-    let mut service = PredictionService::new(config);
+    let mut service = PredictionService::new(config).expect("spawn service");
     for i in 0..entities {
         service
             .add_entity(

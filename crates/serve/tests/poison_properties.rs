@@ -114,7 +114,8 @@ proptest! {
             refit_workers: 0,
             ingest_guard: guard,
             ..Default::default()
-        });
+        })
+        .expect("spawn service");
         service
             .add_entity(
                 "c_0",

@@ -48,7 +48,7 @@ fn sample(i: usize, phase: f32) -> Vec<f32> {
 }
 
 fn naive_service(config: ServiceConfig, entities: usize) -> PredictionService {
-    let mut service = PredictionService::new(config);
+    let mut service = PredictionService::new(config).expect("spawn service");
     for i in 0..entities {
         service
             .add_entity(
@@ -205,7 +205,8 @@ fn fleet_checkpoint_restore_resumes_identical_forecasts() {
         shards: 2,
         refit_workers: 0,
         ..Default::default()
-    });
+    })
+    .expect("spawn service");
     // A mixed fleet: two real neural models plus naive fillers.
     for i in 0..2 {
         service

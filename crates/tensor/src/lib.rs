@@ -15,6 +15,10 @@
 //! primitives, so this crate carries the densest test coverage, including
 //! property-based tests in `tests/`.
 
+// No unsafe code today; the deny keeps any future unsafe fn honest about
+// scoping its operations into explicit, justified unsafe blocks.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod linalg;
 pub mod matmul;
 pub mod ops;

@@ -67,7 +67,8 @@ fn main() {
         refit_workers: 2,
         refit_every: 25,
         ..Default::default()
-    });
+    })
+    .expect("spawn service");
 
     println!("onboarding {ENTITIES} containers (4 RPTCN, rest persistence baseline)...");
     let start = Instant::now();

@@ -10,4 +10,13 @@ cd /root/repo
 ./target/release/table2_extended --entities 1 --quick --out experiments > experiments/table2_extended.txt 2>>experiments/progress.log
 ./target/release/fig2_cpu_boxplot --out experiments > experiments/fig2_cpu_boxplot.txt 2>>experiments/progress.log
 ./target/release/fig3_underused --out experiments > experiments/fig3_underused.txt 2>>experiments/progress.log
+./target/release/bench_infer --quick > experiments/bench_infer.txt 2>>experiments/progress.log
+# bench_infer must leave its machine-readable latency report behind; a
+# missing or empty file means the run silently produced nothing — fail loudly
+# instead of stamping TRIMMED_DONE over a broken run.
+if [ ! -s BENCH_infer.json ]; then
+    echo "FATAL: bench_infer produced no BENCH_infer.json" >&2
+    echo "FATAL: bench_infer produced no BENCH_infer.json" >> experiments/progress.log
+    exit 1
+fi
 echo TRIMMED_DONE >> experiments/progress.log
