@@ -2,7 +2,9 @@
 //! forecast latency at the paper configuration (RPTCN channels 16, levels
 //! 4, kernel 3; lookback 30), steady-state scratch-arena allocations per
 //! forecast, and streaming-push latency across lookback lengths (flat ⇒
-//! O(1) in window length). Emits `BENCH_infer.json` for the CI smoke job.
+//! O(1) in window length). Emits `BENCH_infer.json` for the CI smoke job;
+//! every timing loop also feeds an `obs` histogram, so the report carries
+//! full bucketed distributions alongside the exact sorted quantiles.
 //!
 //! Flags: `--quick` cuts iteration counts, `--seed` varies the weights.
 
@@ -12,6 +14,7 @@ use std::time::Instant;
 
 use bench_harness::ExperimentArgs;
 use models::{Forecaster, RptcnForecaster, StreamingRptcn};
+use obs::{Histogram, Registry};
 use tensor::{Rng, Tensor};
 
 const FEATURES: usize = 8;
@@ -24,13 +27,18 @@ fn quantiles(mut ns: Vec<u64>) -> (u64, u64) {
     (q(0.50), q(0.99))
 }
 
-/// Per-call latency quantiles `(p50, p99)` in nanoseconds.
-fn time_loop(iters: usize, mut f: impl FnMut()) -> (u64, u64) {
+/// Per-call latency quantiles `(p50, p99)` in nanoseconds, computed from
+/// the exact sorted samples. Each sample is also recorded into `hist`, so
+/// the emitted report can show the bucketed distribution next to the
+/// exact quantiles.
+fn time_loop(iters: usize, hist: &Histogram, mut f: impl FnMut()) -> (u64, u64) {
     let mut samples = Vec::with_capacity(iters);
     for _ in 0..iters {
         let t = Instant::now();
         f();
-        samples.push(t.elapsed().as_nanos() as u64);
+        let ns = t.elapsed().as_nanos() as u64;
+        hist.record(ns);
+        samples.push(ns);
     }
     quantiles(samples)
 }
@@ -39,6 +47,7 @@ fn main() {
     let args = ExperimentArgs::parse();
     let iters = if args.quick { 40 } else { 400 };
     let warmup = iters / 10 + 1;
+    let registry = Registry::new();
 
     let mut model = RptcnForecaster::paper_default();
     model.init_untrained(FEATURES, 1);
@@ -49,12 +58,13 @@ fn main() {
         black_box(model.predict(&x));
         black_box(model.predict_taped(&x));
     }
-    let (taped_p50, taped_p99) = time_loop(iters, || {
+    let (taped_p50, taped_p99) = time_loop(iters, &registry.latency_histogram("taped_ns"), || {
         black_box(model.predict_taped(&x));
     });
-    let (free_p50, free_p99) = time_loop(iters, || {
-        black_box(model.predict(&x));
-    });
+    let (free_p50, free_p99) =
+        time_loop(iters, &registry.latency_histogram("tape_free_ns"), || {
+            black_box(model.predict(&x));
+        });
     let speedup = taped_p50 as f64 / free_p50.max(1) as f64;
 
     // Steady-state heap traffic: after warm-up the thread-local arena
@@ -78,10 +88,12 @@ fn main() {
             stream.push(&history.as_slice()[t * FEATURES..(t + 1) * FEATURES]);
         }
         let sample: Vec<f32> = history.as_slice()[..FEATURES].to_vec();
-        let (push_p50, push_p99) = time_loop(iters, || {
+        let push_hist = registry.latency_histogram(&format!("push_ns.lookback{lookback}"));
+        let (push_p50, push_p99) = time_loop(iters, &push_hist, || {
             black_box(stream.push(&sample));
         });
-        let (batch_p50, _) = time_loop(warmup.max(10), || {
+        let batch_hist = registry.latency_histogram(&format!("batch_ns.lookback{lookback}"));
+        let (batch_p50, _) = time_loop(warmup.max(10), &batch_hist, || {
             black_box(model.predict(&history));
         });
         streaming.push((lookback, push_p50, push_p99, batch_p50));
@@ -116,7 +128,31 @@ fn main() {
         )
         .unwrap();
     }
-    writeln!(json, "  ]").unwrap();
+    writeln!(json, "  ],").unwrap();
+    // Bucketed distribution summaries from the obs histograms that every
+    // timing loop fed. The `*_p50`/`*_p99` fields above stay the exact
+    // sorted-sample quantiles; these add count/mean/max and bucket-resolved
+    // quantiles per instrument.
+    let snap = registry.snapshot();
+    writeln!(json, "  \"latency_histograms\": {{").unwrap();
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        let sep = if i + 1 == snap.histograms.len() {
+            ""
+        } else {
+            ","
+        };
+        writeln!(
+            json,
+            "    \"{name}\": {{\"count\": {}, \"mean_ns\": {:.0}, \"p50_le_ns\": {}, \"p99_le_ns\": {}, \"max_ns\": {}}}{sep}",
+            h.count,
+            h.mean().unwrap_or(0.0),
+            h.quantile(0.50).unwrap_or(0),
+            h.quantile(0.99).unwrap_or(0),
+            h.max.unwrap_or(0),
+        )
+        .unwrap();
+    }
+    writeln!(json, "  }}").unwrap();
     writeln!(json, "}}").unwrap();
 
     std::fs::write("BENCH_infer.json", &json).expect("write BENCH_infer.json");

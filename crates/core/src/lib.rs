@@ -11,6 +11,8 @@
 //!   monitoring samples, serves rolling forecasts and retrains periodically.
 //! * [`allocator`] — a prediction-driven [`allocator::CapacityPlanner`]
 //!   scoring over-/under-allocation, the use-case motivating the paper.
+//! * [`observe`] — spans and counters around the pipeline stages
+//!   ([`observe::PipelineObs`]), registered in a shared `obs::Registry`.
 //!
 //! ```
 //! use rptcn::{prepare, run_model, PipelineConfig, Scenario};
@@ -29,6 +31,7 @@
 pub mod allocator;
 pub mod evaluation;
 pub mod fleet;
+pub mod observe;
 pub mod pipeline;
 pub mod placement;
 pub mod predictor;
@@ -37,6 +40,7 @@ pub mod scenario;
 pub use allocator::{CapacityPlanner, PlannerConfig, PlannerStats};
 pub use evaluation::{rolling_origin, RollingOriginConfig, RollingOriginResult};
 pub use fleet::{EntityReport, FleetConfig, FleetService};
+pub use observe::PipelineObs;
 pub use pipeline::{
     prepare, run_model, FittedPreprocess, PipelineConfig, PipelineRun, PreparedData, ScalerScope,
 };

@@ -1,0 +1,36 @@
+//! `rptcn-obs` — the workspace's observability layer.
+//!
+//! Online-prediction systems are operated by their telemetry: latency
+//! percentiles, restart counters and fault trails are how an operator
+//! tells a healthy fleet from a limping one. This crate supplies that
+//! layer without pulling in a single external dependency:
+//!
+//! * **Metrics** ([`metrics`]): a [`Registry`] of named atomic
+//!   [`Counter`]s, [`Gauge`]s and fixed-bucket [`Histogram`]s. Recording
+//!   is allocation-free and lock-free — safe on the forecast hot path —
+//!   while snapshots walk the registry without stopping writers.
+//! * **Spans** ([`span`]): RAII timers that fold wall-clock durations
+//!   into a histogram through an injected [`Clock`], so span-based
+//!   latency tracking is testable with a virtual clock.
+//! * **Event journal** ([`journal`]): a bounded ring buffer of
+//!   operational events (shard restarts, degradations, refit rollbacks,
+//!   quarantines, batch forecasts) with entity/shard attribution —
+//!   queryable, lock-cheap, and deterministic under a [`SimClock`].
+//! * **Clocks** ([`clock`]): the [`Clock`] trait with a production
+//!   [`MonotonicClock`] and a manually-advanced [`SimClock`] that turns
+//!   every timing-dependent test deterministic and instant.
+//! * **Exporters** ([`export`]): text and JSON snapshot renderers with a
+//!   deterministic field order, plus a minimal JSON parser so snapshots
+//!   can be round-trip-checked without external crates.
+
+pub mod clock;
+pub mod export;
+pub mod journal;
+pub mod metrics;
+pub mod span;
+
+pub use clock::{Clock, MonotonicClock, SharedClock, SimClock};
+pub use export::{from_json, journal_text, parse_json, to_json, to_text, JsonValue};
+pub use journal::{Event, EventKind, Journal};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use span::Span;

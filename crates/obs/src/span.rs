@@ -1,0 +1,111 @@
+//! RAII timing spans.
+//!
+//! A [`Span`] reads the injected [`Clock`] once at start and folds the
+//! elapsed nanoseconds into a [`Histogram`] when it finishes (or is
+//! dropped). It borrows both — no `Arc` bumps, no allocation — so
+//! opening a span per forecast is free enough for the hot path, and
+//! because the duration comes from the injected clock, span timings are
+//! fully deterministic under a [`crate::SimClock`].
+
+use crate::clock::Clock;
+use crate::metrics::Histogram;
+
+/// An in-flight timed section. Records into its histogram exactly once:
+/// on [`Span::finish`], or on drop if neither `finish` nor
+/// [`Span::cancel`] was called.
+#[derive(Debug)]
+pub struct Span<'a> {
+    clock: &'a dyn Clock,
+    histogram: &'a Histogram,
+    started_nanos: u64,
+    armed: bool,
+}
+
+impl<'a> Span<'a> {
+    // hot-path: one clock read; borrows avoid refcount traffic and
+    // allocation.
+    /// Start timing now, against `clock`, recording into `histogram`.
+    pub fn start(clock: &'a dyn Clock, histogram: &'a Histogram) -> Self {
+        Self {
+            clock,
+            histogram,
+            started_nanos: clock.now_nanos(),
+            armed: true,
+        }
+    }
+
+    // hot-path: one clock read plus arithmetic.
+    /// Nanoseconds elapsed so far without ending the span.
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.clock.now_nanos().saturating_sub(self.started_nanos)
+    }
+
+    // hot-path: one clock read and one histogram record.
+    /// End the span, record its duration, and return the elapsed
+    /// nanoseconds.
+    pub fn finish(mut self) -> u64 {
+        let elapsed = self.elapsed_nanos();
+        self.armed = false;
+        self.histogram.record(elapsed);
+        elapsed
+    }
+
+    /// End the span without recording — for sections that failed in a
+    /// way that would pollute the latency distribution.
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Span<'_> {
+    // hot-path: records only if the span was neither finished nor
+    // cancelled.
+    fn drop(&mut self) {
+        if self.armed {
+            self.histogram
+                .record(self.clock.now_nanos().saturating_sub(self.started_nanos));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use std::time::Duration;
+
+    #[test]
+    fn finish_records_the_virtual_elapsed_time() {
+        let clock = SimClock::new();
+        let h = Histogram::latency();
+        let span = Span::start(&clock, &h);
+        clock.advance(Duration::from_micros(150));
+        assert_eq!(span.elapsed_nanos(), 150_000);
+        assert_eq!(span.finish(), 150_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, Some(150_000));
+    }
+
+    #[test]
+    fn drop_records_once_and_cancel_records_nothing() {
+        let clock = SimClock::new();
+        let h = Histogram::latency();
+        {
+            let _span = Span::start(&clock, &h);
+            clock.advance(Duration::from_micros(5));
+        }
+        assert_eq!(h.count(), 1, "drop records");
+        let span = Span::start(&clock, &h);
+        clock.advance(Duration::from_micros(5));
+        span.cancel();
+        assert_eq!(h.count(), 1, "cancel does not record");
+        let span = Span::start(&clock, &h);
+        span.finish();
+        assert_eq!(
+            h.count(),
+            2,
+            "finish records exactly once (no double on drop)"
+        );
+    }
+}

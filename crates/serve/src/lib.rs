@@ -30,7 +30,10 @@
 //!   file, and restored services resume bit-identical forecasts.
 //! - **Observability** ([`stats`]): per-shard ingest/forecast/refit
 //!   counters, restart/degraded/quarantine counters, queue depths, latency
-//!   percentiles and rolling online accuracy.
+//!   histograms and rolling online accuracy — all registered in an
+//!   `obs::Registry` (exportable as text/JSON), with a bounded
+//!   `obs::Journal` of operational events and an injectable `obs::Clock`
+//!   so every timing-dependent test can run on virtual time.
 
 pub mod checkpoint;
 pub mod error;

@@ -13,13 +13,13 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::Path;
-use std::sync::atomic::Ordering;
 use std::sync::mpsc::{channel, sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use models::Forecaster;
+use obs::{EventKind, Journal, MetricsSnapshot, MonotonicClock, Registry, SharedClock};
 use rptcn::{new_shared_group, PipelineConfig, PipelineRun, ResourcePredictor};
 use timeseries::TimeSeriesFrame;
 
@@ -96,8 +96,13 @@ pub struct ServiceConfig {
     /// Issue a rolling one-step forecast on every ingest and score it
     /// against the next sample (feeds `rolling_mae` / `rolling_mse`).
     pub score_on_ingest: bool,
-    /// Retained window of forecast latencies per shard.
-    pub latency_window: usize,
+    /// Time source for every latency span, refit backoff/deadline and
+    /// injected stall. Production uses the default monotonic clock; tests
+    /// inject an [`obs::SimClock`] to advance time by hand.
+    pub clock: SharedClock,
+    /// Capacity of the service's bounded event journal (operational
+    /// events: restarts, degradations, quarantines, refit outcomes).
+    pub journal_capacity: usize,
     /// Shard-boundary policy for invalid samples.
     pub ingest_guard: IngestGuard,
     /// Retry/backoff/deadline policy for background refits.
@@ -116,7 +121,8 @@ impl Default for ServiceConfig {
             refit_every: 0,
             backpressure: Backpressure::Block,
             score_on_ingest: true,
-            latency_window: 1024,
+            clock: MonotonicClock::shared(),
+            journal_capacity: 1024,
             ingest_guard: IngestGuard::Repair,
             refit_policy: RefitPolicy::default(),
             faults: None,
@@ -130,6 +136,8 @@ pub struct PredictionService {
     ids: BTreeSet<String>,
     shard_txs: Vec<SyncSender<ShardMsg>>,
     stats: Vec<Arc<ShardStatsCore>>,
+    registry: Arc<Registry>,
+    journal: Arc<Journal>,
     shard_handles: Vec<JoinHandle<()>>,
     refit_handles: Vec<JoinHandle<()>>,
 }
@@ -156,15 +164,20 @@ impl PredictionService {
             config.refit_workers
         };
 
+        let registry = Arc::new(Registry::new());
+        let journal = Arc::new(Journal::new(config.journal_capacity));
+
         let mut shard_txs = Vec::with_capacity(config.shards);
         let mut stats = Vec::with_capacity(config.shards);
         let mut shard_handles = Vec::with_capacity(config.shards);
         for shard_id in 0..config.shards {
             let (tx, rx) = sync_channel::<ShardMsg>(config.queue_capacity);
-            let core = Arc::new(ShardStatsCore::new(config.latency_window));
+            let core = Arc::new(ShardStatsCore::new(&registry, shard_id));
             let ctx = ShardContext {
                 shard_id,
                 stats: Arc::clone(&core),
+                clock: Arc::clone(&config.clock),
+                journal: Arc::clone(&journal),
                 refit_tx: refit_tx.clone(),
                 refit_every: config.refit_every,
                 refit_enabled: workers > 0,
@@ -195,9 +208,10 @@ impl PredictionService {
             let pool = pool.clone();
             let policy = config.refit_policy.clone();
             let faults = config.faults.clone();
+            let clock = Arc::clone(&config.clock);
             let handle = thread::Builder::new()
                 .name(format!("serve-refit-{w}"))
-                .spawn(move || run_refit_worker(rx, pool, policy, faults))
+                .spawn(move || run_refit_worker(rx, pool, policy, faults, clock))
                 .map_err(|e| ServeError::Spawn(format!("refit worker {w}: {e}")))?;
             refit_handles.push(handle);
         }
@@ -207,6 +221,8 @@ impl PredictionService {
             ids: BTreeSet::new(),
             shard_txs,
             stats,
+            registry,
+            journal,
             shard_handles,
             refit_handles,
         })
@@ -324,25 +340,26 @@ impl PredictionService {
         match self.config.backpressure {
             Backpressure::Block => self.send_blocking(shard, msg),
             Backpressure::Reject => {
-                self.stats[shard]
-                    .queue_depth
-                    .fetch_add(1, Ordering::Relaxed);
+                self.stats[shard].queue_depth.inc();
                 match self.shard_txs[shard].try_send(msg) {
                     Ok(()) => Ok(()),
                     Err(TrySendError::Full(_)) => {
-                        self.stats[shard]
-                            .queue_depth
-                            .fetch_sub(1, Ordering::Relaxed);
-                        self.stats[shard].rejected.fetch_add(1, Ordering::Relaxed);
+                        self.stats[shard].queue_depth.dec();
+                        self.stats[shard].rejected.inc();
+                        self.journal.emit(
+                            self.config.clock.now_nanos(),
+                            EventKind::QueueRejected,
+                            Some(shard),
+                            Some(id),
+                            "ingest rejected: shard queue full".to_string(),
+                        );
                         Err(ServeError::QueueFull {
                             shard,
                             entity: id.to_string(),
                         })
                     }
                     Err(TrySendError::Disconnected(_)) => {
-                        self.stats[shard]
-                            .queue_depth
-                            .fetch_sub(1, Ordering::Relaxed);
+                        self.stats[shard].queue_depth.dec();
                         Err(ServeError::ShardDown(shard))
                     }
                 }
@@ -451,6 +468,25 @@ impl PredictionService {
         }
     }
 
+    /// The service's bounded event journal: shard restarts, degradations,
+    /// quarantines, refit outcomes and batch forecasts, with shard and
+    /// entity attribution.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The metrics registry backing [`PredictionService::stats`]; useful
+    /// for registering service-adjacent metrics under the same export.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Point-in-time copy of every registered metric, ready for
+    /// `obs::to_text` / `obs::to_json`.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
     /// Entity ids currently served, sorted.
     pub fn entity_ids(&self) -> Vec<String> {
         self.ids.iter().cloned().collect()
@@ -507,13 +543,9 @@ impl PredictionService {
     /// send path increments `queue_depth` first; the shard decrements once
     /// per received message — so depth is never transiently negative.
     fn send_blocking(&self, shard: usize, msg: ShardMsg) -> Result<(), ServeError> {
-        self.stats[shard]
-            .queue_depth
-            .fetch_add(1, Ordering::Relaxed);
+        self.stats[shard].queue_depth.inc();
         self.shard_txs[shard].send(msg).map_err(|_| {
-            self.stats[shard]
-                .queue_depth
-                .fetch_sub(1, Ordering::Relaxed);
+            self.stats[shard].queue_depth.dec();
             ServeError::ShardDown(shard)
         })
     }
@@ -525,13 +557,9 @@ impl Drop for PredictionService {
         // senders, refit workers hold shard senders. Shards exit on the
         // marker, which closes the refit channel, which drains the pool.
         for shard in 0..self.shard_txs.len() {
-            self.stats[shard]
-                .queue_depth
-                .fetch_add(1, Ordering::Relaxed);
+            self.stats[shard].queue_depth.inc();
             if self.shard_txs[shard].send(ShardMsg::Shutdown).is_err() {
-                self.stats[shard]
-                    .queue_depth
-                    .fetch_sub(1, Ordering::Relaxed);
+                self.stats[shard].queue_depth.dec();
             }
         }
         self.shard_txs.clear();

@@ -17,17 +17,23 @@
 //! keeps serving from the old model (or fallback); the freshly trained
 //! replacement arrives later as [`ShardMsg::RefitDone`] and is validated
 //! before being swapped in between messages.
+//!
+//! Every timing decision goes through the injected [`obs::Clock`] (span
+//! durations, refit backoff and deadlines, injected stalls), and every
+//! fault-path transition — quarantine, repair, degradation, refit
+//! outcome, batch forecast — is recorded in the service's
+//! [`obs::Journal`] with shard and entity attribution.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::Duration;
 
 use models::checkpoint::{forecaster_like, ModelState};
 use models::Forecaster;
+use obs::{EventKind, Journal, SharedClock, Span};
 use rptcn::{
     prepare, run_model, FittedPreprocess, PipelineConfig, PredictorState, ResourcePredictor,
 };
@@ -48,6 +54,12 @@ pub(crate) type ForecastReplies = Vec<(String, Result<Vec<f32>, ServeError>)>;
 /// forward-fill samples are inserted to keep window continuity (the
 /// paper's cleaning step caps how much missing data is worth repairing).
 const MAX_GAP_FILL: u64 = 4;
+
+/// Real-time slice the refit watchdog waits per poll while comparing the
+/// attempt's elapsed time — measured on the injected clock — against the
+/// deadline. Small enough that a virtual-clock timeout is noticed almost
+/// immediately, large enough not to spin.
+const WATCHDOG_POLL: Duration = Duration::from_millis(2);
 
 /// Everything a shard worker can be asked to do.
 pub(crate) enum ShardMsg {
@@ -138,6 +150,12 @@ pub(crate) struct EntitySlot {
 pub(crate) struct ShardContext {
     pub shard_id: usize,
     pub stats: Arc<ShardStatsCore>,
+    /// Time source for spans, stalls and refit pacing — the production
+    /// monotonic clock, or a `SimClock` in deterministic tests.
+    pub clock: SharedClock,
+    /// Fleet-wide event journal; every entry this shard writes carries its
+    /// shard id.
+    pub journal: Arc<Journal>,
     pub refit_tx: Sender<RefitJob>,
     /// Dispatch a background refit after this many samples per entity
     /// (0 disables periodic refits).
@@ -153,6 +171,19 @@ pub(crate) struct ShardContext {
     pub faults: Option<FaultPlan>,
 }
 
+impl ShardContext {
+    /// Record a journal event attributed to this shard.
+    pub(crate) fn note(&self, kind: EventKind, entity: Option<&str>, detail: String) {
+        self.journal.emit(
+            self.clock.now_nanos(),
+            kind,
+            Some(self.shard_id),
+            entity,
+            detail,
+        );
+    }
+}
+
 /// One pass of the shard message loop. Runs until every sender is dropped
 /// or `Shutdown` arrives; panics unwind into the supervisor, which records
 /// the entity named in `current` as the culprit and restarts the loop with
@@ -164,13 +195,16 @@ pub(crate) fn shard_loop(
     current: &mut Option<String>,
 ) {
     while let Ok(msg) = rx.recv() {
-        ctx.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        ctx.stats.queue_depth.dec();
         if let Some(stall) = ctx
             .faults
             .as_ref()
             .and_then(|p| p.message_stall(ctx.shard_id))
         {
-            std::thread::sleep(stall);
+            // Stalls wait on the injected clock like every other delay.
+            // Backpressure tests that need the bounded queue to genuinely
+            // fill keep the production clock, where this is a real sleep.
+            ctx.clock.sleep(stall);
         }
         match msg {
             ShardMsg::Install {
@@ -252,7 +286,7 @@ fn install_entity(
                 last_error: None,
                 horizon,
             });
-            ctx.stats.entities.fetch_add(1, Ordering::Relaxed);
+            ctx.stats.entities.inc();
             Ok(())
         }
     }
@@ -266,13 +300,14 @@ fn ingest_sample(
     mut sample: Vec<f32>,
     seq: Option<u64>,
 ) {
+    // Records into the ingest histogram on every exit path, including the
+    // quarantine early-returns.
+    let _span = Span::start(&*ctx.clock, &ctx.stats.ingest_ns);
     let Some(slot) = slots.get_mut(&id) else {
         // No slot means no history to fabricate a forecast from: count the
         // orphan here; the next forecast for this id surfaces
         // `ServeError::UnknownEntity` to the caller.
-        ctx.stats
-            .unknown_entity_ingests
-            .fetch_add(1, Ordering::Relaxed);
+        ctx.stats.unknown_entity_ingests.inc();
         return;
     };
     *current = Some(id.clone());
@@ -282,9 +317,16 @@ fn ingest_sample(
 
     // Guardrail 1: arity. A sample of the wrong width cannot be repaired.
     if sample.len() != slot.predictor.column_names().len() {
-        ctx.stats
-            .quarantined_samples
-            .fetch_add(1, Ordering::Relaxed);
+        ctx.stats.quarantined_samples.inc();
+        ctx.note(
+            EventKind::Quarantined,
+            Some(&id),
+            format!(
+                "sample arity {} != {}",
+                sample.len(),
+                slot.predictor.column_names().len()
+            ),
+        );
         return;
     }
 
@@ -294,14 +336,17 @@ fn ingest_sample(
     if let Some(seq) = seq {
         match slot.next_seq {
             Some(expected) if seq < expected => {
-                ctx.stats
-                    .quarantined_samples
-                    .fetch_add(1, Ordering::Relaxed);
+                ctx.stats.quarantined_samples.inc();
+                ctx.note(
+                    EventKind::Quarantined,
+                    Some(&id),
+                    format!("stale sequence replay: got {seq}, expected {expected}"),
+                );
                 return;
             }
             Some(expected) if seq > expected => {
                 let missed = seq - expected;
-                ctx.stats.gap_samples.fetch_add(missed, Ordering::Relaxed);
+                ctx.stats.gap_samples.add(missed);
                 if ctx.ingest_guard == IngestGuard::Repair {
                     if let Some(fill) = slot.last_valid.clone() {
                         for _ in 0..missed.min(MAX_GAP_FILL) {
@@ -330,11 +375,19 @@ fn ingest_sample(
             _ => false,
         };
         if repaired {
-            ctx.stats.repaired_samples.fetch_add(1, Ordering::Relaxed);
+            ctx.stats.repaired_samples.inc();
+            ctx.note(
+                EventKind::Repaired,
+                Some(&id),
+                "non-finite values forward-filled from last valid sample".to_string(),
+            );
         } else {
-            ctx.stats
-                .quarantined_samples
-                .fetch_add(1, Ordering::Relaxed);
+            ctx.stats.quarantined_samples.inc();
+            ctx.note(
+                EventKind::Quarantined,
+                Some(&id),
+                "unrepairable non-finite sample".to_string(),
+            );
             return;
         }
     }
@@ -347,39 +400,43 @@ fn ingest_sample(
         }
     }
     if slot.predictor.observe(&sample).is_err() {
-        ctx.stats
-            .quarantined_samples
-            .fetch_add(1, Ordering::Relaxed);
+        ctx.stats.quarantined_samples.inc();
+        ctx.note(
+            EventKind::Quarantined,
+            Some(&id),
+            "history rejected the sample".to_string(),
+        );
         return;
     }
     if let Some(col) = slot.target_column {
         slot.fallback.observe(sample[col]);
     }
     slot.last_valid = Some(sample);
-    ctx.stats.ingested.fetch_add(1, Ordering::Relaxed);
+    ctx.stats.ingested.inc();
     slot.samples_since_refit += 1;
     if ctx.refit_every > 0 && slot.samples_since_refit >= ctx.refit_every && !slot.refit_in_flight {
         dispatch_refit(ctx, &id, slot);
     }
     if ctx.score_on_ingest {
-        slot.pending = rolling_forecast(ctx, slot).map(|fc| fc[0]);
+        slot.pending = rolling_forecast(ctx, &id, slot).map(|fc| fc[0]);
     }
 }
 
 /// One-step forecast for ingest-time scoring: model when healthy (guarded
 /// against panics and non-finite output), fallback otherwise — so the
 /// rolling accuracy of degraded entities tracks what they actually serve.
-fn rolling_forecast(ctx: &ShardContext, slot: &mut EntitySlot) -> Option<Vec<f32>> {
+fn rolling_forecast(ctx: &ShardContext, id: &str, slot: &mut EntitySlot) -> Option<Vec<f32>> {
     if slot.health == EntityHealth::Healthy {
         match catch_unwind(AssertUnwindSafe(|| slot.predictor.forecast())) {
             Ok(Ok(fc)) if !fc.is_empty() && fc.iter().all(|v| v.is_finite()) => return Some(fc),
             Ok(Ok(fc)) => degrade(
                 ctx,
+                id,
                 slot,
                 ServeError::Frame(format!("non-finite rolling forecast {fc:?}")),
             ),
-            Ok(Err(e)) => degrade(ctx, slot, ServeError::from(e)),
-            Err(_) => degrade(ctx, slot, ServeError::Frame("model panicked".into())),
+            Ok(Err(e)) => degrade(ctx, id, slot, ServeError::from(e)),
+            Err(_) => degrade(ctx, id, slot, ServeError::Frame("model panicked".into())),
         }
     }
     slot.fallback.forecast(slot.horizon)
@@ -443,7 +500,7 @@ fn forecast_many(
             *current = None;
             continue;
         }
-        let started = Instant::now();
+        let batch_started = ctx.clock.now_nanos();
         let rows = members.len();
         let mut stacked = Vec::with_capacity(rows * window * features);
         for (_, x) in &members {
@@ -474,8 +531,13 @@ fn forecast_many(
                 continue;
             }
         };
-        ctx.stats.batch_calls.fetch_add(1, Ordering::Relaxed);
-        let per_entity_nanos = started.elapsed().as_nanos() as u64 / rows as u64;
+        ctx.stats.batch_calls.inc();
+        let per_entity_nanos = ctx.clock.now_nanos().saturating_sub(batch_started) / rows as u64;
+        ctx.note(
+            EventKind::BatchForecast,
+            None,
+            format!("{rows} entities answered by one engine call"),
+        );
         let horizon = pred.shape()[1];
         members.sort_by_key(|(idx, _)| *idx);
         for (row, (idx, _)) in members.iter().enumerate() {
@@ -491,15 +553,16 @@ fn forecast_many(
             };
             let fc = slot.predictor.denormalize_forecast(normalized);
             if !fc.is_empty() && fc.iter().all(|v| v.is_finite()) {
-                ctx.stats.forecasts.fetch_add(1, Ordering::Relaxed);
-                ctx.stats.batched_forecasts.fetch_add(1, Ordering::Relaxed);
-                lock_recover(&ctx.stats.latency).record(per_entity_nanos);
+                ctx.stats.forecasts.inc();
+                ctx.stats.batched_forecasts.inc();
+                ctx.stats.forecast_ns.record(per_entity_nanos);
                 replies[*idx] = Some(Ok(fc));
             } else {
                 // A bad row degrades only its own entity; the shared
                 // fallback machinery answers, mirroring `forecast_entity`.
                 degrade(
                     ctx,
+                    id,
                     slot,
                     ServeError::Frame(format!("non-finite forecast {fc:?}")),
                 );
@@ -508,9 +571,9 @@ fn forecast_many(
                 }
                 replies[*idx] = Some(match slot.fallback.forecast(slot.horizon) {
                     Some(fb) => {
-                        ctx.stats.fallback_forecasts.fetch_add(1, Ordering::Relaxed);
-                        ctx.stats.forecasts.fetch_add(1, Ordering::Relaxed);
-                        lock_recover(&ctx.stats.latency).record(per_entity_nanos);
+                        ctx.stats.fallback_forecasts.inc();
+                        ctx.stats.forecasts.inc();
+                        ctx.stats.forecast_ns.record(per_entity_nanos);
                         Ok(fb)
                     }
                     None => Err(ServeError::Poisoned(id.clone())),
@@ -531,17 +594,21 @@ fn forecast_many(
         .collect()
 }
 
-/// Per-entity forecast with the original timing and counter accounting.
+/// Per-entity forecast with the original timing and counter accounting:
+/// successful forecasts finish a span into the latency histogram, failed
+/// ones cancel it so errors never skew the percentiles.
 fn forecast_one(
     ctx: &ShardContext,
     slots: &mut HashMap<String, EntitySlot>,
     id: &str,
 ) -> Result<Vec<f32>, ServeError> {
-    let started = Instant::now();
+    let span = Span::start(&*ctx.clock, &ctx.stats.forecast_ns);
     let res = forecast_entity(ctx, slots, id);
     if res.is_ok() {
-        ctx.stats.forecasts.fetch_add(1, Ordering::Relaxed);
-        lock_recover(&ctx.stats.latency).record(started.elapsed().as_nanos() as u64);
+        ctx.stats.forecasts.inc();
+        span.finish();
+    } else {
+        span.cancel();
     }
     res
 }
@@ -563,11 +630,12 @@ fn forecast_entity(
             Ok(Ok(fc)) if !fc.is_empty() && fc.iter().all(|v| v.is_finite()) => return Ok(fc),
             Ok(Ok(fc)) => degrade(
                 ctx,
+                id,
                 slot,
                 ServeError::Frame(format!("non-finite forecast {fc:?}")),
             ),
-            Ok(Err(e)) => degrade(ctx, slot, ServeError::from(e)),
-            Err(_) => degrade(ctx, slot, ServeError::Frame("model panicked".into())),
+            Ok(Err(e)) => degrade(ctx, id, slot, ServeError::from(e)),
+            Err(_) => degrade(ctx, id, slot, ServeError::Frame("model panicked".into())),
         }
         if ctx.refit_enabled && !slot.refit_in_flight {
             dispatch_refit(ctx, id, slot);
@@ -575,18 +643,20 @@ fn forecast_entity(
     }
     match slot.fallback.forecast(slot.horizon) {
         Some(fc) => {
-            ctx.stats.fallback_forecasts.fetch_add(1, Ordering::Relaxed);
+            ctx.stats.fallback_forecasts.inc();
             Ok(fc)
         }
         None => Err(ServeError::Poisoned(id.to_string())),
     }
 }
 
-/// Flip an entity into degraded mode (idempotent) and remember why.
-pub(crate) fn degrade(ctx: &ShardContext, slot: &mut EntitySlot, reason: ServeError) {
+/// Flip an entity into degraded mode (idempotent) and remember why. The
+/// transition — not every repeated failure — is journalled.
+pub(crate) fn degrade(ctx: &ShardContext, id: &str, slot: &mut EntitySlot, reason: ServeError) {
     if slot.health == EntityHealth::Healthy {
         slot.health = EntityHealth::Degraded;
-        ctx.stats.degraded.fetch_add(1, Ordering::Relaxed);
+        ctx.stats.degraded.inc();
+        ctx.note(EventKind::Degraded, Some(id), reason.to_string());
     }
     slot.last_error = Some(reason);
 }
@@ -605,27 +675,48 @@ fn apply_refit_outcome(
         RefitOutcome::Replaced(model, preprocess) => {
             match slot.predictor.try_install_refit(model, preprocess) {
                 Ok(()) => {
-                    ctx.stats.refits_completed.fetch_add(1, Ordering::Relaxed);
+                    ctx.stats.refits_completed.inc();
+                    ctx.note(
+                        EventKind::RefitCompleted,
+                        Some(id),
+                        "replacement validated and swapped in".to_string(),
+                    );
                     if slot.health == EntityHealth::Degraded {
                         slot.health = EntityHealth::Healthy;
-                        ctx.stats.degraded.fetch_sub(1, Ordering::Relaxed);
+                        ctx.stats.degraded.dec();
                         slot.last_error = None;
+                        ctx.note(
+                            EventKind::Recovered,
+                            Some(id),
+                            "clean refit restored the model".to_string(),
+                        );
                     }
                 }
                 Err(e) => {
-                    ctx.stats.refits_rejected.fetch_add(1, Ordering::Relaxed);
+                    ctx.stats.refits_rejected.inc();
+                    ctx.note(EventKind::RefitRollback, Some(id), e.0.clone());
                     slot.last_error = Some(ServeError::Frame(e.0));
                 }
             }
         }
         RefitOutcome::Failed => {
-            ctx.stats.refit_failures.fetch_add(1, Ordering::Relaxed);
+            ctx.stats.refit_failures.inc();
+            ctx.note(
+                EventKind::RefitFailed,
+                Some(id),
+                "every training attempt failed".to_string(),
+            );
             slot.last_error = Some(ServeError::Frame(format!(
                 "background refit for `{id}` failed"
             )));
         }
         RefitOutcome::TimedOut => {
-            ctx.stats.refit_timeouts.fetch_add(1, Ordering::Relaxed);
+            ctx.stats.refit_timeouts.inc();
+            ctx.note(
+                EventKind::RefitTimedOut,
+                Some(id),
+                "last attempt exceeded the refit deadline".to_string(),
+            );
             slot.last_error = Some(ServeError::RefitTimeout {
                 entity: id.to_string(),
             });
@@ -656,7 +747,7 @@ pub(crate) fn dispatch_refit(ctx: &ShardContext, id: &str, slot: &mut EntitySlot
     if ctx.refit_tx.send(job).is_ok() {
         slot.refit_in_flight = true;
         slot.samples_since_refit = 0;
-        ctx.stats.refits_started.fetch_add(1, Ordering::Relaxed);
+        ctx.stats.refits_started.inc();
     }
 }
 
@@ -678,13 +769,16 @@ fn snapshot_all(
 
 /// A refit-pool worker: pulls jobs, trains a fresh model of the same
 /// architecture on the shipped history (with retries, bounded exponential
-/// backoff and an optional per-attempt deadline), and posts the outcome
-/// back to the owning shard. Exits when the job channel closes.
+/// backoff and an optional per-attempt deadline, all paced on the injected
+/// clock), and posts the outcome back to the owning shard. Each job's
+/// end-to-end duration lands in the shard's `refit_ns` histogram. Exits
+/// when the job channel closes.
 pub(crate) fn run_refit_worker(
     rx: Arc<Mutex<Receiver<RefitJob>>>,
     shards: Vec<(SyncSender<ShardMsg>, Arc<ShardStatsCore>)>,
     policy: RefitPolicy,
     faults: Option<FaultPlan>,
+    clock: SharedClock,
 ) {
     loop {
         // Hold the lock only while waiting: workers take turns receiving,
@@ -693,9 +787,11 @@ pub(crate) fn run_refit_worker(
             Ok(job) => job,
             Err(_) => return,
         };
-        let outcome = execute_refit(&job, &policy, faults.as_ref());
         let (tx, stats) = &shards[job.shard];
-        stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let span = Span::start(&*clock, &stats.refit_ns);
+        let outcome = execute_refit(&job, &policy, faults.as_ref(), &clock);
+        span.finish();
+        stats.queue_depth.inc();
         if tx
             .send(ShardMsg::RefitDone {
                 id: job.entity,
@@ -704,7 +800,7 @@ pub(crate) fn run_refit_worker(
             .is_err()
         {
             // Shard already gone: service is shutting down.
-            stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            stats.queue_depth.dec();
             return;
         }
     }
@@ -713,8 +809,14 @@ pub(crate) fn run_refit_worker(
 /// Run a job through the retry policy: every attempt is panic-guarded and
 /// (when a deadline is set) abandoned if it exceeds it; failures back off
 /// exponentially up to `backoff_max` so a struggling entity cannot hog the
-/// pool.
-fn execute_refit(job: &RefitJob, policy: &RefitPolicy, faults: Option<&FaultPlan>) -> RefitOutcome {
+/// pool. Backoff waits on the injected clock, so a `SimClock` turns the
+/// whole retry ladder instant.
+fn execute_refit(
+    job: &RefitJob,
+    policy: &RefitPolicy,
+    faults: Option<&FaultPlan>,
+    clock: &SharedClock,
+) -> RefitOutcome {
     let fault = faults.and_then(|p| p.refit_fault(&job.entity));
     let mut timed_out = false;
     for attempt in 0..policy.max_attempts.max(1) {
@@ -724,7 +826,7 @@ fn execute_refit(job: &RefitJob, policy: &RefitPolicy, faults: Option<&FaultPlan
                 .backoff
                 .saturating_mul(1u32 << shift)
                 .min(policy.backoff_max);
-            std::thread::sleep(backoff);
+            clock.sleep(backoff);
         }
         if fault == Some(RefitFault::Fail) {
             continue;
@@ -733,7 +835,7 @@ fn execute_refit(job: &RefitJob, policy: &RefitPolicy, faults: Option<&FaultPlan
             Some(RefitFault::Slow(d)) => Some(d),
             _ => None,
         };
-        match attempt_refit(job, delay, policy.timeout) {
+        match attempt_refit(job, delay, policy.timeout, clock) {
             Ok(Some(replacement)) => return RefitOutcome::Replaced(replacement.0, replacement.1),
             Ok(None) => continue,
             Err(AttemptTimedOut) => {
@@ -755,38 +857,58 @@ type Replacement = (Box<dyn Forecaster + Send>, FittedPreprocess);
 
 /// One training attempt. Panics are contained (a crashing `fit` is a
 /// failed attempt, not a dead pool worker). With a deadline, training runs
-/// on a watchdog thread and is abandoned — its result discarded — once the
-/// deadline passes, so a wedged job cannot stall the refit cadence.
+/// on a watchdog thread; the watchdog compares elapsed time *on the
+/// injected clock* against the deadline in short real-time polls, so a
+/// virtually-delayed attempt under a `SimClock` times out deterministically
+/// and without real waiting. A result that arrives after its (clock-time)
+/// deadline is discarded as timed out, never installed.
 fn attempt_refit(
     job: &RefitJob,
-    injected_delay: Option<std::time::Duration>,
-    timeout: Option<std::time::Duration>,
+    injected_delay: Option<Duration>,
+    timeout: Option<Duration>,
+    clock: &SharedClock,
 ) -> Result<Option<Replacement>, AttemptTimedOut> {
     match timeout {
         None => {
             if let Some(d) = injected_delay {
-                std::thread::sleep(d);
+                clock.sleep(d);
             }
             Ok(catch_unwind(AssertUnwindSafe(|| train_replacement(job))).unwrap_or(None))
         }
         Some(deadline) => {
             let owned = job.clone();
             let (tx, rx) = std::sync::mpsc::sync_channel(1);
+            let attempt_clock = Arc::clone(clock);
+            // Stamp the start *before* spawning: the attempt thread may
+            // advance a `SimClock` (injected delay) before this thread
+            // runs again, and that advance must count as elapsed time.
+            let started = clock.now_nanos();
             std::thread::Builder::new()
                 .name(format!("serve-refit-attempt-{}", owned.entity))
                 .spawn(move || {
                     if let Some(d) = injected_delay {
-                        std::thread::sleep(d);
+                        attempt_clock.sleep(d);
                     }
                     let out = catch_unwind(AssertUnwindSafe(|| train_replacement(&owned)))
                         .unwrap_or(None);
                     let _ = tx.send(out);
                 })
                 .map_err(|_| AttemptTimedOut)?;
-            match rx.recv_timeout(deadline) {
-                Ok(out) => Ok(out),
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-                    Err(AttemptTimedOut)
+            let deadline_nanos = deadline.as_nanos() as u64;
+            let over_deadline =
+                |clock: &SharedClock| clock.now_nanos().saturating_sub(started) > deadline_nanos;
+            loop {
+                match rx.recv_timeout(WATCHDOG_POLL.min(deadline)) {
+                    // Late results are discarded even though they arrived:
+                    // in clock time the attempt overran its deadline.
+                    Ok(_) if over_deadline(clock) => return Err(AttemptTimedOut),
+                    Ok(out) => return Ok(out),
+                    Err(RecvTimeoutError::Timeout) => {
+                        if over_deadline(clock) {
+                            return Err(AttemptTimedOut);
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return Err(AttemptTimedOut),
                 }
             }
         }

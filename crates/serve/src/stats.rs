@@ -1,17 +1,23 @@
 //! Service observability: per-shard counters, forecast-latency percentiles
 //! and rolling online accuracy, all readable without stopping the shards.
 //!
-//! The shard worker owns the hot path, so every write here is either a
-//! relaxed atomic increment or a short mutex hold on data only the shard
-//! thread writes — the stats reader never contends with ingestion.
+//! Counters, gauges and latency histograms are `obs` metrics registered
+//! in the service's [`obs::Registry`] under `shard{N}.*` names, so the
+//! whole fleet can be exported as one snapshot (`obs::to_text` /
+//! `obs::to_json`) while this module keeps serving the typed
+//! [`ShardStats`] view. The shard worker owns the hot path, so every
+//! write here is either a relaxed atomic op on an `obs` handle or a short
+//! mutex hold on data only the shard thread writes — the stats reader
+//! never contends with ingestion.
 //!
 //! Fault-tolerance counters live here too: shard restarts, entities in
 //! degraded mode, fallback forecasts, repaired/quarantined samples and
 //! refit failures/timeouts — everything an operator needs to see whether
 //! the fleet is healthy or limping.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use obs::{Counter, Gauge, Histogram, Registry};
 
 /// Serving health of one entity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,53 +34,6 @@ pub enum EntityHealth {
 /// counter accumulator and stays usable after an unwind.
 pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner()) // lint: allow(r4) — the one blessed bare lock
-}
-
-/// Fixed-size ring of recent forecast latencies (nanoseconds).
-#[derive(Debug)]
-pub struct LatencyRing {
-    buf: Vec<u64>,
-    next: usize,
-    filled: usize,
-}
-
-impl LatencyRing {
-    /// A ring retaining the latest `capacity` samples (at least one).
-    pub fn new(capacity: usize) -> Self {
-        Self {
-            buf: vec![0; capacity.max(1)],
-            next: 0,
-            filled: 0,
-        }
-    }
-
-    /// Push one latency sample, evicting the oldest once full.
-    pub fn record(&mut self, nanos: u64) {
-        self.buf[self.next] = nanos;
-        self.next = (self.next + 1) % self.buf.len();
-        self.filled = (self.filled + 1).min(self.buf.len());
-    }
-
-    /// The `q`-quantile (0.0–1.0) over the retained window, nearest-rank.
-    pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.filled == 0 {
-            return None;
-        }
-        let mut window: Vec<u64> = self.buf[..self.filled].to_vec();
-        window.sort_unstable();
-        let rank = ((q.clamp(0.0, 1.0) * self.filled as f64).ceil() as usize).clamp(1, self.filled);
-        Some(window[rank - 1])
-    }
-
-    /// Number of samples currently retained.
-    pub fn len(&self) -> usize {
-        self.filled
-    }
-
-    /// True before the first recorded sample.
-    pub fn is_empty(&self) -> bool {
-        self.filled == 0
-    }
 }
 
 /// Rolling online-accuracy accumulator: forecasts scored against the
@@ -114,111 +73,127 @@ impl ScoreAccum {
     }
 }
 
-/// Live counters shared between one shard worker and the stats reader.
+/// Live metric handles shared between one shard worker and the stats
+/// reader. Every handle is registered under `shard{N}.<field>` in the
+/// service registry, so the same numbers are visible both through
+/// [`ShardStats`] and through an exported `obs` snapshot.
 #[derive(Debug)]
 pub struct ShardStatsCore {
-    pub entities: AtomicUsize,
-    pub ingested: AtomicU64,
-    pub forecasts: AtomicU64,
-    pub refits_started: AtomicU64,
-    pub refits_completed: AtomicU64,
+    pub entities: Arc<Gauge>,
+    pub ingested: Arc<Counter>,
+    pub forecasts: Arc<Counter>,
+    pub refits_started: Arc<Counter>,
+    pub refits_completed: Arc<Counter>,
     /// Samples not applied because the queue was full under `Reject`.
-    pub rejected: AtomicU64,
+    pub rejected: Arc<Counter>,
     /// Ingests addressed to an entity this shard has never installed.
-    pub unknown_entity_ingests: AtomicU64,
+    pub unknown_entity_ingests: Arc<Counter>,
     /// Messages currently queued for this shard.
-    pub queue_depth: AtomicUsize,
+    pub queue_depth: Arc<Gauge>,
     /// Times the supervisor restarted this shard's worker loop after a
     /// panic escaped message processing.
-    pub restarts: AtomicU64,
+    pub restarts: Arc<Counter>,
     /// Entities currently in degraded (fallback-serving) mode.
-    pub degraded: AtomicUsize,
+    pub degraded: Arc<Gauge>,
     /// Forecasts answered by the naive fallback instead of the model.
-    pub fallback_forecasts: AtomicU64,
+    pub fallback_forecasts: Arc<Counter>,
     /// Forecasts answered through a batched (multi-entity) engine call.
-    pub batched_forecasts: AtomicU64,
+    pub batched_forecasts: Arc<Counter>,
     /// Batched engine calls issued (each covers ≥2 entities).
-    pub batch_calls: AtomicU64,
+    pub batch_calls: Arc<Counter>,
     /// Samples with non-finite values repaired by forward-filling the last
     /// valid observation at the shard boundary.
-    pub repaired_samples: AtomicU64,
+    pub repaired_samples: Arc<Counter>,
     /// Samples dropped at the shard boundary (wrong arity, unrepairable,
     /// or stale sequence numbers).
-    pub quarantined_samples: AtomicU64,
+    pub quarantined_samples: Arc<Counter>,
     /// Missing samples detected through sequence-number gaps.
-    pub gap_samples: AtomicU64,
+    pub gap_samples: Arc<Counter>,
     /// Background refits that failed every attempt.
-    pub refit_failures: AtomicU64,
+    pub refit_failures: Arc<Counter>,
     /// Background refits abandoned at the configured deadline.
-    pub refit_timeouts: AtomicU64,
+    pub refit_timeouts: Arc<Counter>,
     /// Refit replacements rejected because they could not produce a finite
     /// forecast on the live history.
-    pub refits_rejected: AtomicU64,
-    pub latency: Mutex<LatencyRing>,
+    pub refits_rejected: Arc<Counter>,
+    /// Per-forecast serving latency (nanoseconds).
+    pub forecast_ns: Arc<Histogram>,
+    /// Per-sample ingest processing latency (nanoseconds).
+    pub ingest_ns: Arc<Histogram>,
+    /// End-to-end background refit duration (nanoseconds), including
+    /// retries and backoff.
+    pub refit_ns: Arc<Histogram>,
+    /// Supervisor restart handling latency (nanoseconds): culprit
+    /// quarantine, predictor rebuild and recovery-refit dispatch.
+    pub restart_ns: Arc<Histogram>,
     pub score: Mutex<ScoreAccum>,
 }
 
 impl ShardStatsCore {
-    /// Zeroed counters with a latency ring of `latency_window` samples.
-    pub fn new(latency_window: usize) -> Self {
+    /// Metric handles for shard `shard`, registered in `registry` under
+    /// `shard{shard}.*` names.
+    pub fn new(registry: &Registry, shard: usize) -> Self {
+        let counter = |field: &str| registry.counter(&format!("shard{shard}.{field}"));
+        let gauge = |field: &str| registry.gauge(&format!("shard{shard}.{field}"));
+        let latency = |field: &str| registry.latency_histogram(&format!("shard{shard}.{field}"));
         Self {
-            entities: AtomicUsize::new(0),
-            ingested: AtomicU64::new(0),
-            forecasts: AtomicU64::new(0),
-            refits_started: AtomicU64::new(0),
-            refits_completed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            unknown_entity_ingests: AtomicU64::new(0),
-            queue_depth: AtomicUsize::new(0),
-            restarts: AtomicU64::new(0),
-            degraded: AtomicUsize::new(0),
-            fallback_forecasts: AtomicU64::new(0),
-            batched_forecasts: AtomicU64::new(0),
-            batch_calls: AtomicU64::new(0),
-            repaired_samples: AtomicU64::new(0),
-            quarantined_samples: AtomicU64::new(0),
-            gap_samples: AtomicU64::new(0),
-            refit_failures: AtomicU64::new(0),
-            refit_timeouts: AtomicU64::new(0),
-            refits_rejected: AtomicU64::new(0),
-            latency: Mutex::new(LatencyRing::new(latency_window)),
+            entities: gauge("entities"),
+            ingested: counter("ingested"),
+            forecasts: counter("forecasts"),
+            refits_started: counter("refits_started"),
+            refits_completed: counter("refits_completed"),
+            rejected: counter("rejected"),
+            unknown_entity_ingests: counter("unknown_entity_ingests"),
+            queue_depth: gauge("queue_depth"),
+            restarts: counter("restarts"),
+            degraded: gauge("degraded"),
+            fallback_forecasts: counter("fallback_forecasts"),
+            batched_forecasts: counter("batched_forecasts"),
+            batch_calls: counter("batch_calls"),
+            repaired_samples: counter("repaired_samples"),
+            quarantined_samples: counter("quarantined_samples"),
+            gap_samples: counter("gap_samples"),
+            refit_failures: counter("refit_failures"),
+            refit_timeouts: counter("refit_timeouts"),
+            refits_rejected: counter("refits_rejected"),
+            forecast_ns: latency("forecast_ns"),
+            ingest_ns: latency("ingest_ns"),
+            refit_ns: latency("refit_ns"),
+            restart_ns: latency("restart_ns"),
             score: Mutex::new(ScoreAccum::default()),
         }
     }
 
     /// Point-in-time snapshot for shard `shard`.
     pub fn snapshot(&self, shard: usize) -> ShardStats {
-        let (p50, p99) = {
-            let ring = lock_recover(&self.latency);
-            (ring.quantile(0.50), ring.quantile(0.99))
-        };
+        let latency = self.forecast_ns.snapshot();
         let (mae, mse, scored) = {
             let score = lock_recover(&self.score);
             (score.mae(), score.mse(), score.scored)
         };
         ShardStats {
             shard,
-            entities: self.entities.load(Ordering::Relaxed),
-            ingested: self.ingested.load(Ordering::Relaxed),
-            forecasts: self.forecasts.load(Ordering::Relaxed),
-            refits_started: self.refits_started.load(Ordering::Relaxed),
-            refits_completed: self.refits_completed.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            unknown_entity_ingests: self.unknown_entity_ingests.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            restarts: self.restarts.load(Ordering::Relaxed),
-            degraded: self.degraded.load(Ordering::Relaxed),
-            fallback_forecasts: self.fallback_forecasts.load(Ordering::Relaxed),
-            batched_forecasts: self.batched_forecasts.load(Ordering::Relaxed),
-            batch_calls: self.batch_calls.load(Ordering::Relaxed),
-            repaired_samples: self.repaired_samples.load(Ordering::Relaxed),
-            quarantined_samples: self.quarantined_samples.load(Ordering::Relaxed),
-            gap_samples: self.gap_samples.load(Ordering::Relaxed),
-            refit_failures: self.refit_failures.load(Ordering::Relaxed),
-            refit_timeouts: self.refit_timeouts.load(Ordering::Relaxed),
-            refits_rejected: self.refits_rejected.load(Ordering::Relaxed),
-            forecast_p50_us: p50.map(|n| n as f64 / 1_000.0),
-            forecast_p99_us: p99.map(|n| n as f64 / 1_000.0),
+            entities: self.entities.get_non_negative() as usize,
+            ingested: self.ingested.get(),
+            forecasts: self.forecasts.get(),
+            refits_started: self.refits_started.get(),
+            refits_completed: self.refits_completed.get(),
+            rejected: self.rejected.get(),
+            unknown_entity_ingests: self.unknown_entity_ingests.get(),
+            queue_depth: self.queue_depth.get_non_negative() as usize,
+            restarts: self.restarts.get(),
+            degraded: self.degraded.get_non_negative() as usize,
+            fallback_forecasts: self.fallback_forecasts.get(),
+            batched_forecasts: self.batched_forecasts.get(),
+            batch_calls: self.batch_calls.get(),
+            repaired_samples: self.repaired_samples.get(),
+            quarantined_samples: self.quarantined_samples.get(),
+            gap_samples: self.gap_samples.get(),
+            refit_failures: self.refit_failures.get(),
+            refit_timeouts: self.refit_timeouts.get(),
+            refits_rejected: self.refits_rejected.get(),
+            forecast_p50_us: latency.quantile(0.50).map(|n| n as f64 / 1_000.0),
+            forecast_p99_us: latency.quantile(0.99).map(|n| n as f64 / 1_000.0),
             rolling_mae: mae,
             rolling_mse: mse,
             scored,
@@ -251,9 +226,11 @@ pub struct ShardStats {
     pub refit_failures: u64,
     pub refit_timeouts: u64,
     pub refits_rejected: u64,
-    /// Median forecast latency in microseconds (`None` before any forecast).
+    /// Median forecast latency in microseconds (`None` before any forecast),
+    /// estimated from the shard's latency histogram buckets.
     pub forecast_p50_us: Option<f64>,
-    /// 99th-percentile forecast latency in microseconds.
+    /// 99th-percentile forecast latency in microseconds (histogram
+    /// estimate, exact at the recorded maximum).
     pub forecast_p99_us: Option<f64>,
     /// Rolling MAE of forecasts scored against later-arriving truth.
     pub rolling_mae: f64,
@@ -403,29 +380,50 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ring_quantiles_over_partial_window() {
-        let mut ring = LatencyRing::new(100);
-        for v in [10, 20, 30, 40] {
-            ring.record(v);
+    fn core_metrics_show_up_in_snapshot_and_registry() {
+        let registry = Registry::new();
+        let core = ShardStatsCore::new(&registry, 3);
+        core.ingested.add(7);
+        core.entities.inc();
+        core.degraded.inc();
+        for nanos in [10_000, 20_000, 30_000, 40_000] {
+            core.forecast_ns.record(nanos);
         }
-        assert_eq!(ring.quantile(0.5), Some(20));
-        assert_eq!(ring.quantile(0.99), Some(40));
-        assert_eq!(ring.quantile(0.0), Some(10));
+        let stats = core.snapshot(3);
+        assert_eq!(stats.shard, 3);
+        assert_eq!(stats.ingested, 7);
+        assert_eq!(stats.entities, 1);
+        assert_eq!(stats.degraded, 1);
+        // p50 resolves to a bucket bound within the recorded envelope;
+        // p99 is the exact recorded max.
+        assert!(stats.forecast_p50_us.unwrap() <= stats.forecast_p99_us.unwrap());
+        assert_eq!(stats.forecast_p99_us, Some(40.0));
+        // The same numbers are visible through the registry export.
+        let exported = registry.snapshot();
+        assert!(exported
+            .counters
+            .contains(&("shard3.ingested".to_string(), 7)));
+        assert!(exported
+            .gauges
+            .contains(&("shard3.degraded".to_string(), 1)));
     }
 
     #[test]
-    fn ring_overwrites_oldest() {
-        let mut ring = LatencyRing::new(4);
-        for v in [1, 2, 3, 4, 100, 200, 300, 400] {
-            ring.record(v);
-        }
-        assert_eq!(ring.len(), 4);
-        assert_eq!(ring.quantile(0.5), Some(200));
+    fn same_registry_shard_names_are_disjoint() {
+        let registry = Registry::new();
+        let a = ShardStatsCore::new(&registry, 0);
+        let b = ShardStatsCore::new(&registry, 1);
+        a.ingested.inc();
+        assert_eq!(a.ingested.get(), 1);
+        assert_eq!(b.ingested.get(), 0, "shard metrics must not alias");
     }
 
     #[test]
-    fn empty_ring_has_no_quantiles() {
-        assert_eq!(LatencyRing::new(8).quantile(0.5), None);
+    fn empty_latency_has_no_quantiles() {
+        let core = ShardStatsCore::new(&Registry::new(), 0);
+        let stats = core.snapshot(0);
+        assert_eq!(stats.forecast_p50_us, None);
+        assert_eq!(stats.forecast_p99_us, None);
     }
 
     #[test]

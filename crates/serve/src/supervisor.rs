@@ -22,9 +22,9 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
 use std::sync::mpsc::Receiver;
 
+use obs::{EventKind, Span};
 use rptcn::ResourcePredictor;
 
 use crate::error::ServeError;
@@ -54,8 +54,19 @@ pub(crate) fn run_supervised_shard(ctx: ShardContext, rx: Receiver<ShardMsg>) {
         match outcome {
             Ok(()) => break,
             Err(_) => {
-                ctx.stats.restarts.fetch_add(1, Ordering::Relaxed);
+                ctx.stats.restarts.inc();
+                ctx.note(
+                    EventKind::ShardRestart,
+                    current.as_deref(),
+                    match &current {
+                        Some(id) => format!("panic escaped while processing `{id}`"),
+                        None => "panic escaped between messages".to_string(),
+                    },
+                );
                 if let Some(id) = current {
+                    // Restart handling — degrade, rebuild, recovery refit —
+                    // is timed into the shard's restart histogram.
+                    let _span = Span::start(&*ctx.clock, &ctx.stats.restart_ns);
                     quarantine_culprit(&ctx, &mut slots, &id);
                 }
             }
@@ -72,6 +83,7 @@ fn quarantine_culprit(ctx: &ShardContext, slots: &mut HashMap<String, EntitySlot
     slot.crashes += 1;
     degrade(
         ctx,
+        id,
         slot,
         ServeError::Frame(format!("entity `{id}` crashed the shard worker")),
     );

@@ -1,11 +1,14 @@
 //! Chaos tests: a seeded [`FaultPlan`] injects poisoned samples, panicking
 //! models, failing/slow refits and queue saturation, and the service must
 //! keep every guarantee it makes in clear weather — finite forecasts,
-//! surviving shards, honest counters and automatic recovery.
+//! surviving shards, honest counters and automatic recovery. Every
+//! injected fault must additionally leave a matching entry in the
+//! service's event journal, attributed to the right shard and entity.
 
 use std::time::{Duration, Instant};
 
 use models::NaiveForecaster;
+use obs::{EventKind, SimClock};
 use rptcn::{PipelineConfig, Scenario};
 use serve::{
     Backpressure, EntityHealth, FaultPlan, PredictionService, RefitPolicy, ServeError,
@@ -196,12 +199,71 @@ fn service_survives_combined_fault_plan() {
     // Healed entity serves from its model again; degraded one still answers.
     assert_finite(panicker, &service.forecast(panicker).unwrap());
     assert_finite(perm_fail, &service.forecast(perm_fail).unwrap());
+
+    // Every injected fault left its trace in the journal, attributed to
+    // the right shard and entity.
+    let journal = service.journal();
+    let restarts = journal.of_kind(EventKind::ShardRestart);
+    assert!(
+        restarts.len() >= 2,
+        "expected a journal entry per escaped panic: {restarts:?}"
+    );
+    assert!(
+        restarts
+            .iter()
+            .any(|e| e.shard == Some(crash_shard) && e.entity.as_deref() == Some(panicker)),
+        "restart not attributed to {panicker} on shard {crash_shard}: {restarts:?}"
+    );
+    for id in poisoned {
+        assert!(
+            journal
+                .for_entity(id)
+                .iter()
+                .any(|e| e.kind == EventKind::Repaired),
+            "no repair event for poisoned entity {id}"
+        );
+    }
+    assert!(
+        journal
+            .for_entity("c_2")
+            .iter()
+            .any(|e| e.kind == EventKind::Quarantined),
+        "no quarantine event for the malformed sample"
+    );
+    for id in [panicker, perm_fail] {
+        assert!(
+            journal
+                .for_entity(id)
+                .iter()
+                .any(|e| e.kind == EventKind::Degraded),
+            "no degradation event for {id}"
+        );
+    }
+    assert!(
+        journal
+            .for_entity(perm_fail)
+            .iter()
+            .any(|e| e.kind == EventKind::RefitFailed),
+        "no refit-failure event for {perm_fail}"
+    );
+    assert!(
+        journal
+            .for_entity(panicker)
+            .iter()
+            .any(|e| e.kind == EventKind::RefitCompleted),
+        "no refit-completion event for the healed {panicker}"
+    );
 }
 
 /// A refit that outlives its per-attempt deadline is abandoned and counted,
-/// and the entity keeps serving from the model it already has.
+/// and the entity keeps serving from the model it already has. The whole
+/// scenario — a 400ms injected delay, a 50ms deadline, exponential backoff
+/// between attempts — runs on a [`SimClock`], so the injected sleeps
+/// advance virtual time instantly and the test finishes without ever
+/// sleeping real wall-time for the faults themselves.
 #[test]
 fn slow_refits_hit_the_deadline_and_are_abandoned() {
+    let sim = SimClock::new();
     let plan = FaultPlan::seeded(7).slow_refit("c_0", Duration::from_millis(400));
     let service = naive_service(
         ServiceConfig {
@@ -214,6 +276,7 @@ fn slow_refits_hit_the_deadline_and_are_abandoned() {
                 backoff_max: Duration::from_millis(20),
                 timeout: Some(Duration::from_millis(50)),
             },
+            clock: sim.shared(),
             faults: Some(plan),
             ..Default::default()
         },
@@ -222,6 +285,9 @@ fn slow_refits_hit_the_deadline_and_are_abandoned() {
     for i in 0..4 {
         service.ingest("c_0", sample(i, 0.0)).unwrap();
     }
+    // The refit worker runs on its own thread, so we still poll for its
+    // verdict — but every injected 400ms delay and 5–20ms backoff advances
+    // the virtual clock instead of stalling the suite.
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
         service.flush().unwrap();
@@ -233,7 +299,7 @@ fn slow_refits_hit_the_deadline_and_are_abandoned() {
             Instant::now() < deadline,
             "refit never timed out: {stats:?}"
         );
-        std::thread::sleep(Duration::from_millis(20));
+        std::thread::yield_now();
     }
     // A timed-out refit is an operational event, not a model failure: the
     // entity keeps its working model and stays healthy.
@@ -244,6 +310,22 @@ fn slow_refits_hit_the_deadline_and_are_abandoned() {
         Some(ServeError::RefitTimeout { .. })
     ));
     assert_finite("c_0", &service.forecast("c_0").unwrap());
+    // The abandonment is journalled at a virtual timestamp on the shared
+    // timeline, attributed to the slow entity.
+    let timeouts = service.journal().of_kind(EventKind::RefitTimedOut);
+    assert!(
+        timeouts
+            .iter()
+            .any(|e| e.entity.as_deref() == Some("c_0") && e.shard == Some(0)),
+        "no timeout event for c_0: {timeouts:?}"
+    );
+    // Virtual time moved: at least one full injected delay elapsed.
+    assert!(
+        timeouts
+            .iter()
+            .any(|e| e.at_nanos >= Duration::from_millis(50).as_nanos() as u64),
+        "timeout journalled before the virtual deadline could pass: {timeouts:?}"
+    );
 }
 
 /// A stalled shard saturates its bounded queue; under `Reject` the caller
@@ -277,6 +359,17 @@ fn stalled_shard_saturates_queue_and_backpressure_fires() {
     let stats = service.stats();
     assert_eq!(stats.total_ingested(), accepted);
     assert_eq!(stats.total_rejected(), rejected);
+    // One journal entry per drop, attributed to the saturated shard and
+    // the entity whose sample was turned away.
+    let journal = service.journal();
+    let drops = journal.of_kind(EventKind::QueueRejected);
+    assert_eq!(drops.len() as u64, rejected, "drop events != rejections");
+    assert!(
+        drops
+            .iter()
+            .all(|e| e.shard == Some(0) && e.entity.as_deref() == Some("c_0")),
+        "misattributed drop event: {drops:?}"
+    );
 }
 
 /// Sequence-numbered ingestion: gaps are detected and forward-filled (up
@@ -312,5 +405,14 @@ fn sequence_gaps_are_counted_and_stale_replays_quarantined() {
     assert!(
         fc[0] < 1_000.0,
         "stale replay leaked into the history: {fc:?}"
+    );
+    // The drop is journalled against the replaying entity with the
+    // offending sequence numbers in the detail.
+    let quarantines = service.journal().of_kind(EventKind::Quarantined);
+    assert!(
+        quarantines
+            .iter()
+            .any(|e| e.entity.as_deref() == Some("c_0") && e.detail.contains("stale")),
+        "stale replay left no quarantine event: {quarantines:?}"
     );
 }

@@ -3,6 +3,7 @@
 //! either ingest guard — every forecast the stack hands back is finite.
 
 use models::NaiveForecaster;
+use obs::{EventKind, SimClock};
 use proptest::prelude::*;
 use rptcn::{PipelineConfig, ResourcePredictor, Scenario};
 use serve::{IngestGuard, PredictionService, ServiceConfig};
@@ -109,10 +110,13 @@ proptest! {
         guard_idx in 0usize..2,
     ) {
         let guard = [IngestGuard::Repair, IngestGuard::Quarantine][guard_idx];
+        // A virtual clock keeps the whole service off real wall-time and
+        // stamps journal entries on a deterministic timeline.
         let mut service = PredictionService::new(ServiceConfig {
             shards: 1,
             refit_workers: 0,
             ingest_guard: guard,
+            clock: SimClock::new().shared(),
             ..Default::default()
         })
         .expect("spawn service");
@@ -153,5 +157,15 @@ proptest! {
             IngestGuard::Repair => prop_assert_eq!(stats.total_quarantined_samples(), 0),
             IngestGuard::Quarantine => prop_assert_eq!(stats.total_repaired_samples(), 0),
         }
+        // The journal agrees with the counters, event for event.
+        let journal = service.journal();
+        prop_assert_eq!(
+            journal.count(EventKind::Quarantined) as u64,
+            stats.total_quarantined_samples()
+        );
+        prop_assert_eq!(
+            journal.count(EventKind::Repaired) as u64,
+            stats.total_repaired_samples()
+        );
     }
 }

@@ -133,6 +133,28 @@ fn main() {
     println!("\nafter streaming:");
     print_stats(&service.stats());
 
+    // The same numbers straight from the obs registry: the text export is
+    // what a scrape endpoint would serve. Shard-0 summary lines only; the
+    // full export also carries every histogram bucket.
+    println!("\nobs metrics snapshot (shard 0 excerpt):");
+    let text = obs::to_text(&service.metrics());
+    for line in text.lines().filter(|l| l.contains("shard0.")) {
+        println!("  {line}");
+    }
+    let journal = service.journal();
+    let events = journal.events();
+    println!("\nevent journal ({} events, last 3):", events.len());
+    for e in events.iter().rev().take(3).rev() {
+        println!(
+            "  at={}ms kind={} shard={} entity={} {}",
+            e.at_nanos / 1_000_000,
+            e.kind.name(),
+            e.shard.map_or("-".to_string(), |s| s.to_string()),
+            e.entity.as_deref().unwrap_or("-"),
+            e.detail
+        );
+    }
+
     // Checkpoint the whole fleet, tear the service down, restore under a
     // different shard layout, and verify forecasts are bit-identical.
     let before: Vec<(String, Vec<f32>)> = service
