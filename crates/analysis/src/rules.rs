@@ -51,15 +51,15 @@ impl Rule {
                 "unsafe block/fn/impl must be preceded by a `// SAFETY:` comment"
             }
             Rule::NoPanicPaths => {
-                "no unwrap()/expect()/panic!/todo! in non-test library code (serve, core, models, obs)"
+                "no unwrap()/expect()/panic!/todo! in non-test library code (serve, net, core, models, obs)"
             }
             Rule::HotPathAlloc => {
                 "no Instant::now()/allocations inside functions marked `// hot-path`"
             }
             Rule::LockRecover => {
-                "Mutex/RwLock acquisitions in serve must go through `lock_recover`"
+                "Mutex/RwLock acquisitions in serve and net must go through `lock_recover`"
             }
-            Rule::MissingDocs => "public items in serve, core and obs must have doc comments",
+            Rule::MissingDocs => "public items in serve, net, core and obs must have doc comments",
         }
     }
 
@@ -102,19 +102,24 @@ impl fmt::Display for Diagnostic {
 }
 
 /// Which rules apply to a workspace file, by repo policy:
-/// R1 and R3 everywhere, R2 in `serve`/`core`/`models`/`obs`, R4 in
-/// `serve`, R5 in `serve`, `core` and `obs`.
+/// R1 and R3 everywhere, R2 in `serve`/`net`/`core`/`models`/`obs`, R4
+/// in `serve` and `net`, R5 in `serve`, `net`, `core` and `obs`.
 pub fn rules_for(path: &Path) -> Vec<Rule> {
     let p = path.to_string_lossy().replace('\\', "/");
     let in_crate = |c: &str| p.contains(&format!("crates/{c}/src/"));
     let mut rules = vec![Rule::SafetyComment, Rule::HotPathAlloc];
-    if in_crate("serve") || in_crate("core") || in_crate("models") || in_crate("obs") {
+    if in_crate("serve")
+        || in_crate("net")
+        || in_crate("core")
+        || in_crate("models")
+        || in_crate("obs")
+    {
         rules.push(Rule::NoPanicPaths);
     }
-    if in_crate("serve") {
+    if in_crate("serve") || in_crate("net") {
         rules.push(Rule::LockRecover);
     }
-    if in_crate("serve") || in_crate("core") || in_crate("obs") {
+    if in_crate("serve") || in_crate("net") || in_crate("core") || in_crate("obs") {
         rules.push(Rule::MissingDocs);
     }
     rules

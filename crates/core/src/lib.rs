@@ -44,6 +44,8 @@ pub use observe::PipelineObs;
 pub use pipeline::{
     prepare, run_model, FittedPreprocess, PipelineConfig, PipelineRun, PreparedData, ScalerScope,
 };
-pub use placement::{Arrival, PlacementOutcome, PlacementSimulator, PlacementStrategy, SimMachine};
+pub use placement::{
+    Arrival, HashRing, PlacementOutcome, PlacementSimulator, PlacementStrategy, SimMachine,
+};
 pub use predictor::{new_shared_group, PredictorState, ResourcePredictor};
 pub use scenario::Scenario;

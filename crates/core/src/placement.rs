@@ -3,6 +3,157 @@
 //! machine whose **predicted** future load leaves the most headroom, rather
 //! than the one that merely looks idle right now. A placement simulator
 //! scores strategies by the overload time they cause.
+//!
+//! The module also hosts the fleet-tier placement primitive: a
+//! [`HashRing`] that maps entity ids onto serving nodes with consistent
+//! hashing, so the distributed router in `rptcn-net` moves only ~1/N of
+//! the entities when a node joins or leaves.
+
+/// Consistent-hash ring over named serving nodes.
+///
+/// Each node contributes `vnodes` points (FNV-1a of `"name#i"`) on a
+/// `u64` ring; a key is served by the node owning the first point at or
+/// after the key's hash, wrapping around. Properties the distributed
+/// tier relies on:
+///
+/// * **Deterministic** — the same membership always yields the same
+///   placement, so a router restart recomputes identical routes.
+/// * **Balanced** — virtual nodes spread each physical node around the
+///   ring, keeping per-node entity counts within a small factor.
+/// * **Stable under churn** — adding or removing one node only remaps
+///   the keys whose ring arc it owned (~`1/N` of them).
+/// * **Failure-aware lookups** — [`HashRing::node_for_where`] walks
+///   clockwise past nodes a liveness predicate rejects, so a dead node's
+///   keys land on its ring successor, the way a shard already routes
+///   around a dead entity.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    vnodes: usize,
+    nodes: Vec<String>,
+    /// Sorted `(point, node index)` pairs — the ring itself.
+    points: Vec<(u64, u32)>,
+}
+
+/// FNV-1a over a byte string — the same hash family the serve-tier shard
+/// router uses, so placement is dependency-free and reproducible.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// 64-bit avalanche finalizer (the murmur3 fmix64 constants). Raw FNV-1a
+/// under-diffuses the final one or two input bytes into the high bits, so
+/// fleets with near-identical short ids (`e-01`, `e-02`, …) would cluster
+/// into a single ring arc and all land on one node. Mixing restores full
+/// avalanche while staying dependency-free and deterministic.
+fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// Ring position of an arbitrary byte string.
+fn ring_hash(bytes: &[u8]) -> u64 {
+    mix64(fnv1a(bytes))
+}
+
+impl HashRing {
+    /// An empty ring where every node will contribute `vnodes` points
+    /// (clamped to at least one).
+    pub fn new(vnodes: usize) -> Self {
+        Self {
+            vnodes: vnodes.max(1),
+            nodes: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Add a node; returns `false` (and changes nothing) if the name is
+    /// already on the ring.
+    pub fn add_node(&mut self, name: &str) -> bool {
+        if self.contains(name) {
+            return false;
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(name.to_string());
+        for i in 0..self.vnodes {
+            let point = ring_hash(format!("{name}#{i}").as_bytes());
+            self.points.push((point, idx));
+        }
+        self.points.sort_unstable();
+        true
+    }
+
+    /// Remove a node; returns `false` if it was not on the ring.
+    pub fn remove_node(&mut self, name: &str) -> bool {
+        let Some(pos) = self.nodes.iter().position(|n| n == name) else {
+            return false;
+        };
+        self.nodes.remove(pos);
+        let removed = pos as u32;
+        self.points.retain(|&(_, idx)| idx != removed);
+        for (_, idx) in &mut self.points {
+            if *idx > removed {
+                *idx -= 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `name` is on the ring.
+    pub fn contains(&self, name: &str) -> bool {
+        self.nodes.iter().any(|n| n == name)
+    }
+
+    /// Node names in insertion order.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of nodes on the ring.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True while no node has been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node serving `key`, or `None` on an empty ring.
+    pub fn node_for(&self, key: &str) -> Option<&str> {
+        self.node_for_where(key, |_| true)
+    }
+
+    /// The first node at or after `key`'s ring position that satisfies
+    /// `alive`, wrapping around — `None` if no live node exists. This is
+    /// the failover walk: with every node alive it equals
+    /// [`HashRing::node_for`]; with the primary dead it yields the ring
+    /// successor, and so on.
+    pub fn node_for_where(&self, key: &str, alive: impl Fn(&str) -> bool) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = ring_hash(key.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let n = self.points.len();
+        for step in 0..n {
+            let (_, idx) = self.points[(start + step) % n];
+            let name = &self.nodes[idx as usize];
+            if alive(name) {
+                return Some(name);
+            }
+        }
+        None
+    }
+}
 
 /// How the scheduler estimates a machine's near-future load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -293,6 +444,113 @@ mod tests {
             sim.machines[0].load_at(60) > 0.2,
             "RecentMean was fooled by the transient spike"
         );
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_total() {
+        let mut ring = HashRing::new(32);
+        for n in ["node-0", "node-1", "node-2"] {
+            assert!(ring.add_node(n));
+        }
+        assert!(!ring.add_node("node-1"), "duplicate must be rejected");
+        assert_eq!(ring.len(), 3);
+        for i in 0..100 {
+            let key = format!("e_{i}");
+            let a = ring.node_for(&key).unwrap().to_string();
+            let b = ring.node_for(&key).unwrap().to_string();
+            assert_eq!(a, b, "placement must be stable");
+        }
+    }
+
+    #[test]
+    fn ring_balances_across_nodes() {
+        let mut ring = HashRing::new(64);
+        for n in 0..4 {
+            ring.add_node(&format!("node-{n}"));
+        }
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..8000 {
+            let n = ring.node_for(&format!("e_{i}")).unwrap().to_string();
+            *counts.entry(n).or_insert(0usize) += 1;
+        }
+        for (node, c) in &counts {
+            assert!(
+                *c > 8000 / 4 / 2 && *c < 8000 / 4 * 2,
+                "{node} got {c} of 8000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_churn_moves_a_minority_of_keys() {
+        let mut before = HashRing::new(64);
+        for n in 0..4 {
+            before.add_node(&format!("node-{n}"));
+        }
+        let mut after = before.clone();
+        after.add_node("node-4");
+        let moved = (0..4000)
+            .filter(|i| {
+                let key = format!("e_{i}");
+                before.node_for(&key) != after.node_for(&key)
+            })
+            .count();
+        // Adding a 5th node should move roughly 1/5 of the keys; assert a
+        // generous bound that still rules out full reshuffles.
+        assert!(
+            moved > 0 && moved < 4000 / 2,
+            "adding one node moved {moved} of 4000 keys"
+        );
+        // Keys that moved must have moved TO the new node.
+        for i in 0..4000 {
+            let key = format!("e_{i}");
+            if before.node_for(&key) != after.node_for(&key) {
+                assert_eq!(after.node_for(&key), Some("node-4"));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_routes_around_dead_nodes() {
+        let mut ring = HashRing::new(32);
+        for n in 0..3 {
+            ring.add_node(&format!("node-{n}"));
+        }
+        let key = "e_42";
+        let primary = ring.node_for(key).unwrap().to_string();
+        let failover = ring
+            .node_for_where(key, |n| n != primary)
+            .unwrap()
+            .to_string();
+        assert_ne!(failover, primary, "failover must pick another node");
+        assert!(
+            ring.node_for_where(key, |_| false).is_none(),
+            "all-dead ring yields None"
+        );
+        // Removing the primary makes its old failover the new primary.
+        ring.remove_node(&primary);
+        assert_eq!(ring.node_for(key), Some(failover.as_str()));
+    }
+
+    #[test]
+    fn ring_remove_keeps_other_assignments() {
+        let mut ring = HashRing::new(32);
+        for n in 0..3 {
+            ring.add_node(&format!("node-{n}"));
+        }
+        let kept: Vec<(String, String)> = (0..500)
+            .map(|i| format!("e_{i}"))
+            .filter(|k| ring.node_for(k) != Some("node-1"))
+            .map(|k| {
+                let n = ring.node_for(&k).unwrap().to_string();
+                (k, n)
+            })
+            .collect();
+        ring.remove_node("node-1");
+        assert!(!ring.contains("node-1"));
+        for (k, n) in kept {
+            assert_eq!(ring.node_for(&k), Some(n.as_str()), "{k} moved needlessly");
+        }
     }
 
     #[test]

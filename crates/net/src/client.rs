@@ -1,0 +1,79 @@
+//! Blocking request/reply client for one node connection.
+//!
+//! A [`NodeClient`] owns a single TCP connection and multiplexes nothing:
+//! requests are strictly sequential, each tagged with an incrementing
+//! request id that the node echoes back. An id mismatch or an unexpected
+//! reply kind marks the connection untrustworthy ([`NetError::Protocol`])
+//! and callers are expected to reconnect.
+
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::error::NetError;
+use crate::frame::{read_frame, write_frame, Message};
+
+/// A blocking client bound to one node connection.
+#[derive(Debug)]
+pub struct NodeClient {
+    stream: TcpStream,
+    next_id: u64,
+    timeout: Duration,
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, NetError> {
+    addr.to_socket_addrs()
+        .map_err(|e| NetError::Io(format!("resolve {addr}: {e}")))?
+        .next()
+        .ok_or_else(|| NetError::Io(format!("address {addr} resolved to nothing")))
+}
+
+impl NodeClient {
+    /// Connect to `addr` (e.g. `127.0.0.1:4710`) with a connect timeout;
+    /// `timeout` also becomes the default per-request read/write timeout.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<Self, NetError> {
+        let sockaddr = resolve(addr)?;
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout)
+            .map_err(|e| NetError::Io(format!("connect {addr}: {e}")))?;
+        stream.set_nodelay(true)?;
+        Ok(NodeClient {
+            stream,
+            next_id: 1,
+            timeout,
+        })
+    }
+
+    /// Send one request and wait for its reply, using the default timeout.
+    pub fn request(&mut self, msg: &Message) -> Result<Message, NetError> {
+        self.request_with_timeout(msg, self.timeout)
+    }
+
+    /// Send one request and wait for its reply with an explicit timeout
+    /// (health probes use a much shorter deadline than bulk transfers).
+    pub fn request_with_timeout(
+        &mut self,
+        msg: &Message,
+        timeout: Duration,
+    ) -> Result<Message, NetError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        self.stream.set_write_timeout(Some(timeout))?;
+        self.stream.set_read_timeout(Some(timeout))?;
+        {
+            let mut w = BufWriter::new(&self.stream);
+            write_frame(&mut w, id, msg)?;
+        }
+        let (reply_id, reply) = read_frame(&mut self.stream)?;
+        if let Message::Error(fault) = reply {
+            // Error frames are authoritative even with a mismatched id:
+            // connection-scoped faults (malformed request) use id 0.
+            return Err(NetError::Remote(fault));
+        }
+        if reply_id != id {
+            return Err(NetError::Protocol(format!(
+                "reply id {reply_id} does not match request id {id}"
+            )));
+        }
+        Ok(reply)
+    }
+}

@@ -1,0 +1,106 @@
+//! Typed errors for the distributed serving tier: everything that can go
+//! wrong between a router call and a node's reply, kept separate from the
+//! pure codec errors in [`crate::frame::WireError`] so callers can tell
+//! "the bytes were bad" from "the node is gone".
+
+use std::fmt;
+use std::io;
+
+use crate::frame::{WireError, WireFault};
+
+/// Errors surfaced by node servers, clients and the fleet router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Frame encoding/decoding failed (bad magic, truncation, corruption…).
+    Wire(WireError),
+    /// A socket operation failed (connect, read, write, timeout).
+    Io(String),
+    /// The peer answered with an explicit error frame.
+    Remote(WireFault),
+    /// The peer violated the protocol (wrong request id, unexpected reply
+    /// kind) — the connection is no longer trustworthy.
+    Protocol(String),
+    /// The named node is unreachable after reconnect attempts and has
+    /// been marked down.
+    NodeDown(String),
+    /// No live node is available to serve the request (empty ring or the
+    /// whole fleet is down).
+    NoNodes,
+    /// The node-local prediction service rejected the operation.
+    Serve(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Io(msg) => write!(f, "io error: {msg}"),
+            NetError::Remote(fault) => write!(f, "remote error: {fault}"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::NodeDown(node) => write!(f, "node `{node}` is down"),
+            NetError::NoNodes => write!(f, "no live serving node available"),
+            NetError::Serve(msg) => write!(f, "serve error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        // Transport-level EOF/timeouts surface as Io so retry logic can
+        // treat "connection died" uniformly; structural decode failures
+        // stay Wire.
+        match e {
+            WireError::Io(msg) => NetError::Io(msg),
+            other => NetError::Wire(other),
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}
+
+impl NetError {
+    /// Whether the error means the underlying connection (or node) is
+    /// unusable, as opposed to a request-scoped failure the same
+    /// connection can still serve.
+    pub fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            NetError::Io(_) | NetError::Protocol(_) | NetError::NodeDown(_)
+        ) || matches!(self, NetError::Wire(WireError::Truncated { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::ErrorCode;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::Remote(WireFault {
+            code: ErrorCode::Draining,
+            message: "drain in progress".into(),
+        });
+        let msg = e.to_string();
+        assert!(msg.contains("drain"), "{msg}");
+        assert!(NetError::NodeDown("n0".into()).to_string().contains("n0"));
+    }
+
+    #[test]
+    fn transport_classification() {
+        assert!(NetError::Io("reset".into()).is_transport());
+        assert!(NetError::Protocol("bad id".into()).is_transport());
+        assert!(!NetError::Serve("unknown entity".into()).is_transport());
+        assert!(!NetError::Remote(WireFault {
+            code: ErrorCode::UnknownEntity,
+            message: String::new()
+        })
+        .is_transport());
+    }
+}

@@ -1,0 +1,549 @@
+//! A serving node: one sharded [`PredictionService`] behind the wire
+//! protocol.
+//!
+//! [`NodeServer::start`] binds a TCP listener and spawns a
+//! thread-per-connection accept loop. Each connection handler speaks the
+//! frame protocol from [`crate::frame`]: it reads a request, dispatches
+//! it against the shared service, and writes exactly one reply frame
+//! with the same request id. Malformed traffic gets a typed error frame
+//! and (when the stream can no longer be trusted) a closed connection —
+//! never a panic or a hang.
+//!
+//! Observability rides on the node's service: every request is timed
+//! into a per-kind latency histogram in the service `Registry`
+//! (`net_req_<kind>`), connections are counted, and drain/shutdown are
+//! journaled, all on the service's injectable clock.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cloudtrace::container::{self, ContainerConfig};
+use cloudtrace::WorkloadClass;
+use models::NaiveForecaster;
+use obs::{EventKind, Span};
+use rptcn::{PipelineConfig, Scenario};
+use serve::{entity_hash, PredictionService, ServeError};
+use tensor::Rng;
+use timeseries::TimeSeriesFrame;
+
+use crate::error::NetError;
+use crate::frame::{
+    decode_payload, parse_header, write_frame, ErrorCode, HealthReport, IngestEntry, Message,
+    SeedSpec, WireError, WireFault, HEADER_LEN,
+};
+use crate::sync::{lock_recover, read_recover, write_recover};
+
+/// Configuration for one serving node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Listen address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub listen: String,
+    /// Poll granularity for idle connections: how often a blocked reader
+    /// wakes up to check the stop flag.
+    pub idle_poll: Duration,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            listen: "127.0.0.1:0".into(),
+            idle_poll: Duration::from_millis(50),
+        }
+    }
+}
+
+struct NodeShared {
+    service: RwLock<PredictionService>,
+    draining: AtomicBool,
+    stop: AtomicBool,
+    idle_poll: Duration,
+    addr: SocketAddr,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running node server. Dropping it shuts the node down.
+pub struct NodeServer {
+    shared: Arc<NodeShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NodeServer {
+    /// Bind `config.listen`, wrap `service` and start serving. The bound
+    /// address (with the resolved ephemeral port) is available via
+    /// [`NodeServer::addr`].
+    pub fn start(config: NodeConfig, service: PredictionService) -> Result<NodeServer, NetError> {
+        let listener = TcpListener::bind(&config.listen)
+            .map_err(|e| NetError::Io(format!("bind {}: {e}", config.listen)))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(NodeShared {
+            service: RwLock::new(service),
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            idle_poll: config.idle_poll,
+            addr,
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = shared.clone();
+        let accept = std::thread::Builder::new()
+            .name(format!("net-accept-{addr}"))
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .map_err(|e| NetError::Io(format!("spawn accept loop: {e}")))?;
+        Ok(NodeServer {
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the node is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Whether the node is draining (refusing new ingests).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Ask the node to stop: no new connections, existing handlers exit
+    /// at their next poll tick. Idempotent.
+    pub fn shutdown(&self) {
+        request_stop(&self.shared);
+    }
+
+    /// Block until the accept loop and every connection handler exited.
+    /// Implies [`NodeServer::shutdown`] has been (or will be) called;
+    /// called without it, this waits for a remote `Shutdown` frame.
+    pub fn join(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(&mut *lock_recover(&self.shared.conns));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Run `f` against the node-local service (for in-process tests and
+    /// benchmarks inspecting stats or journals).
+    pub fn with_service<T>(&self, f: impl FnOnce(&PredictionService) -> T) -> T {
+        f(&read_recover(&self.shared.service))
+    }
+}
+
+impl Drop for NodeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+fn request_stop(shared: &NodeShared) {
+    if shared.stop.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Unblock the accept loop with a throwaway connection.
+    let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_millis(200));
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<NodeShared>) {
+    {
+        let service = read_recover(&shared.service);
+        let now = now_nanos(&service);
+        service.journal().emit(
+            now,
+            EventKind::NodeUp,
+            None,
+            None,
+            format!("listening on {}", shared.addr),
+        );
+    }
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let conn_shared = shared.clone();
+        let spawned = std::thread::Builder::new()
+            .name("net-conn".into())
+            .spawn(move || handle_connection(stream, &conn_shared));
+        match spawned {
+            Ok(handle) => lock_recover(&shared.conns).push(handle),
+            Err(_) => {
+                // Out of threads: refuse this connection, keep serving.
+            }
+        }
+    }
+}
+
+fn now_nanos(service: &PredictionService) -> u64 {
+    service.clock().now_nanos()
+}
+
+enum Fill {
+    Filled,
+    CleanEof,
+    Stopped,
+}
+
+/// Fill `buf` from the stream, waking every `idle_poll` to check the stop
+/// flag. `allow_clean_eof` permits EOF before the first byte (idle peer
+/// hung up between frames); EOF mid-buffer is always an error.
+fn fill_idle(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &NodeShared,
+    allow_clean_eof: bool,
+) -> Result<Fill, NetError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && allow_clean_eof {
+                    return Ok(Fill::CleanEof);
+                }
+                return Err(NetError::Wire(WireError::Truncated {
+                    context: "connection closed mid-frame".into(),
+                }));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return Ok(Fill::Stopped);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Fill::Filled)
+}
+
+fn send_fault<W: Write>(w: &mut W, request_id: u64, code: ErrorCode, message: String) {
+    let _ = write_frame(w, request_id, &Message::Error(WireFault { code, message }));
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<NodeShared>) {
+    if stream.set_read_timeout(Some(shared.idle_poll)).is_err() || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    {
+        let service = read_recover(&shared.service);
+        service.registry().counter("net_connections").inc();
+        service.registry().gauge("net_open_connections").inc();
+    }
+    serve_connection(&mut stream, shared);
+    let service = read_recover(&shared.service);
+    service.registry().gauge("net_open_connections").dec();
+}
+
+fn serve_connection(stream: &mut TcpStream, shared: &Arc<NodeShared>) {
+    loop {
+        let mut header = [0u8; HEADER_LEN];
+        match fill_idle(stream, &mut header, shared, true) {
+            Ok(Fill::Filled) => {}
+            Ok(Fill::CleanEof) | Ok(Fill::Stopped) | Err(_) => return,
+        }
+        let h = match parse_header(&header) {
+            Ok(h) => h,
+            Err(e) => {
+                // Headers frame the stream; a bad one means we no longer
+                // know where the next frame starts. Error out and close.
+                let code = match e {
+                    WireError::UnsupportedVersion(_) => ErrorCode::Unsupported,
+                    _ => ErrorCode::Malformed,
+                };
+                send_fault(stream, 0, code, e.to_string());
+                bump(shared, "net_malformed_frames");
+                return;
+            }
+        };
+        let mut payload = vec![0u8; h.payload_len as usize];
+        match fill_idle(stream, &mut payload, shared, false) {
+            Ok(Fill::Filled) => {}
+            Ok(_) | Err(_) => return,
+        }
+        let msg = match decode_payload(h.kind, &payload) {
+            Ok(m) => m,
+            Err(WireError::UnknownKind(k)) => {
+                // Payload was fully consumed, so the stream is still in
+                // sync: answer Unsupported and keep the connection.
+                send_fault(
+                    stream,
+                    h.request_id,
+                    ErrorCode::Unsupported,
+                    format!("unknown message kind {k}"),
+                );
+                continue;
+            }
+            Err(e) => {
+                send_fault(stream, h.request_id, ErrorCode::Malformed, e.to_string());
+                bump(shared, "net_malformed_frames");
+                return;
+            }
+        };
+        let stop_after = matches!(msg, Message::Shutdown);
+        let reply = dispatch(shared, msg);
+        if write_frame(stream, h.request_id, &reply).is_err() {
+            return;
+        }
+        if stop_after {
+            request_stop(shared);
+            return;
+        }
+    }
+}
+
+fn bump(shared: &NodeShared, counter: &str) {
+    read_recover(&shared.service)
+        .registry()
+        .counter(counter)
+        .inc();
+}
+
+fn fault(code: ErrorCode, message: String) -> Message {
+    Message::Error(WireFault { code, message })
+}
+
+fn serve_fault(e: &ServeError) -> Message {
+    let code = match e {
+        ServeError::UnknownEntity(_) => ErrorCode::UnknownEntity,
+        ServeError::Frame(_) | ServeError::DuplicateEntity(_) => ErrorCode::Malformed,
+        _ => ErrorCode::Internal,
+    };
+    fault(code, e.to_string())
+}
+
+fn dispatch(shared: &Arc<NodeShared>, msg: Message) -> Message {
+    let kind = msg.kind_name();
+    let (histogram, clock) = {
+        let service = read_recover(&shared.service);
+        (
+            service
+                .registry()
+                .latency_histogram(&format!("net_req_{kind}")),
+            service.clock(),
+        )
+    };
+    let span = Span::start(clock.as_ref(), &histogram);
+    let reply = dispatch_inner(shared, msg);
+    drop(span);
+    reply
+}
+
+fn dispatch_inner(shared: &Arc<NodeShared>, msg: Message) -> Message {
+    match msg {
+        Message::Ingest { entries } => {
+            if shared.draining.load(Ordering::SeqCst) {
+                return fault(ErrorCode::Draining, "node is draining".into());
+            }
+            let service = read_recover(&shared.service);
+            handle_ingest(&service, &entries)
+        }
+        Message::Forecast { ids } => {
+            let service = read_recover(&shared.service);
+            let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+            let results = service
+                .forecast_many(&refs)
+                .into_iter()
+                .map(|(id, r)| {
+                    let outcome = match r {
+                        Ok(values) => crate::frame::ForecastOutcome::Values(values),
+                        Err(ServeError::UnknownEntity(_)) => crate::frame::ForecastOutcome::Unknown,
+                        Err(e) => crate::frame::ForecastOutcome::Failed(e.to_string()),
+                    };
+                    (id, outcome)
+                })
+                .collect();
+            Message::ForecastOk { results }
+        }
+        Message::Health => {
+            let service = read_recover(&shared.service);
+            let stats = service.stats();
+            Message::HealthOk(HealthReport {
+                entities: stats.total_entities() as u64,
+                ingested: stats.total_ingested(),
+                forecasts: stats.total_forecasts(),
+                degraded: stats.shards.iter().map(|s| s.degraded as u64).sum(),
+                restarts: stats.shards.iter().map(|s| s.restarts).sum(),
+                draining: shared.draining.load(Ordering::SeqCst),
+            })
+        }
+        Message::Checkpoint { ids } => {
+            let service = read_recover(&shared.service);
+            match service.snapshot_entities() {
+                Ok(mut entities) => {
+                    if !ids.is_empty() {
+                        let wanted: std::collections::BTreeSet<&str> =
+                            ids.iter().map(String::as_str).collect();
+                        entities.retain(|(id, _)| wanted.contains(id.as_str()));
+                    }
+                    Message::CheckpointOk { entities }
+                }
+                Err(e) => serve_fault(&e),
+            }
+        }
+        Message::Restore { entities } => {
+            let mut service = write_recover(&shared.service);
+            let mut installed = 0u64;
+            let mut errors = Vec::new();
+            for (id, state) in &entities {
+                match service.install_state(id, state) {
+                    Ok(()) => installed += 1,
+                    Err(ServeError::DuplicateEntity(_)) => {
+                        // Idempotent restore: the entity is already here
+                        // (a retried migration); keep the live copy.
+                        installed += 1;
+                    }
+                    Err(e) => errors.push((id.clone(), e.to_string())),
+                }
+            }
+            Message::RestoreOk { installed, errors }
+        }
+        Message::Seed(spec) => {
+            if shared.draining.load(Ordering::SeqCst) {
+                return fault(ErrorCode::Draining, "node is draining".into());
+            }
+            let mut service = write_recover(&shared.service);
+            match handle_seed(&mut service, &spec) {
+                Ok(installed) => Message::SeedOk { installed },
+                Err(reply) => reply,
+            }
+        }
+        Message::Evict { ids } => {
+            let mut service = write_recover(&shared.service);
+            let mut removed = 0u64;
+            for id in &ids {
+                match service.remove_entity(id) {
+                    Ok(()) => removed += 1,
+                    Err(ServeError::UnknownEntity(_)) => {}
+                    Err(e) => return serve_fault(&e),
+                }
+            }
+            Message::EvictOk { removed }
+        }
+        Message::Drain => {
+            shared.draining.store(true, Ordering::SeqCst);
+            let service = read_recover(&shared.service);
+            if let Err(e) = service.flush() {
+                return serve_fault(&e);
+            }
+            match service.snapshot_entities() {
+                Ok(entities) => {
+                    service.journal().emit(
+                        now_nanos(&service),
+                        EventKind::NodeDrained,
+                        None,
+                        None,
+                        format!("drained {} entities", entities.len()),
+                    );
+                    Message::DrainOk { entities }
+                }
+                Err(e) => serve_fault(&e),
+            }
+        }
+        Message::Shutdown => {
+            let service = read_recover(&shared.service);
+            service.journal().emit(
+                now_nanos(&service),
+                EventKind::NodeDown,
+                None,
+                None,
+                "shutdown requested".into(),
+            );
+            Message::ShutdownOk
+        }
+        // Reply kinds arriving as requests are protocol misuse.
+        other => fault(
+            ErrorCode::Unsupported,
+            format!("{} is a reply kind, not a request", other.kind_name()),
+        ),
+    }
+}
+
+fn handle_ingest(service: &PredictionService, entries: &[IngestEntry]) -> Message {
+    let mut accepted = 0u64;
+    let mut unknown = Vec::new();
+    let mut errors = Vec::new();
+    for e in entries {
+        let result = match e.seq {
+            Some(seq) => service.ingest_at(&e.entity, seq, e.values.clone()),
+            None => service.ingest(&e.entity, e.values.clone()),
+        };
+        match result {
+            Ok(()) => accepted += 1,
+            Err(ServeError::UnknownEntity(_)) => unknown.push(e.entity.clone()),
+            Err(err) => errors.push((e.entity.clone(), err.to_string())),
+        }
+    }
+    Message::IngestOk {
+        accepted,
+        unknown,
+        errors,
+    }
+}
+
+/// Bootstrap series length must leave the pipeline enough clean rows.
+fn seed_pipeline_config(spec: &SeedSpec) -> PipelineConfig {
+    PipelineConfig {
+        scenario: Scenario::Uni,
+        window: spec.window as usize,
+        horizon: 1,
+        ..PipelineConfig::default()
+    }
+}
+
+/// Deterministic single-column bootstrap for one entity: any node (or a
+/// router re-seeding after failover) derives the identical series from
+/// the spec seed and the entity id alone.
+pub fn seed_bootstrap(spec_seed: u64, id: &str, len: usize) -> Result<TimeSeriesFrame, ServeError> {
+    let seed = spec_seed ^ entity_hash(id);
+    let cfg = ContainerConfig::new(WorkloadClass::OnlineService, len, seed);
+    let mut rng = Rng::seed_from(seed);
+    let cpu = container::cpu_series(&cfg, &mut rng);
+    TimeSeriesFrame::from_columns(&[("cpu_util_percent", cpu)])
+        .map_err(|e| ServeError::Frame(e.to_string()))
+}
+
+fn handle_seed(service: &mut PredictionService, spec: &SeedSpec) -> Result<u64, Message> {
+    let window = spec.window as usize;
+    let len = spec.bootstrap_len as usize;
+    if window == 0 || len < (window + 1) * 3 {
+        return Err(fault(
+            ErrorCode::Malformed,
+            format!("bootstrap_len {len} too short for window {window}"),
+        ));
+    }
+    let cfg = seed_pipeline_config(spec);
+    let mut installed = 0u64;
+    const CHUNK: usize = 2048;
+    let fresh: Vec<&String> = spec
+        .ids
+        .iter()
+        .filter(|id| !service.contains_entity(id))
+        .collect();
+    for chunk in fresh.chunks(CHUNK) {
+        let mut frames: Vec<(&str, TimeSeriesFrame)> = Vec::with_capacity(chunk.len());
+        for id in chunk {
+            let frame = seed_bootstrap(spec.seed, id, len).map_err(|e| serve_fault(&e))?;
+            frames.push((id.as_str(), frame));
+        }
+        if frames.is_empty() {
+            continue;
+        }
+        service
+            .add_entities_shared(&frames, cfg.clone(), Box::new(NaiveForecaster::new()))
+            .map_err(|e| serve_fault(&e))?;
+        installed += frames.len() as u64;
+    }
+    Ok(installed)
+}

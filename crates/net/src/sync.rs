@@ -1,0 +1,43 @@
+//! Poison-recovering lock helpers for the serving tier.
+//!
+//! Node servers share a `RwLock<PredictionService>` across connection
+//! handler threads; a panic inside one handler must not wedge the whole
+//! node, so every acquisition goes through these helpers (the analysis
+//! R4 rule bans bare `.lock()`/`.read()`/`.write()` in this crate).
+//! Mutex acquisition reuses [`serve::lock_recover`].
+
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+pub use serve::lock_recover;
+
+/// Acquire a read guard, recovering from poisoning (a panicked writer
+/// leaves the data in whatever consistent state it last reached; counters
+/// and entity maps tolerate that).
+pub fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|p| p.into_inner()) // lint: allow(r4) — the blessed read path
+}
+
+/// Acquire a write guard, recovering from poisoning.
+pub fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|p| p.into_inner()) // lint: allow(r4) — the blessed write path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::RwLock;
+
+    #[test]
+    fn recovers_after_writer_panic() {
+        let lock = std::sync::Arc::new(RwLock::new(7u32));
+        let l2 = lock.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write().expect("fresh lock");
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*read_recover(&lock), 7);
+        *write_recover(&lock) = 8;
+        assert_eq!(*read_recover(&lock), 8);
+    }
+}

@@ -1,0 +1,140 @@
+//! Membership-change tests: draining a node and joining a fresh node
+//! must move entities with their full predictor state (warm handoff),
+//! so forecasts resume bit-identically — replay is deliberately
+//! disabled here to prove the state migration alone carries history.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use net::{FleetRouter, NodeConfig, NodeServer, NodeStatus, RouterConfig};
+use obs::EventKind;
+use serve::{PredictionService, ServiceConfig};
+
+fn start_node() -> NodeServer {
+    let service = PredictionService::new(ServiceConfig {
+        shards: 2,
+        queue_capacity: 512,
+        refit_workers: 0,
+        refit_every: 0,
+        score_on_ingest: false,
+        ..Default::default()
+    })
+    .expect("service starts");
+    NodeServer::start(NodeConfig::default(), service).expect("node starts")
+}
+
+fn router_config() -> RouterConfig {
+    RouterConfig {
+        // Replay off: any post-migration correctness must come from the
+        // checkpointed state, not from the router's sample buffer.
+        replay_window: 0,
+        request_timeout: Duration::from_secs(2),
+        bootstrap_len: 64,
+        window: 12,
+        seed: 1234,
+        ..Default::default()
+    }
+}
+
+fn sample(idx: usize, round: usize) -> Vec<f32> {
+    vec![0.25 + 0.002 * (idx % 5) as f32 + 0.03 * round as f32]
+}
+
+fn ingest_rounds(
+    router: &mut FleetRouter,
+    ids: &[String],
+    rounds: std::ops::Range<usize>,
+) -> HashMap<String, f32> {
+    let mut last = HashMap::new();
+    for round in rounds {
+        let batch: Vec<(String, Vec<f32>)> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), sample(i, round)))
+            .collect();
+        let report = router.ingest_batch(&batch).expect("batch routes");
+        assert_eq!(report.accepted, ids.len() as u64);
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        for (i, id) in ids.iter().enumerate() {
+            last.insert(id.clone(), sample(i, round)[0]);
+        }
+    }
+    last
+}
+
+fn assert_forecasts_match(router: &mut FleetRouter, ids: &[String], last: &HashMap<String, f32>) {
+    let results = router.forecast_batch(ids);
+    assert_eq!(results.len(), ids.len());
+    for (id, result) in results {
+        let f = result.expect("forecast")[0];
+        let expect = last[&id];
+        assert!(
+            (f - expect).abs() < 2e-2,
+            "{id}: forecast {f} vs last ingested {expect}"
+        );
+    }
+}
+
+/// Draining a node hands every entity over with model weights,
+/// preprocessing state and history; forecasts on the new owners pick up
+/// exactly where the drained node left off, with zero failovers.
+#[test]
+fn drain_migrates_state_warm() {
+    let nodes = [start_node(), start_node(), start_node()];
+    let mut router = FleetRouter::new(router_config());
+    for (i, n) in nodes.iter().enumerate() {
+        router
+            .add_node(&format!("n{i}"), &n.addr().to_string())
+            .expect("node joins");
+    }
+    let ids: Vec<String> = (0..36).map(|i| format!("d-{i:02}")).collect();
+    assert_eq!(router.seed_entities(&ids).expect("seed"), 36);
+    let last = ingest_rounds(&mut router, &ids, 0..6);
+
+    let migrated = router.drain_node("n1").expect("drain succeeds");
+    assert!(migrated > 0, "n1 should have owned some entities");
+    assert_eq!(router.node_status("n1"), Some(NodeStatus::Drained));
+    assert_eq!(router.journal().count(EventKind::NodeDrained), 1);
+    assert!(router.registry().counter("router_migrated").get() >= migrated);
+
+    // Warm handoff: replay is off, so only migrated state can explain
+    // correct persistence forecasts.
+    assert_forecasts_match(&mut router, &ids, &last);
+    assert_eq!(router.registry().counter("router_failed_over").get(), 0);
+
+    // The fleet keeps ingesting at full acceptance on the survivors.
+    let last = ingest_rounds(&mut router, &ids, 6..8);
+    assert_forecasts_match(&mut router, &ids, &last);
+}
+
+/// A node joining an active fleet takes over its ring share through
+/// Checkpoint/Restore/Evict migration, and forecasts stay correct with
+/// replay disabled — the state moved, not just the placement.
+#[test]
+fn join_rebalances_with_state() {
+    let nodes = [start_node(), start_node()];
+    let mut router = FleetRouter::new(router_config());
+    for (i, n) in nodes.iter().enumerate() {
+        router
+            .add_node(&format!("n{i}"), &n.addr().to_string())
+            .expect("node joins");
+    }
+    let ids: Vec<String> = (0..36).map(|i| format!("j-{i:02}")).collect();
+    assert_eq!(router.seed_entities(&ids).expect("seed"), 36);
+    let last = ingest_rounds(&mut router, &ids, 0..6);
+
+    let newcomer = start_node();
+    router
+        .add_node("n2", &newcomer.addr().to_string())
+        .expect("join succeeds");
+    let migrated = router.registry().counter("router_migrated").get();
+    assert!(migrated > 0, "the newcomer should take over some entities");
+    assert!(router.journal().count(EventKind::EntityMigrated) >= 1);
+
+    assert_forecasts_match(&mut router, &ids, &last);
+    assert_eq!(router.registry().counter("router_failed_over").get(), 0);
+
+    let last = ingest_rounds(&mut router, &ids, 6..8);
+    assert_forecasts_match(&mut router, &ids, &last);
+    router.shutdown_fleet();
+}

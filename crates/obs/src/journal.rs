@@ -38,6 +38,16 @@ pub enum EventKind {
     QueueRejected,
     /// A fleet checkpoint was written or restored.
     Checkpoint,
+    /// A serving node joined the fleet (or recovered from `NodeDown`).
+    NodeUp,
+    /// A serving node stopped answering and was routed around.
+    NodeDown,
+    /// A serving node was gracefully drained: it stopped accepting new
+    /// traffic and handed its entity states off for migration.
+    NodeDrained,
+    /// Entity state moved between serving nodes via a checkpoint-based
+    /// warm handoff (drain, join rebalance or failover heal).
+    EntityMigrated,
 }
 
 impl EventKind {
@@ -56,6 +66,10 @@ impl EventKind {
             EventKind::BatchForecast => "batch_forecast",
             EventKind::QueueRejected => "queue_rejected",
             EventKind::Checkpoint => "checkpoint",
+            EventKind::NodeUp => "node_up",
+            EventKind::NodeDown => "node_down",
+            EventKind::NodeDrained => "node_drained",
+            EventKind::EntityMigrated => "entity_migrated",
         }
     }
 }

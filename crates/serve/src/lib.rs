@@ -51,5 +51,5 @@ pub use fallback::FallbackForecaster;
 pub use faults::FaultPlan;
 pub use router::{entity_hash, group_by_shard, shard_for};
 pub use service::{Backpressure, IngestGuard, PredictionService, RefitPolicy, ServiceConfig};
-pub use stats::{EntityHealth, ServiceStats, ShardStats};
+pub use stats::{lock_recover, EntityHealth, ServiceStats, ShardStats};
 pub use supervisor::EntityHealthReport;

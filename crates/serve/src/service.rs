@@ -497,17 +497,29 @@ impl PredictionService {
         self.ids.len()
     }
 
+    /// Whether `id` is currently onboarded, without copying the id set
+    /// (cheap enough for per-entry checks on million-entity fleets).
+    pub fn contains_entity(&self, id: &str) -> bool {
+        self.ids.contains(id)
+    }
+
+    /// The injectable clock this service (and its shards, journal and
+    /// latency spans) runs on.
+    pub fn clock(&self) -> SharedClock {
+        self.config.clock.clone()
+    }
+
     /// The shard serving `id`.
     pub fn shard_of(&self, id: &str) -> usize {
         shard_for(id, self.config.shards)
     }
 
     /// Capture every entity's full state (model weights, preprocessing,
-    /// history) into a versioned fleet checkpoint at `path`. Returns the
-    /// number of entities written. The snapshot is taken per shard behind
-    /// the same FIFO queues as ingestion, so it reflects every sample
-    /// ingested before this call.
-    pub fn checkpoint(&self, path: &Path) -> Result<usize, ServeError> {
+    /// history) in memory, sorted by id. The snapshot is taken per shard
+    /// behind the same FIFO queues as ingestion, so it reflects every
+    /// sample ingested before this call. This is the building block for
+    /// both file checkpoints and node-to-node state migration.
+    pub fn snapshot_entities(&self) -> Result<Vec<(String, rptcn::PredictorState)>, ServeError> {
         let mut pending = Vec::new();
         for shard in 0..self.config.shards {
             let (reply_tx, reply_rx) = sync_channel(1);
@@ -522,6 +534,54 @@ impl PredictionService {
             entities.extend(states);
         }
         entities.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(entities)
+    }
+
+    /// Install an entity from a captured [`rptcn::PredictorState`] — the
+    /// receiving half of a warm handoff: model weights, preprocessing
+    /// state and history resume bit-identical to the snapshotting node.
+    pub fn install_state(
+        &mut self,
+        id: &str,
+        state: &rptcn::PredictorState,
+    ) -> Result<(), ServeError> {
+        if self.ids.contains(id) {
+            return Err(ServeError::DuplicateEntity(id.to_string()));
+        }
+        let predictor = ResourcePredictor::from_state(state)?;
+        self.install(id, predictor)
+    }
+
+    /// Stop serving `id` and drop its state (used after its state has
+    /// been migrated to another node). Returns [`ServeError::UnknownEntity`]
+    /// if the entity was never onboarded.
+    pub fn remove_entity(&mut self, id: &str) -> Result<(), ServeError> {
+        if !self.ids.contains(id) {
+            return Err(ServeError::UnknownEntity(id.to_string()));
+        }
+        let shard = shard_for(id, self.config.shards);
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.send_blocking(
+            shard,
+            ShardMsg::Remove {
+                id: id.to_string(),
+                reply: reply_tx,
+            },
+        )?;
+        let removed = reply_rx.recv().map_err(|_| ServeError::ShardDown(shard))?;
+        self.ids.remove(id);
+        if removed {
+            Ok(())
+        } else {
+            Err(ServeError::UnknownEntity(id.to_string()))
+        }
+    }
+
+    /// Capture every entity's full state into a versioned fleet checkpoint
+    /// at `path` (see [`PredictionService::snapshot_entities`]). Returns
+    /// the number of entities written.
+    pub fn checkpoint(&self, path: &Path) -> Result<usize, ServeError> {
+        let entities = self.snapshot_entities()?;
         save_fleet(path, &entities)?;
         Ok(entities.len())
     }

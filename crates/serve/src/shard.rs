@@ -88,6 +88,9 @@ pub(crate) enum ShardMsg {
     Snapshot {
         reply: SyncSender<Result<Vec<(String, PredictorState)>, ServeError>>,
     },
+    /// Evict an entity from this shard (used when its state migrates to
+    /// another node). Replies `false` if the entity was never installed.
+    Remove { id: String, reply: SyncSender<bool> },
     /// Report every entity's serving health, sorted by id.
     Health {
         reply: SyncSender<Vec<(String, EntityHealthReport)>>,
@@ -229,6 +232,19 @@ pub(crate) fn shard_loop(
             }
             ShardMsg::Snapshot { reply } => {
                 let _ = reply.send(snapshot_all(slots));
+            }
+            ShardMsg::Remove { id, reply } => {
+                let removed = match slots.remove(&id) {
+                    Some(slot) => {
+                        ctx.stats.entities.dec();
+                        if slot.health == EntityHealth::Degraded {
+                            ctx.stats.degraded.dec();
+                        }
+                        true
+                    }
+                    None => false,
+                };
+                let _ = reply.send(removed);
             }
             ShardMsg::Health { reply } => {
                 let mut out: Vec<(String, EntityHealthReport)> = slots

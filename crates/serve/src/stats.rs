@@ -31,8 +31,10 @@ pub enum EntityHealth {
 
 /// Lock a stats mutex, recovering from poisoning: a panicking shard must
 /// not take observability down with it — the guarded data is only ever a
-/// counter accumulator and stays usable after an unwind.
-pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+/// counter accumulator and stays usable after an unwind. Public so the
+/// distributed tier (`rptcn-net`) shares the same blessed acquisition
+/// path instead of minting its own bare `.lock()` calls.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner()) // lint: allow(r4) — the one blessed bare lock
 }
 

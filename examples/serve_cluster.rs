@@ -1,0 +1,135 @@
+//! Distributed serving demo: a [`net::FleetRouter`] places entities
+//! across two [`net::NodeServer`]s over the length-prefixed wire
+//! protocol, streams live traffic, then grows the fleet by one node
+//! (warm state migration), drains a node gracefully, and prints the
+//! topology journal the tier kept along the way.
+//!
+//! ```sh
+//! cargo run --release --example serve_cluster
+//! ```
+
+use std::time::Duration;
+
+use net::{FleetRouter, NodeConfig, NodeServer, RouterConfig};
+use serve::{PredictionService, ServiceConfig};
+
+const ENTITIES: usize = 96;
+const ROUNDS: usize = 8;
+
+fn start_node() -> NodeServer {
+    let service = PredictionService::new(ServiceConfig {
+        shards: 2,
+        queue_capacity: 1024,
+        refit_workers: 0,
+        refit_every: 0,
+        score_on_ingest: false,
+        ..Default::default()
+    })
+    .expect("node service starts");
+    NodeServer::start(NodeConfig::default(), service).expect("node starts")
+}
+
+fn sample(idx: usize, round: usize) -> Vec<f32> {
+    vec![0.40 + 0.002 * (idx % 11) as f32 + 0.015 * round as f32]
+}
+
+fn ingest_round(router: &mut FleetRouter, ids: &[String], round: usize) {
+    let batch: Vec<(String, Vec<f32>)> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (id.clone(), sample(i, round)))
+        .collect();
+    let report = router.ingest_batch(&batch).expect("ingest routes");
+    assert_eq!(report.accepted as usize, ids.len(), "{:?}", report.errors);
+}
+
+fn forecast_all(router: &mut FleetRouter, ids: &[String]) -> usize {
+    router
+        .forecast_batch(ids)
+        .into_iter()
+        .filter(|(_, r)| r.is_ok())
+        .count()
+}
+
+fn main() {
+    // Two serving nodes on ephemeral localhost ports; the router talks to
+    // them exclusively through the versioned binary wire protocol.
+    let nodes = [start_node(), start_node()];
+    let mut router = FleetRouter::new(RouterConfig {
+        request_timeout: Duration::from_secs(5),
+        bulk_timeout: Duration::from_secs(60),
+        seed: 7,
+        bootstrap_len: 64,
+        window: 12,
+        ..Default::default()
+    });
+    for (i, n) in nodes.iter().enumerate() {
+        router
+            .add_node(&format!("n{i}"), &n.addr().to_string())
+            .expect("node joins fleet");
+        println!("node n{i} listening on {}", n.addr());
+    }
+
+    // Seed the fleet: the router sends Seed frames, each node bootstraps
+    // its entities deterministically (same seed → same series anywhere).
+    let ids: Vec<String> = (0..ENTITIES).map(|i| format!("svc-{i:03}")).collect();
+    let installed = router.seed_entities(&ids).expect("seed succeeds");
+    println!("seeded {installed} entities across {} nodes", nodes.len());
+
+    println!("\nstreaming {ROUNDS} rounds of live samples...");
+    for round in 0..ROUNDS / 2 {
+        ingest_round(&mut router, &ids, round);
+    }
+    println!(
+        "  mid-stream forecast fan-out: {}/{} ok",
+        forecast_all(&mut router, &ids),
+        ids.len()
+    );
+
+    // Grow the fleet: a third node joins and takes over its consistent-
+    // hash share via Checkpoint → Restore → Evict, with full model state.
+    let newcomer = start_node();
+    router
+        .add_node("n2", &newcomer.addr().to_string())
+        .expect("join succeeds");
+    println!(
+        "\nnode n2 joined on {}; {} entities migrated warm",
+        newcomer.addr(),
+        router.registry().counter("router_migrated").get()
+    );
+
+    for round in ROUNDS / 2..ROUNDS {
+        ingest_round(&mut router, &ids, round);
+    }
+    println!(
+        "  post-join forecast fan-out: {}/{} ok",
+        forecast_all(&mut router, &ids),
+        ids.len()
+    );
+
+    // Shrink gracefully: drain n0 — it checkpoints every entity it owns,
+    // hands the states to the ring successors, and leaves the fleet.
+    let moved = router.drain_node("n0").expect("drain succeeds");
+    println!("\ndrained n0: {moved} entities handed over warm");
+    println!(
+        "  post-drain forecast fan-out: {}/{} ok (failovers: {})",
+        forecast_all(&mut router, &ids),
+        ids.len(),
+        router.registry().counter("router_failed_over").get()
+    );
+
+    println!("\nfleet topology: {:?}", router.nodes());
+    println!("\ntopology journal:");
+    for e in router.journal().events() {
+        println!(
+            "  at={}ms kind={} entity={} {}",
+            e.at_nanos / 1_000_000,
+            e.kind.name(),
+            e.entity.as_deref().unwrap_or("-"),
+            e.detail
+        );
+    }
+
+    router.shutdown_fleet();
+    println!("\nfleet shut down cleanly");
+}

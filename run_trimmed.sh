@@ -19,4 +19,12 @@ if [ ! -s BENCH_infer.json ]; then
     echo "FATAL: bench_infer produced no BENCH_infer.json" >> experiments/progress.log
     exit 1
 fi
+./target/release/bench_fleet --quick --rounds 2 > experiments/bench_fleet.txt 2>>experiments/progress.log
+# Same contract for the fleet benchmark: the distributed-tier run must
+# leave its throughput/latency report behind or the run is broken.
+if [ ! -s BENCH_fleet.json ]; then
+    echo "FATAL: bench_fleet produced no BENCH_fleet.json" >&2
+    echo "FATAL: bench_fleet produced no BENCH_fleet.json" >> experiments/progress.log
+    exit 1
+fi
 echo TRIMMED_DONE >> experiments/progress.log
