@@ -1,0 +1,174 @@
+//! Deterministic fleet-simulator smoke bench: run the chaos harness
+//! across a seed matrix and report per-seed invariant verdicts, fault
+//! counts and recovery counters to `BENCH_sim.json`.
+//!
+//! Unlike `bench_fleet` (real TCP, real processes, wall-clock latency)
+//! this bench runs whole fleets in-process over the simulated network on
+//! virtual time — it measures *correctness under chaos*, not
+//! throughput. A run fails (exit 1) if any seed violates a fleet
+//! invariant; the failing seed's one-line repro command is printed and
+//! recorded in the JSON.
+//!
+//! Flags: `--seeds <n>` (default 8), `--seed-base <u64>` (default
+//! 0xC0FFEE), `--nodes <n>`, `--entities <n>`, `--rounds <n>`,
+//! `--quick` (4 seeds, smaller fleet — CI smoke).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use net::{run_fleet_chaos, ChaosConfig, ChaosOutcome};
+
+struct SimArgs {
+    seeds: u64,
+    seed_base: u64,
+    nodes: usize,
+    entities: usize,
+    rounds: usize,
+    quick: bool,
+}
+
+impl Default for SimArgs {
+    fn default() -> Self {
+        SimArgs {
+            seeds: 8,
+            seed_base: 0x00C0_FFEE,
+            nodes: 3,
+            entities: 12,
+            rounds: 12,
+            quick: false,
+        }
+    }
+}
+
+fn parse_args(mut it: impl Iterator<Item = String>) -> SimArgs {
+    let mut out = SimArgs::default();
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => out.seeds = take("--seeds").parse().expect("--seeds: u64"),
+            "--seed-base" => out.seed_base = take("--seed-base").parse().expect("--seed-base: u64"),
+            "--nodes" => out.nodes = take("--nodes").parse().expect("--nodes: usize"),
+            "--entities" => out.entities = take("--entities").parse().expect("--entities: usize"),
+            "--rounds" => out.rounds = take("--rounds").parse().expect("--rounds: usize"),
+            "--quick" => out.quick = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --seeds <n> --seed-base <u64> --nodes <n> --entities <n> --rounds <n> --quick"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag '{other}' (try --help)"),
+        }
+    }
+    if out.quick {
+        out.seeds = out.seeds.min(4);
+        out.entities = out.entities.min(8);
+        out.rounds = out.rounds.min(8);
+    }
+    assert!(out.seeds >= 1, "need at least one seed");
+    out
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let started = Instant::now();
+    let mut outcomes: Vec<ChaosOutcome> = Vec::new();
+    for i in 0..args.seeds {
+        let seed = args.seed_base + i * 101;
+        let t0 = Instant::now();
+        let o = run_fleet_chaos(&ChaosConfig {
+            seed,
+            nodes: args.nodes,
+            entities: args.entities,
+            rounds: args.rounds,
+            ..ChaosConfig::default()
+        })
+        .expect("chaos harness must not error");
+        println!(
+            "seed {seed}: {} | {:.1}s | acked {}/{} ingests | faults {} | retries {} ({} exhausted) | dedup hits {} | downs {}",
+            o.report.summary(),
+            t0.elapsed().as_secs_f64(),
+            o.acked_ingests,
+            o.acked_ingests + o.nacked_ingests,
+            o.faults.total_faults(),
+            o.retries,
+            o.retries_exhausted,
+            o.dedup_hits,
+            o.node_down_transitions,
+        );
+        if !o.report.is_clean() {
+            println!("REPRO: {}", o.repro);
+        }
+        outcomes.push(o);
+    }
+    let all_clean = outcomes.iter().all(|o| o.report.is_clean());
+    let json = render_json(&args, &outcomes, started.elapsed().as_secs_f64(), all_clean);
+    std::fs::write("BENCH_sim.json", json).expect("write BENCH_sim.json");
+    println!(
+        "bench_sim: {} seeds in {:.1}s — {}",
+        outcomes.len(),
+        started.elapsed().as_secs_f64(),
+        if all_clean {
+            "all invariants hold"
+        } else {
+            "INVARIANT VIOLATIONS"
+        }
+    );
+    if !all_clean {
+        std::process::exit(1);
+    }
+}
+
+fn render_json(
+    args: &SimArgs,
+    outcomes: &[ChaosOutcome],
+    elapsed_s: f64,
+    all_clean: bool,
+) -> String {
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"sim\",").unwrap();
+    writeln!(
+        json,
+        "  \"config\": {{ \"seeds\": {}, \"seed_base\": {}, \"nodes\": {}, \"entities\": {}, \"rounds\": {}, \"quick\": {} }},",
+        args.seeds, args.seed_base, args.nodes, args.entities, args.rounds, args.quick
+    )
+    .unwrap();
+    writeln!(json, "  \"elapsed_s\": {elapsed_s:.3},").unwrap();
+    writeln!(json, "  \"all_invariants_hold\": {all_clean},").unwrap();
+    writeln!(json, "  \"seeds\": [").unwrap();
+    for (i, o) in outcomes.iter().enumerate() {
+        let sep = if i + 1 < outcomes.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{ \"seed\": {}, \"clean\": {}, \"lost_acks\": {}, \"duplicate_applies\": {}, \"ownership_violations\": {}, \"phantom_forecasts\": {}, \"acked_ingests\": {}, \"nacked_ingests\": {}, \"acked_forecasts\": {}, \"executed_forecasts\": {}, \"frame_faults\": {}, \"partition_drops\": {}, \"connects_refused\": {}, \"retries\": {}, \"retries_exhausted\": {}, \"dedup_hits\": {}, \"failed_over\": {}, \"node_down_transitions\": {}, \"stabilize_rounds\": {}, \"repro\": \"{}\" }}{sep}",
+            o.seed,
+            o.report.is_clean(),
+            o.report.lost_acks.len(),
+            o.report.duplicate_applies.len(),
+            o.report.ownership_violations.len(),
+            o.report.phantom_forecasts,
+            o.acked_ingests,
+            o.nacked_ingests,
+            o.acked_forecasts,
+            o.executed_forecasts,
+            o.faults.total_faults(),
+            o.faults.partition_drops,
+            o.faults.connects_refused,
+            o.retries,
+            o.retries_exhausted,
+            o.dedup_hits,
+            o.failed_over,
+            o.node_down_transitions,
+            o.stabilize_rounds,
+            o.repro,
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    json
+}

@@ -45,7 +45,8 @@ pub use pipeline::{
     prepare, run_model, FittedPreprocess, PipelineConfig, PipelineRun, PreparedData, ScalerScope,
 };
 pub use placement::{
-    Arrival, HashRing, PlacementOutcome, PlacementSimulator, PlacementStrategy, SimMachine,
+    Arrival, HashRing, OwnershipAudit, PlacementOutcome, PlacementSimulator, PlacementStrategy,
+    SimMachine,
 };
 pub use predictor::{new_shared_group, PredictorState, ResourcePredictor};
 pub use scenario::Scenario;

@@ -155,6 +155,82 @@ impl HashRing {
     }
 }
 
+/// Result of auditing the fleet's actual entity holdings against the
+/// placement the ring prescribes — the *ownership oracle* the chaos
+/// suites assert after every simulated run. A converged fleet has every
+/// entity on exactly one live node, and that node is the ring owner;
+/// anything else is a violation with enough attribution to debug it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OwnershipAudit {
+    /// Entities held by no live node at all (lost).
+    pub missing: Vec<String>,
+    /// Entities held by more than one live node: `(entity, holders)`.
+    pub duplicated: Vec<(String, Vec<String>)>,
+    /// Entities held by exactly one live node, but not the ring owner:
+    /// `(entity, holder, expected_owner)`.
+    pub misplaced: Vec<(String, String, String)>,
+}
+
+impl OwnershipAudit {
+    /// Whether the fleet satisfies single-live-owner placement.
+    pub fn is_converged(&self) -> bool {
+        self.missing.is_empty() && self.duplicated.is_empty() && self.misplaced.is_empty()
+    }
+
+    /// Total number of violations across all three categories.
+    pub fn violations(&self) -> usize {
+        self.missing.len() + self.duplicated.len() + self.misplaced.len()
+    }
+}
+
+impl HashRing {
+    /// Audit actual entity `holdings` (per live node, the entity ids it
+    /// currently serves) against this ring's placement for `expected`
+    /// entities. `alive` filters ring members the same way the router's
+    /// failover lookup does; nodes absent from `holdings` are treated as
+    /// holding nothing. Entities outside `expected` are ignored.
+    pub fn audit_ownership(
+        &self,
+        alive: impl Fn(&str) -> bool,
+        expected: &[String],
+        holdings: &[(String, Vec<String>)],
+    ) -> OwnershipAudit {
+        let mut held_by: std::collections::BTreeMap<&str, Vec<&str>> =
+            std::collections::BTreeMap::new();
+        for (node, ids) in holdings {
+            if !alive(node) {
+                continue;
+            }
+            for id in ids {
+                held_by.entry(id.as_str()).or_default().push(node.as_str());
+            }
+        }
+        let mut audit = OwnershipAudit::default();
+        for id in expected {
+            let holders = held_by.get(id.as_str()).map_or(&[][..], Vec::as_slice);
+            let owner = self.node_for_where(id, &alive);
+            match (holders, owner) {
+                ([], _) => audit.missing.push(id.clone()),
+                ([one], Some(owner)) if *one == owner => {}
+                ([one], Some(owner)) => {
+                    audit
+                        .misplaced
+                        .push((id.clone(), (*one).to_string(), owner.to_string()));
+                }
+                ([one], None) => {
+                    // No live owner exists; a single surviving copy is
+                    // the best possible state, not a violation.
+                    let _ = one;
+                }
+                (many, _) => audit
+                    .duplicated
+                    .push((id.clone(), many.iter().map(|n| (*n).to_string()).collect())),
+            }
+        }
+        audit
+    }
+}
+
 /// How the scheduler estimates a machine's near-future load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlacementStrategy {
@@ -551,6 +627,84 @@ mod tests {
         for (k, n) in kept {
             assert_eq!(ring.node_for(&k), Some(n.as_str()), "{k} moved needlessly");
         }
+    }
+
+    #[test]
+    fn ownership_audit_flags_missing_duplicated_and_misplaced() {
+        let mut ring = HashRing::new(32);
+        for n in ["node-0", "node-1", "node-2"] {
+            ring.add_node(n);
+        }
+        let ids: Vec<String> = (0..40).map(|i| format!("e_{i}")).collect();
+        // Converged holdings: every entity exactly where the ring says.
+        let mut holdings: std::collections::BTreeMap<String, Vec<String>> = Default::default();
+        for id in &ids {
+            let owner = ring.node_for(id).unwrap().to_string();
+            holdings.entry(owner).or_default().push(id.clone());
+        }
+        let converged: Vec<(String, Vec<String>)> = holdings.clone().into_iter().collect();
+        let audit = ring.audit_ownership(|_| true, &ids, &converged);
+        assert!(
+            audit.is_converged(),
+            "converged fleet audits clean: {audit:?}"
+        );
+
+        // Break it three ways: drop e_0, duplicate e_1, misplace e_2.
+        let mut broken = holdings;
+        let owner0 = ring.node_for("e_0").unwrap().to_string();
+        broken.get_mut(&owner0).unwrap().retain(|i| i != "e_0");
+        let owner1 = ring.node_for("e_1").unwrap().to_string();
+        let other1 = ring
+            .node_for_where("e_1", |n| n != owner1)
+            .unwrap()
+            .to_string();
+        broken.entry(other1).or_default().push("e_1".into());
+        let owner2 = ring.node_for("e_2").unwrap().to_string();
+        let other2 = ring
+            .node_for_where("e_2", |n| n != owner2)
+            .unwrap()
+            .to_string();
+        broken.get_mut(&owner2).unwrap().retain(|i| i != "e_2");
+        broken.entry(other2.clone()).or_default().push("e_2".into());
+        let broken: Vec<(String, Vec<String>)> = broken.into_iter().collect();
+        let audit = ring.audit_ownership(|_| true, &ids, &broken);
+        assert_eq!(audit.missing, vec!["e_0".to_string()]);
+        assert_eq!(audit.duplicated.len(), 1);
+        assert_eq!(audit.duplicated[0].0, "e_1");
+        assert_eq!(audit.misplaced, vec![("e_2".to_string(), other2, owner2)]);
+        assert_eq!(audit.violations(), 3);
+    }
+
+    #[test]
+    fn ownership_audit_respects_liveness() {
+        let mut ring = HashRing::new(32);
+        for n in ["node-0", "node-1"] {
+            ring.add_node(n);
+        }
+        let ids = vec!["e_7".to_string()];
+        let owner = ring.node_for("e_7").unwrap().to_string();
+        let successor = ring
+            .node_for_where("e_7", |n| n != owner)
+            .unwrap()
+            .to_string();
+        // The primary is dead but still holds a stale copy; the live
+        // successor holds the real one. Counting only live nodes, the
+        // fleet is converged onto the successor.
+        let holdings = vec![
+            (owner.clone(), vec!["e_7".to_string()]),
+            (successor.clone(), vec!["e_7".to_string()]),
+        ];
+        let audit = ring.audit_ownership(|n| n != owner, &ids, &holdings);
+        assert!(audit.is_converged(), "{audit:?}");
+        // With every ring member dead, a single surviving copy on a live
+        // off-ring node (e.g. mid-drain) is tolerated: there is no live
+        // owner to converge onto.
+        let off_ring = vec![("node-9".to_string(), vec!["e_7".to_string()])];
+        let audit = ring.audit_ownership(|n| n == "node-9", &ids, &off_ring);
+        assert!(audit.is_converged(), "{audit:?}");
+        // And with no live holder anywhere, the entity is simply lost.
+        let audit = ring.audit_ownership(|_| false, &ids, &holdings);
+        assert_eq!(audit.missing, ids);
     }
 
     #[test]

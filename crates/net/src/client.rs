@@ -1,43 +1,57 @@
 //! Blocking request/reply client for one node connection.
 //!
-//! A [`NodeClient`] owns a single TCP connection and multiplexes nothing:
-//! requests are strictly sequential, each tagged with an incrementing
-//! request id that the node echoes back. An id mismatch or an unexpected
-//! reply kind marks the connection untrustworthy ([`NetError::Protocol`])
-//! and callers are expected to reconnect.
+//! A [`NodeClient`] owns a single [`Connection`] and multiplexes nothing:
+//! requests are strictly sequential, each tagged with a request id that
+//! the node echoes back. Ids either auto-increment per connection (the
+//! standalone [`NodeClient::request`] path) or are supplied by the
+//! caller ([`NodeClient::request_with_id`]) so the fleet router can
+//! reuse one globally unique id across retries and reconnects and lean
+//! on node-side dedup for exactly-once effects. An id mismatch or an
+//! unexpected reply kind marks the connection untrustworthy
+//! ([`NetError::Protocol`]) and callers are expected to reconnect.
 
-use std::io::BufWriter;
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::error::NetError;
 use crate::frame::{read_frame, write_frame, Message};
+use crate::transport::{Connection, TcpTransport, Transport};
 
 /// A blocking client bound to one node connection.
-#[derive(Debug)]
 pub struct NodeClient {
-    stream: TcpStream,
+    conn: Box<dyn Connection>,
     next_id: u64,
     timeout: Duration,
 }
 
-fn resolve(addr: &str) -> Result<SocketAddr, NetError> {
-    addr.to_socket_addrs()
-        .map_err(|e| NetError::Io(format!("resolve {addr}: {e}")))?
-        .next()
-        .ok_or_else(|| NetError::Io(format!("address {addr} resolved to nothing")))
+impl std::fmt::Debug for NodeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeClient")
+            .field("peer", &self.conn.peer())
+            .field("next_id", &self.next_id)
+            .field("timeout", &self.timeout)
+            .finish()
+    }
 }
 
 impl NodeClient {
-    /// Connect to `addr` (e.g. `127.0.0.1:4710`) with a connect timeout;
-    /// `timeout` also becomes the default per-request read/write timeout.
+    /// Connect to `addr` (e.g. `127.0.0.1:4710`) over TCP with a connect
+    /// timeout; `timeout` also becomes the default per-request
+    /// read/write timeout.
     pub fn connect(addr: &str, timeout: Duration) -> Result<Self, NetError> {
-        let sockaddr = resolve(addr)?;
-        let stream = TcpStream::connect_timeout(&sockaddr, timeout)
-            .map_err(|e| NetError::Io(format!("connect {addr}: {e}")))?;
-        stream.set_nodelay(true)?;
+        Self::connect_with(&TcpTransport, addr, timeout)
+    }
+
+    /// Connect to `addr` over an explicit [`Transport`] (the fleet
+    /// router passes its configured transport here, which is how whole
+    /// fleets end up on the in-process simulator).
+    pub fn connect_with(
+        transport: &dyn Transport,
+        addr: &str,
+        timeout: Duration,
+    ) -> Result<Self, NetError> {
+        let conn = transport.connect(addr, timeout)?;
         Ok(NodeClient {
-            stream,
+            conn,
             next_id: 1,
             timeout,
         })
@@ -57,13 +71,27 @@ impl NodeClient {
     ) -> Result<Message, NetError> {
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1).max(1);
-        self.stream.set_write_timeout(Some(timeout))?;
-        self.stream.set_read_timeout(Some(timeout))?;
-        {
-            let mut w = BufWriter::new(&self.stream);
-            write_frame(&mut w, id, msg)?;
-        }
-        let (reply_id, reply) = read_frame(&mut self.stream)?;
+        self.request_with_id(id, msg, timeout)
+    }
+
+    /// Send one request under a caller-chosen id and wait for its reply.
+    ///
+    /// The id must be non-zero (id 0 is reserved for connection-scoped
+    /// error frames). Callers that retry a failed request over a fresh
+    /// connection should resend under the *same* id: nodes dedup
+    /// mutating requests by id, turning at-least-once delivery into
+    /// exactly-once effect.
+    pub fn request_with_id(
+        &mut self,
+        id: u64,
+        msg: &Message,
+        timeout: Duration,
+    ) -> Result<Message, NetError> {
+        self.conn.set_write_timeout(Some(timeout))?;
+        self.conn.set_read_timeout(Some(timeout))?;
+        write_frame(&mut self.conn, id, msg)?;
+        self.conn.flush()?;
+        let (reply_id, reply) = read_frame(&mut self.conn)?;
         if let Message::Error(fault) = reply {
             // Error frames are authoritative even with a mismatched id:
             // connection-scoped faults (malformed request) use id 0.

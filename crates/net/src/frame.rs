@@ -38,6 +38,13 @@ pub const HEADER_LEN: usize = 20;
 /// Maximum payload size a peer will accept (64 MiB). Larger frames are
 /// rejected before any payload allocation happens.
 pub const MAX_PAYLOAD: u32 = 64 << 20;
+/// First request id in the idempotent range. Standalone clients number
+/// their requests per-connection from 1 and never reach this base; the
+/// fleet router allocates ids at or above it from a process-wide counter,
+/// so every routed mutating request carries a globally unique id that
+/// nodes can dedup on — retrying under the same id is then safe even if
+/// the first attempt was executed but its reply was lost.
+pub const IDEMPOTENT_ID_BASE: u64 = 1 << 32;
 
 /// Errors produced while encoding or decoding frames.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -282,8 +289,13 @@ pub enum Message {
     Seed(SeedSpec),
     /// Seed reply.
     SeedOk {
-        /// Entities registered.
+        /// Entities registered by this request.
         installed: u64,
+        /// Requested ids skipped because the node already had them.
+        /// Callers replaying buffered samples after a seed must replay
+        /// only the freshly installed ids — replaying into an `already`
+        /// entity would apply its samples twice.
+        already: Vec<String>,
     },
     /// Remove entities from the node (after they migrated elsewhere).
     Evict {
@@ -440,7 +452,10 @@ impl Message {
                 wire::write_u32(out, spec.bootstrap_len)?;
                 wire::write_u32(out, spec.window)?;
             }
-            Message::SeedOk { installed } => wire::write_u64(out, *installed)?,
+            Message::SeedOk { installed, already } => {
+                wire::write_u64(out, *installed)?;
+                write_str_list(out, already)?;
+            }
             Message::EvictOk { removed } => wire::write_u64(out, *removed)?,
             Message::Error(fault) => {
                 wire::write_u32(out, u32::from(fault.code.to_u16()))?;
@@ -539,6 +554,7 @@ impl Message {
             }),
             12 => Message::SeedOk {
                 installed: wire::read_u64(r)?,
+                already: read_str_list(r)?,
             },
             13 => Message::Evict {
                 ids: read_str_list(r)?,
@@ -745,7 +761,11 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(u64, Message, usize), WireError> {
 }
 
 /// Encode and write one frame to a stream.
-pub fn write_frame<W: Write>(w: &mut W, request_id: u64, msg: &Message) -> Result<(), WireError> {
+pub fn write_frame<W: Write + ?Sized>(
+    w: &mut W,
+    request_id: u64,
+    msg: &Message,
+) -> Result<(), WireError> {
     let bytes = encode_frame(request_id, msg)?;
     w.write_all(&bytes).map_err(|e| io_err("frame write", &e))?;
     w.flush().map_err(|e| io_err("frame flush", &e))?;
@@ -754,7 +774,7 @@ pub fn write_frame<W: Write>(w: &mut W, request_id: u64, msg: &Message) -> Resul
 
 /// Read one complete frame from a stream. A clean EOF before the first
 /// header byte surfaces as `Truncated { context: "frame header" }`.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<(u64, Message), WireError> {
+pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> Result<(u64, Message), WireError> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)
         .map_err(|e| io_err("frame header", &e))?;

@@ -27,15 +27,22 @@ pub mod error;
 pub mod frame;
 pub mod node;
 pub mod router;
+pub mod sim;
 pub mod sync;
+pub mod transport;
 
 pub use client::NodeClient;
 pub use error::NetError;
 pub use frame::{
     decode_frame, encode_frame, read_frame, write_frame, ErrorCode, ForecastOutcome, FrameHeader,
-    HealthReport, IngestEntry, Message, SeedSpec, WireError, WireFault, HEADER_LEN, MAX_PAYLOAD,
-    WIRE_MAGIC, WIRE_VERSION,
+    HealthReport, IngestEntry, Message, SeedSpec, WireError, WireFault, HEADER_LEN,
+    IDEMPOTENT_ID_BASE, MAX_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
 };
 pub use node::{seed_bootstrap, NodeConfig, NodeServer};
 pub use router::{FleetRouter, NodeStatus, RouterConfig};
-pub use sync::{lock_recover, read_recover, write_recover};
+pub use sim::{
+    check_fleet_invariants, run_fleet_chaos, ChaosConfig, ChaosOutcome, FaultConfig, FaultStats,
+    InvariantReport, NodeHoldings, SimNet, SimTransport,
+};
+pub use sync::{lock_recover, read_recover, wait_timeout_recover, write_recover};
+pub use transport::{Connection, Listener, SharedTransport, TcpTransport, Transport};

@@ -1,23 +1,32 @@
 //! A serving node: one sharded [`PredictionService`] behind the wire
 //! protocol.
 //!
-//! [`NodeServer::start`] binds a TCP listener and spawns a
-//! thread-per-connection accept loop. Each connection handler speaks the
-//! frame protocol from [`crate::frame`]: it reads a request, dispatches
-//! it against the shared service, and writes exactly one reply frame
-//! with the same request id. Malformed traffic gets a typed error frame
-//! and (when the stream can no longer be trusted) a closed connection —
-//! never a panic or a hang.
+//! [`NodeServer::start`] binds a listener on the configured
+//! [`Transport`] (TCP by default, the in-process simulator in chaos
+//! tests) and spawns a thread-per-connection accept loop. Each
+//! connection handler speaks the frame protocol from [`crate::frame`]:
+//! it reads a request, dispatches it against the shared service, and
+//! writes exactly one reply frame with the same request id. Malformed
+//! traffic gets a typed error frame and (when the stream can no longer
+//! be trusted) a closed connection — never a panic or a hang.
+//!
+//! Mutating requests carrying an id at or above
+//! [`IDEMPOTENT_ID_BASE`](crate::frame::IDEMPOTENT_ID_BASE) are
+//! deduplicated: the node remembers their replies in a bounded
+//! [`DedupCache`] and answers a replayed id from the cache instead of
+//! re-executing, so router retries and duplicated frames have
+//! exactly-once effect.
 //!
 //! Observability rides on the node's service: every request is timed
 //! into a per-kind latency histogram in the service `Registry`
-//! (`net_req_<kind>`), connections are counted, and drain/shutdown are
-//! journaled, all on the service's injectable clock.
+//! (`net_req_<kind>`), connections and dedup hits are counted, and
+//! drain/shutdown/dedup events are journaled, all on the service's
+//! injectable clock.
 
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::HashSet;
+use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -26,25 +35,30 @@ use cloudtrace::WorkloadClass;
 use models::NaiveForecaster;
 use obs::{EventKind, Span};
 use rptcn::{PipelineConfig, Scenario};
-use serve::{entity_hash, PredictionService, ServeError};
+use serve::{entity_hash, DedupCache, PredictionService, ServeError};
 use tensor::Rng;
 use timeseries::TimeSeriesFrame;
 
 use crate::error::NetError;
 use crate::frame::{
     decode_payload, parse_header, write_frame, ErrorCode, HealthReport, IngestEntry, Message,
-    SeedSpec, WireError, WireFault, HEADER_LEN,
+    SeedSpec, WireError, WireFault, HEADER_LEN, IDEMPOTENT_ID_BASE,
 };
-use crate::sync::{lock_recover, read_recover, write_recover};
+use crate::sync::{lock_recover, read_recover, wait_timeout_recover, write_recover};
+use crate::transport::{Connection, Listener, SharedTransport, TcpTransport};
 
 /// Configuration for one serving node.
 #[derive(Debug, Clone)]
 pub struct NodeConfig {
-    /// Listen address, e.g. `127.0.0.1:0` for an ephemeral port.
+    /// Listen address, e.g. `127.0.0.1:0` for an ephemeral TCP port or a
+    /// bare endpoint name under a simulated transport.
     pub listen: String,
     /// Poll granularity for idle connections: how often a blocked reader
     /// wakes up to check the stop flag.
     pub idle_poll: Duration,
+    /// Retained replies in the request-id dedup cache. Sized to cover
+    /// in-flight retryable requests, not lifetime request count.
+    pub dedup_capacity: usize,
 }
 
 impl Default for NodeConfig {
@@ -52,6 +66,7 @@ impl Default for NodeConfig {
         NodeConfig {
             listen: "127.0.0.1:0".into(),
             idle_poll: Duration::from_millis(50),
+            dedup_capacity: 4096,
         }
     }
 }
@@ -61,8 +76,11 @@ struct NodeShared {
     draining: AtomicBool,
     stop: AtomicBool,
     idle_poll: Duration,
-    addr: SocketAddr,
+    addr: String,
+    transport: SharedTransport,
     conns: Mutex<Vec<JoinHandle<()>>>,
+    dedup: Mutex<DedupState>,
+    dedup_cv: Condvar,
 }
 
 /// A running node server. Dropping it shuts the node down.
@@ -72,25 +90,41 @@ pub struct NodeServer {
 }
 
 impl NodeServer {
-    /// Bind `config.listen`, wrap `service` and start serving. The bound
-    /// address (with the resolved ephemeral port) is available via
-    /// [`NodeServer::addr`].
+    /// Bind `config.listen` over TCP, wrap `service` and start serving.
+    /// The bound address (with the resolved ephemeral port) is available
+    /// via [`NodeServer::addr`].
     pub fn start(config: NodeConfig, service: PredictionService) -> Result<NodeServer, NetError> {
-        let listener = TcpListener::bind(&config.listen)
-            .map_err(|e| NetError::Io(format!("bind {}: {e}", config.listen)))?;
-        let addr = listener.local_addr()?;
+        Self::start_with(config, service, TcpTransport::shared())
+    }
+
+    /// Bind `config.listen` on an explicit [`Transport`] and start
+    /// serving. The fleet simulator uses this to run whole fleets over
+    /// an in-process network with injected faults.
+    pub fn start_with(
+        config: NodeConfig,
+        service: PredictionService,
+        transport: SharedTransport,
+    ) -> Result<NodeServer, NetError> {
+        let listener = transport.bind(&config.listen)?;
+        let addr = listener.local_addr();
         let shared = Arc::new(NodeShared {
             service: RwLock::new(service),
             draining: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             idle_poll: config.idle_poll,
-            addr,
+            addr: addr.clone(),
+            transport,
             conns: Mutex::new(Vec::new()),
+            dedup: Mutex::new(DedupState {
+                cache: DedupCache::new(config.dedup_capacity),
+                inflight: HashSet::new(),
+            }),
+            dedup_cv: Condvar::new(),
         });
         let accept_shared = shared.clone();
         let accept = std::thread::Builder::new()
             .name(format!("net-accept-{addr}"))
-            .spawn(move || accept_loop(&listener, &accept_shared))
+            .spawn(move || accept_loop(listener.as_ref(), &accept_shared))
             .map_err(|e| NetError::Io(format!("spawn accept loop: {e}")))?;
         Ok(NodeServer {
             shared,
@@ -99,13 +133,18 @@ impl NodeServer {
     }
 
     /// The address the node is listening on.
-    pub fn addr(&self) -> SocketAddr {
-        self.shared.addr
+    pub fn addr(&self) -> String {
+        self.shared.addr.clone()
     }
 
     /// Whether the node is draining (refusing new ingests).
     pub fn is_draining(&self) -> bool {
         self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Replays answered from the request-id dedup cache since start.
+    pub fn dedup_hits(&self) -> u64 {
+        lock_recover(&self.shared.dedup).cache.hits()
     }
 
     /// Ask the node to stop: no new connections, existing handlers exit
@@ -146,10 +185,12 @@ fn request_stop(shared: &NodeShared) {
         return;
     }
     // Unblock the accept loop with a throwaway connection.
-    let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_millis(200));
+    let _ = shared
+        .transport
+        .connect(&shared.addr, Duration::from_millis(200));
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<NodeShared>) {
+fn accept_loop(listener: &dyn Listener, shared: &Arc<NodeShared>) {
     {
         let service = read_recover(&shared.service);
         let now = now_nanos(&service);
@@ -161,18 +202,26 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<NodeShared>) {
             format!("listening on {}", shared.addr),
         );
     }
-    for stream in listener.incoming() {
+    loop {
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
-        let stream = match stream {
-            Ok(s) => s,
-            Err(_) => continue,
+        let conn = match listener.accept() {
+            Ok(c) => c,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
         };
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
         let conn_shared = shared.clone();
         let spawned = std::thread::Builder::new()
             .name("net-conn".into())
-            .spawn(move || handle_connection(stream, &conn_shared));
+            .spawn(move || handle_connection(conn, &conn_shared));
         match spawned {
             Ok(handle) => lock_recover(&shared.conns).push(handle),
             Err(_) => {
@@ -192,18 +241,18 @@ enum Fill {
     Stopped,
 }
 
-/// Fill `buf` from the stream, waking every `idle_poll` to check the stop
-/// flag. `allow_clean_eof` permits EOF before the first byte (idle peer
-/// hung up between frames); EOF mid-buffer is always an error.
+/// Fill `buf` from the connection, waking every `idle_poll` to check the
+/// stop flag. `allow_clean_eof` permits EOF before the first byte (idle
+/// peer hung up between frames); EOF mid-buffer is always an error.
 fn fill_idle(
-    stream: &mut TcpStream,
+    conn: &mut dyn Connection,
     buf: &mut [u8],
     shared: &NodeShared,
     allow_clean_eof: bool,
 ) -> Result<Fill, NetError> {
     let mut filled = 0usize;
     while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
+        match conn.read(&mut buf[filled..]) {
             Ok(0) => {
                 if filled == 0 && allow_clean_eof {
                     return Ok(Fill::CleanEof);
@@ -227,13 +276,16 @@ fn fill_idle(
     Ok(Fill::Filled)
 }
 
-fn send_fault<W: Write>(w: &mut W, request_id: u64, code: ErrorCode, message: String) {
-    let _ = write_frame(w, request_id, &Message::Error(WireFault { code, message }));
+fn send_fault(conn: &mut dyn Connection, request_id: u64, code: ErrorCode, message: String) {
+    let _ = write_frame(
+        conn,
+        request_id,
+        &Message::Error(WireFault { code, message }),
+    );
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Arc<NodeShared>) {
-    if stream.set_read_timeout(Some(shared.idle_poll)).is_err() || stream.set_nodelay(true).is_err()
-    {
+fn handle_connection(mut conn: Box<dyn Connection>, shared: &Arc<NodeShared>) {
+    if conn.set_read_timeout(Some(shared.idle_poll)).is_err() {
         return;
     }
     {
@@ -241,15 +293,15 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<NodeShared>) {
         service.registry().counter("net_connections").inc();
         service.registry().gauge("net_open_connections").inc();
     }
-    serve_connection(&mut stream, shared);
+    serve_connection(conn.as_mut(), shared);
     let service = read_recover(&shared.service);
     service.registry().gauge("net_open_connections").dec();
 }
 
-fn serve_connection(stream: &mut TcpStream, shared: &Arc<NodeShared>) {
+fn serve_connection(conn: &mut dyn Connection, shared: &Arc<NodeShared>) {
     loop {
         let mut header = [0u8; HEADER_LEN];
-        match fill_idle(stream, &mut header, shared, true) {
+        match fill_idle(conn, &mut header, shared, true) {
             Ok(Fill::Filled) => {}
             Ok(Fill::CleanEof) | Ok(Fill::Stopped) | Err(_) => return,
         }
@@ -262,13 +314,13 @@ fn serve_connection(stream: &mut TcpStream, shared: &Arc<NodeShared>) {
                     WireError::UnsupportedVersion(_) => ErrorCode::Unsupported,
                     _ => ErrorCode::Malformed,
                 };
-                send_fault(stream, 0, code, e.to_string());
+                send_fault(conn, 0, code, e.to_string());
                 bump(shared, "net_malformed_frames");
                 return;
             }
         };
         let mut payload = vec![0u8; h.payload_len as usize];
-        match fill_idle(stream, &mut payload, shared, false) {
+        match fill_idle(conn, &mut payload, shared, false) {
             Ok(Fill::Filled) => {}
             Ok(_) | Err(_) => return,
         }
@@ -278,7 +330,7 @@ fn serve_connection(stream: &mut TcpStream, shared: &Arc<NodeShared>) {
                 // Payload was fully consumed, so the stream is still in
                 // sync: answer Unsupported and keep the connection.
                 send_fault(
-                    stream,
+                    conn,
                     h.request_id,
                     ErrorCode::Unsupported,
                     format!("unknown message kind {k}"),
@@ -286,14 +338,14 @@ fn serve_connection(stream: &mut TcpStream, shared: &Arc<NodeShared>) {
                 continue;
             }
             Err(e) => {
-                send_fault(stream, h.request_id, ErrorCode::Malformed, e.to_string());
+                send_fault(conn, h.request_id, ErrorCode::Malformed, e.to_string());
                 bump(shared, "net_malformed_frames");
                 return;
             }
         };
         let stop_after = matches!(msg, Message::Shutdown);
-        let reply = dispatch(shared, msg);
-        if write_frame(stream, h.request_id, &reply).is_err() {
+        let reply = dispatch_dedup(shared, h.request_id, msg);
+        if write_frame(conn, h.request_id, &reply).is_err() {
             return;
         }
         if stop_after {
@@ -321,6 +373,90 @@ fn serve_fault(e: &ServeError) -> Message {
         _ => ErrorCode::Internal,
     };
     fault(code, e.to_string())
+}
+
+/// Whether a request mutates node state and is therefore subject to
+/// request-id dedup. Read-only kinds are naturally idempotent and skip
+/// the cache.
+fn is_mutating(msg: &Message) -> bool {
+    matches!(
+        msg,
+        Message::Ingest { .. } | Message::Seed(_) | Message::Restore { .. } | Message::Evict { .. }
+    )
+}
+
+/// Request-id dedup state: remembered replies plus the ids currently
+/// executing. The in-flight set closes the get→execute→insert race: a
+/// retry arriving on a fresh connection while the original request is
+/// still executing on an abandoned one must wait for that execution's
+/// reply instead of executing a second time.
+struct DedupState {
+    cache: DedupCache<Message>,
+    inflight: HashSet<u64>,
+}
+
+/// How long a replayed request waits for an in-flight execution of the
+/// same id before giving up and executing anyway (a liveness backstop
+/// for a handler that died mid-request; in that case at-least-once is
+/// the best the node can do).
+const INFLIGHT_WAIT: Duration = Duration::from_millis(50);
+const INFLIGHT_WAIT_ROUNDS: u32 = 100;
+
+/// Dispatch with exactly-once protection: a mutating request whose id is
+/// in the idempotent range and already cached is answered from the cache
+/// (journaled as [`EventKind::DedupHit`]); one currently executing under
+/// the same id on another connection is waited for and answered from its
+/// reply; otherwise it executes and its non-error reply is remembered.
+fn dispatch_dedup(shared: &Arc<NodeShared>, request_id: u64, msg: Message) -> Message {
+    let idempotent = request_id >= IDEMPOTENT_ID_BASE && is_mutating(&msg);
+    if idempotent {
+        let mut rounds = 0u32;
+        let mut guard = lock_recover(&shared.dedup);
+        loop {
+            if let Some(reply) = guard.cache.get(request_id) {
+                drop(guard);
+                let service = read_recover(&shared.service);
+                service.registry().counter("net_dedup_hits").inc();
+                service.journal().emit(
+                    now_nanos(&service),
+                    EventKind::DedupHit,
+                    None,
+                    None,
+                    format!(
+                        "request {request_id} ({}) replayed; answered from cache",
+                        msg.kind_name()
+                    ),
+                );
+                return reply;
+            }
+            if guard.inflight.insert(request_id) {
+                break; // claimed: this thread executes
+            }
+            // Another connection is executing this id right now (ours was
+            // likely abandoned after a timeout). Wait for its reply.
+            rounds += 1;
+            if rounds > INFLIGHT_WAIT_ROUNDS {
+                guard.inflight.insert(request_id);
+                break;
+            }
+            let (g, _) = wait_timeout_recover(&shared.dedup_cv, guard, INFLIGHT_WAIT);
+            guard = g;
+        }
+        drop(guard);
+    }
+    let reply = dispatch(shared, msg);
+    if idempotent {
+        let mut guard = lock_recover(&shared.dedup);
+        guard.inflight.remove(&request_id);
+        // Error replies (draining, malformed…) are not cached: the retry
+        // of a request that never executed must be allowed to execute.
+        if !matches!(reply, Message::Error(_)) {
+            guard.cache.insert(request_id, reply.clone());
+        }
+        drop(guard);
+        shared.dedup_cv.notify_all();
+    }
+    reply
 }
 
 fn dispatch(shared: &Arc<NodeShared>, msg: Message) -> Message {
@@ -415,7 +551,7 @@ fn dispatch_inner(shared: &Arc<NodeShared>, msg: Message) -> Message {
             }
             let mut service = write_recover(&shared.service);
             match handle_seed(&mut service, &spec) {
-                Ok(installed) => Message::SeedOk { installed },
+                Ok((installed, already)) => Message::SeedOk { installed, already },
                 Err(reply) => reply,
             }
         }
@@ -514,7 +650,10 @@ pub fn seed_bootstrap(spec_seed: u64, id: &str, len: usize) -> Result<TimeSeries
         .map_err(|e| ServeError::Frame(e.to_string()))
 }
 
-fn handle_seed(service: &mut PredictionService, spec: &SeedSpec) -> Result<u64, Message> {
+fn handle_seed(
+    service: &mut PredictionService,
+    spec: &SeedSpec,
+) -> Result<(u64, Vec<String>), Message> {
     let window = spec.window as usize;
     let len = spec.bootstrap_len as usize;
     if window == 0 || len < (window + 1) * 3 {
@@ -526,11 +665,15 @@ fn handle_seed(service: &mut PredictionService, spec: &SeedSpec) -> Result<u64, 
     let cfg = seed_pipeline_config(spec);
     let mut installed = 0u64;
     const CHUNK: usize = 2048;
-    let fresh: Vec<&String> = spec
-        .ids
-        .iter()
-        .filter(|id| !service.contains_entity(id))
-        .collect();
+    let mut already = Vec::new();
+    let mut fresh: Vec<&String> = Vec::new();
+    for id in &spec.ids {
+        if service.contains_entity(id) {
+            already.push(id.clone());
+        } else {
+            fresh.push(id);
+        }
+    }
     for chunk in fresh.chunks(CHUNK) {
         let mut frames: Vec<(&str, TimeSeriesFrame)> = Vec::with_capacity(chunk.len());
         for id in chunk {
@@ -545,5 +688,5 @@ fn handle_seed(service: &mut PredictionService, spec: &SeedSpec) -> Result<u64, 
             .map_err(|e| serve_fault(&e))?;
         installed += frames.len() as u64;
     }
-    Ok(installed)
+    Ok((installed, already))
 }

@@ -19,6 +19,19 @@
 //!   Checkpoint/Restore frames, so the receiving node resumes
 //!   bit-identical forecasts.
 //!
+//! Reliability machinery on the data path:
+//!
+//! - **Retry budget**: a transport error retries against the same node
+//!   under the *same* request id with deterministic exponential backoff
+//!   (slept on the injectable clock, so virtual-time tests pay nothing).
+//!   Ids come from a router-wide counter starting at
+//!   [`IDEMPOTENT_ID_BASE`], so nodes dedup re-executed mutations —
+//!   a retry whose first attempt executed but lost its reply is answered
+//!   from the node's cache, never applied twice.
+//! - **Probe hysteresis**: a node must fail `probe_failures` consecutive
+//!   health probes before it is marked down, so one dropped probe frame
+//!   cannot flap a healthy node out of the ring.
+//!
 //! Every transition is journaled through `rptcn-obs` (node up/down/
 //! drained, entities migrated) on an injectable clock, and the data path
 //! keeps counters and RTT histograms in a `Registry`.
@@ -31,7 +44,10 @@ use rptcn::HashRing;
 
 use crate::client::NodeClient;
 use crate::error::NetError;
-use crate::frame::{ErrorCode, ForecastOutcome, IngestEntry, Message, SeedSpec, WireFault};
+use crate::frame::{
+    ErrorCode, ForecastOutcome, IngestEntry, Message, SeedSpec, WireFault, IDEMPOTENT_ID_BASE,
+};
+use crate::transport::{SharedTransport, TcpTransport, Transport};
 
 /// Router-side view of one node's availability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,8 +71,18 @@ pub struct RouterConfig {
     pub bulk_timeout: Duration,
     /// Timeout for health probes (much shorter than the data path).
     pub probe_timeout: Duration,
-    /// Consecutive failed probes before a node is marked down.
+    /// Consecutive failed probes before a node is marked down. Values
+    /// above one give probe hysteresis: a single lost probe frame on a
+    /// flaky link no longer flaps a healthy node out of the ring.
     pub probe_failures: u32,
+    /// Same-node retries after a transport error on the data path, on
+    /// top of the initial attempt. Retries reuse the request id, so
+    /// nodes answer an already-executed mutation from their dedup cache.
+    pub retry_budget: u32,
+    /// Base delay for deterministic exponential backoff between retries:
+    /// attempt `k` (1-based) sleeps `retry_backoff * 2^(k-1)` on the
+    /// configured clock (instant under a `SimClock`).
+    pub retry_backoff: Duration,
     /// Acknowledged samples kept per entity for failover replay;
     /// 0 disables replay (failover re-seeds from the bootstrap only).
     pub replay_window: usize,
@@ -66,10 +92,13 @@ pub struct RouterConfig {
     pub bootstrap_len: u32,
     /// Model input window for seeded entities.
     pub window: u32,
-    /// Clock used for journal timestamps and latency spans.
+    /// Clock used for journal timestamps, latency spans and backoff.
     pub clock: SharedClock,
     /// Capacity of the router's event journal.
     pub journal_capacity: usize,
+    /// Transport used to reach nodes (TCP by default; the deterministic
+    /// fleet simulator injects its in-process transport here).
+    pub transport: SharedTransport,
 }
 
 impl Default for RouterConfig {
@@ -79,13 +108,16 @@ impl Default for RouterConfig {
             request_timeout: Duration::from_secs(5),
             bulk_timeout: Duration::from_secs(60),
             probe_timeout: Duration::from_millis(500),
-            probe_failures: 1,
+            probe_failures: 3,
+            retry_budget: 2,
+            retry_backoff: Duration::from_millis(25),
             replay_window: 32,
             seed: 42,
             bootstrap_len: 64,
             window: 12,
             clock: MonotonicClock::shared(),
             journal_capacity: 1024,
+            transport: TcpTransport::shared(),
         }
     }
 }
@@ -130,6 +162,9 @@ pub struct FleetRouter {
     replay: HashMap<String, VecDeque<Vec<f32>>>,
     registry: Registry,
     journal: Journal,
+    /// Next request id, allocated from the idempotent range so every
+    /// routed request is globally unique and node-dedupable.
+    next_request_id: u64,
 }
 
 impl FleetRouter {
@@ -142,6 +177,7 @@ impl FleetRouter {
             replay: HashMap::new(),
             registry: Registry::new(),
             journal,
+            next_request_id: IDEMPOTENT_ID_BASE,
             cfg,
         }
     }
@@ -173,6 +209,34 @@ impl FleetRouter {
     /// Number of entities the router has seeded across the fleet.
     pub fn entity_count(&self) -> usize {
         self.replay.len()
+    }
+
+    /// Every entity id the router has seeded (the authoritative fleet
+    /// entity list), in arbitrary order.
+    pub fn entity_ids(&self) -> Vec<String> {
+        self.replay.keys().cloned().collect()
+    }
+
+    /// The placement ring, for external ownership audits
+    /// ([`rptcn::HashRing::audit_ownership`]).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The acknowledged sample suffix buffered for one entity, oldest
+    /// first (what failover would replay). Empty when unknown or when
+    /// replay is disabled.
+    pub fn replay_suffix(&self, id: &str) -> Vec<Vec<f32>> {
+        self.replay
+            .get(id)
+            .map(|buf| buf.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn alloc_id(&mut self) -> u64 {
+        let id = self.next_request_id;
+        self.next_request_id = self.next_request_id.wrapping_add(1).max(IDEMPOTENT_ID_BASE);
+        id
     }
 
     fn now(&self) -> u64 {
@@ -214,14 +278,19 @@ impl FleetRouter {
         self.emit(EventKind::NodeDown, format!("{name}: {reason}"));
     }
 
-    /// One request to a named node, with a single transparent reconnect.
-    /// A transport failure marks the node down before returning.
+    /// One logical request to a named node. Allocates a globally unique
+    /// request id, then makes up to `1 + retry_budget` attempts under
+    /// that same id, reconnecting and backing off exponentially between
+    /// attempts — nodes dedup re-executed mutations by id, so a retry of
+    /// an executed-but-unacknowledged request is answered from cache.
+    /// Only after the budget is exhausted is the node marked down.
     fn request_to(
         &mut self,
         name: &str,
         msg: &Message,
         timeout: Duration,
     ) -> Result<Message, NetError> {
+        let id = self.alloc_id();
         let idx = self.idx_of(name)?;
         if self.nodes[idx].status == NodeStatus::Drained {
             return Err(NetError::NodeDown(name.to_string()));
@@ -229,43 +298,73 @@ impl FleetRouter {
         let hist = self
             .registry
             .latency_histogram(&format!("router_rtt_{}", msg.kind_name()));
-        let result = {
-            let _span = Span::start(self.cfg.clock.as_ref(), &hist);
-            Self::try_request(&mut self.nodes[idx], self.cfg.request_timeout, msg, timeout)
-        };
-        match result {
-            Ok(reply) => {
-                self.nodes[idx].fails = 0;
-                Ok(reply)
+        let transport = self.cfg.transport.clone();
+        let mut last = NetError::NodeDown(name.to_string());
+        for attempt in 0..=self.cfg.retry_budget {
+            if attempt > 0 {
+                self.registry.counter("router_retries").inc();
+                let shift = (attempt - 1).min(16);
+                self.cfg
+                    .clock
+                    .sleep(self.cfg.retry_backoff.saturating_mul(1 << shift));
             }
-            Err(e) => {
-                if e.is_transport() {
-                    self.set_down(name, &e.to_string());
-                } else if matches!(
-                    &e,
-                    NetError::Remote(WireFault {
-                        code: ErrorCode::Draining,
-                        ..
-                    })
-                ) {
-                    // A node draining outside our control: route around it.
-                    self.set_down(name, "remote draining");
+            let result = {
+                let _span = Span::start(self.cfg.clock.as_ref(), &hist);
+                Self::try_request(
+                    transport.as_ref(),
+                    &mut self.nodes[idx],
+                    self.cfg.request_timeout,
+                    id,
+                    msg,
+                    timeout,
+                )
+            };
+            match result {
+                Ok(reply) => {
+                    self.nodes[idx].fails = 0;
+                    return Ok(reply);
                 }
-                Err(e)
+                Err(e) if e.is_transport() => {
+                    last = e;
+                }
+                Err(e) => {
+                    if matches!(
+                        &e,
+                        NetError::Remote(WireFault {
+                            code: ErrorCode::Draining,
+                            ..
+                        })
+                    ) {
+                        // A node draining outside our control: route
+                        // around it.
+                        self.set_down(name, "remote draining");
+                    }
+                    return Err(e);
+                }
             }
         }
+        if self.cfg.retry_budget > 0 {
+            self.registry.counter("router_retries_exhausted").inc();
+        }
+        self.set_down(name, &format!("{last} (retry budget exhausted)"));
+        Err(last)
     }
 
+    /// One attempt: connect if needed (plus one transparent reconnect
+    /// for a stale cached connection) and issue the request under the
+    /// caller's id.
     fn try_request(
+        transport: &dyn Transport,
         node: &mut NodeHandle,
         connect_timeout: Duration,
+        request_id: u64,
         msg: &Message,
         timeout: Duration,
     ) -> Result<Message, NetError> {
         let mut last = NetError::NodeDown(node.name.clone());
         for _attempt in 0..2 {
             if node.client.is_none() {
-                match NodeClient::connect(&node.addr, connect_timeout) {
+                match NodeClient::connect_with(transport, &node.addr, connect_timeout) {
                     Ok(c) => node.client = Some(c),
                     Err(e) => return Err(e),
                 }
@@ -273,15 +372,15 @@ impl FleetRouter {
             let Some(client) = node.client.as_mut() else {
                 break;
             };
-            match client.request_with_timeout(msg, timeout) {
+            match client.request_with_id(request_id, msg, timeout) {
                 Ok(reply) => return Ok(reply),
                 Err(e) => {
-                    let transport = e.is_transport();
-                    if transport {
+                    let transport_err = e.is_transport();
+                    if transport_err {
                         node.client = None;
                     }
                     last = e;
-                    if !transport {
+                    if !transport_err {
                         break;
                     }
                 }
@@ -299,7 +398,8 @@ impl FleetRouter {
                 "node {name} already registered"
             )));
         }
-        let client = NodeClient::connect(addr, self.cfg.request_timeout)?;
+        let client =
+            NodeClient::connect_with(self.cfg.transport.as_ref(), addr, self.cfg.request_timeout)?;
         self.nodes.push(NodeHandle {
             name: name.to_string(),
             addr: addr.to_string(),
@@ -428,7 +528,17 @@ impl FleetRouter {
     /// registered on its owner from the deterministic bootstrap. Returns
     /// the number of freshly installed entities.
     pub fn seed_entities(&mut self, ids: &[String]) -> Result<u64, NetError> {
+        self.seed_entities_tracked(ids).map(|(n, _)| n)
+    }
+
+    /// Like [`FleetRouter::seed_entities`], but also returns the ids the
+    /// owning nodes actually installed fresh (as opposed to skipping
+    /// because they already held the entity). Healing replays samples
+    /// only into the fresh set — replaying into an entity that survived
+    /// on its node would apply its suffix twice.
+    fn seed_entities_tracked(&mut self, ids: &[String]) -> Result<(u64, Vec<String>), NetError> {
         let mut installed = 0u64;
+        let mut fresh: Vec<String> = Vec::new();
         let mut pending: Vec<String> = ids.to_vec();
         let mut attempts = 0;
         while !pending.is_empty() {
@@ -450,10 +560,16 @@ impl FleetRouter {
                         window: self.cfg.window,
                     });
                     match self.request_to(&node, &msg, self.cfg.bulk_timeout) {
-                        Ok(Message::SeedOk { installed: n }) => {
+                        Ok(Message::SeedOk {
+                            installed: n,
+                            already,
+                        }) => {
                             installed += n;
                             for id in chunk {
                                 self.replay.entry(id.clone()).or_default();
+                                if !already.contains(id) {
+                                    fresh.push(id.clone());
+                                }
                             }
                         }
                         Ok(other) => {
@@ -475,7 +591,7 @@ impl FleetRouter {
         self.registry
             .gauge("router_entities")
             .set(self.replay.len() as i64);
-        Ok(installed)
+        Ok((installed, fresh))
     }
 
     fn push_replay(&mut self, id: &str, values: &[f32]) {
@@ -492,16 +608,21 @@ impl FleetRouter {
     }
 
     /// Re-create entities on their current owner: deterministic re-seed
-    /// followed by a replay of each entity's acknowledged sample suffix.
+    /// followed by a replay of each *freshly installed* entity's
+    /// acknowledged sample suffix (entities the owner already held keep
+    /// their live history — replaying into them would double-apply).
+    /// Finally, stale copies of the healed ids are evicted from every
+    /// other live node so exactly one live node owns each entity.
     fn heal_entities(&mut self, ids: &[String]) -> Result<(), NetError> {
         if ids.is_empty() {
             return Ok(());
         }
-        self.seed_entities(ids)?;
-        // Replay acknowledged suffixes (at-least-once: the node may see a
-        // sample twice, never zero times).
+        let (_, fresh) = self.seed_entities_tracked(ids)?;
+        // Replay acknowledged suffixes into the fresh entities
+        // (at-least-once delivery, exactly-once effect via request-id
+        // dedup on the node).
         let mut entries = Vec::new();
-        for id in ids {
+        for id in &fresh {
             if let Some(buf) = self.replay.get(id) {
                 for values in buf {
                     entries.push(IngestEntry {
@@ -531,8 +652,46 @@ impl FleetRouter {
                 Err(e) => return Err(e),
             }
         }
+        self.evict_stale_copies(ids);
         self.registry.counter("router_healed").add(ids.len() as u64);
         Ok(())
+    }
+
+    /// Remove copies of `ids` from every live node that is not the
+    /// current ring owner. Best-effort: an unreachable node will be
+    /// cleaned up when it recovers (see [`FleetRouter::recover_node`]),
+    /// and unknown ids are cheap no-ops on the node.
+    fn evict_stale_copies(&mut self, ids: &[String]) {
+        let live: Vec<String> = self
+            .nodes
+            .iter()
+            .filter(|n| n.status == NodeStatus::Up)
+            .map(|n| n.name.clone())
+            .collect();
+        for node in live {
+            let stale: Vec<String> = ids
+                .iter()
+                .filter(|id| self.route(id).as_deref() != Ok(node.as_str()))
+                .cloned()
+                .collect();
+            if stale.is_empty() {
+                continue;
+            }
+            for chunk in stale.chunks(SEED_CHUNK) {
+                match self.request_to(
+                    &node,
+                    &Message::Evict {
+                        ids: chunk.to_vec(),
+                    },
+                    self.cfg.bulk_timeout,
+                ) {
+                    Ok(Message::EvictOk { removed }) if removed > 0 => {
+                        self.registry.counter("router_stale_evicted").add(removed);
+                    }
+                    _ => {}
+                }
+            }
+        }
     }
 
     /// Ingest one sample for one entity.
@@ -741,9 +900,13 @@ impl FleetRouter {
             }
             self.registry.counter("router_probes").inc();
             let was_down = self.nodes[idx].status == NodeStatus::Down;
+            let probe_id = self.alloc_id();
+            let transport = self.cfg.transport.clone();
             let result = Self::try_request(
+                transport.as_ref(),
                 &mut self.nodes[idx],
                 self.cfg.probe_timeout,
+                probe_id,
                 &Message::Health,
                 self.cfg.probe_timeout,
             );
@@ -757,8 +920,27 @@ impl FleetRouter {
                 _ => {
                     self.registry.counter("router_probe_failures").inc();
                     self.nodes[idx].fails = self.nodes[idx].fails.saturating_add(1);
-                    if !was_down && self.nodes[idx].fails >= self.cfg.probe_failures {
-                        self.set_down(&name, "health probe failed");
+                    let fails = self.nodes[idx].fails;
+                    if !was_down {
+                        if fails >= self.cfg.probe_failures {
+                            self.set_down(
+                                &name,
+                                &format!(
+                                    "{fails}/{} consecutive probe failures",
+                                    self.cfg.probe_failures
+                                ),
+                            );
+                        } else {
+                            // Under the threshold: journal the suspicion
+                            // but keep the node in the ring.
+                            self.emit(
+                                EventKind::NodeDown,
+                                format!(
+                                    "{name}: probe failure {fails}/{} (still up)",
+                                    self.cfg.probe_failures
+                                ),
+                            );
+                        }
                     }
                 }
             }
@@ -781,17 +963,16 @@ impl FleetRouter {
         self.nodes[idx].fails = 0;
         self.registry.gauge("router_nodes_up").inc();
         self.emit(EventKind::NodeUp, format!("{name} recovered"));
-        let ids: Vec<String> = self
-            .replay
-            .keys()
-            .filter(|id| self.route(id).as_deref() == Ok(name))
-            .cloned()
-            .collect();
-        if ids.is_empty() {
+        // Evict *everything* the node might still hold from before it
+        // went out — both the keys the ring assigns to it (their history
+        // is stale: samples kept flowing to successors) and keys it
+        // inherited earlier that now live elsewhere. Unknown ids are
+        // cheap skips on the node.
+        let all_ids: Vec<String> = self.replay.keys().cloned().collect();
+        if all_ids.is_empty() {
             return Ok(());
         }
-        for chunk in ids.chunks(SEED_CHUNK) {
-            // Evict stale copies first so the re-seed actually installs.
+        for chunk in all_ids.chunks(SEED_CHUNK) {
             match self.request_to(
                 name,
                 &Message::Evict {
@@ -803,6 +984,13 @@ impl FleetRouter {
                 Err(e) if e.is_transport() => return Ok(()),
                 Err(e) => return Err(e),
             }
+        }
+        let ids: Vec<String> = all_ids
+            .into_iter()
+            .filter(|id| self.route(id).as_deref() == Ok(name))
+            .collect();
+        if ids.is_empty() {
+            return Ok(());
         }
         self.heal_entities(&ids)?;
         self.emit(
@@ -852,10 +1040,14 @@ impl FleetRouter {
     /// Minimal request path that works on a `Drained` node (the normal
     /// path refuses them).
     fn request_to_drained(&mut self, name: &str, msg: &Message) -> Result<Message, NetError> {
+        let id = self.alloc_id();
         let idx = self.idx_of(name)?;
+        let transport = self.cfg.transport.clone();
         Self::try_request(
+            transport.as_ref(),
             &mut self.nodes[idx],
             self.cfg.request_timeout,
+            id,
             msg,
             self.cfg.request_timeout,
         )

@@ -6,9 +6,28 @@
 //! R4 rule bans bare `.lock()`/`.read()`/`.write()` in this crate).
 //! Mutex acquisition reuses [`serve::lock_recover`].
 
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Condvar, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
 
 pub use serve::lock_recover;
+
+/// Wait on a condvar with a timeout, recovering from poisoning like
+/// [`lock_recover`]. Returns the re-acquired guard and whether the wait
+/// timed out (spurious wakeups surface as `timed_out == false`; callers
+/// must re-check their predicate either way).
+pub fn wait_timeout_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, timeout) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(poisoned) => {
+            let (g, t) = poisoned.into_inner();
+            (g, t.timed_out())
+        }
+    }
+}
 
 /// Acquire a read guard, recovering from poisoning (a panicked writer
 /// leaves the data in whatever consistent state it last reached; counters

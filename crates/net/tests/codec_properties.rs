@@ -111,7 +111,10 @@ fn message() -> impl Strategy<Value = Message> {
                         bootstrap_len: blen,
                         window,
                     }),
-                    8 => Message::SeedOk { installed: a },
+                    8 => Message::SeedOk {
+                        installed: a,
+                        already: ids,
+                    },
                     9 => Message::Evict { ids },
                     10 => Message::EvictOk { removed: a },
                     11 => Message::RestoreOk {

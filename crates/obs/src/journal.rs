@@ -48,6 +48,17 @@ pub enum EventKind {
     /// Entity state moved between serving nodes via a checkpoint-based
     /// warm handoff (drain, join rebalance or failover heal).
     EntityMigrated,
+    /// A simulated network injected a per-frame fault (drop, duplicate,
+    /// reorder, trickle or mid-frame reset).
+    NetFault,
+    /// A network partition opened between two endpoints (simulated or
+    /// detected).
+    NetPartition,
+    /// A previously partitioned link healed.
+    NetHealed,
+    /// A node recognised a replayed request id and answered from its
+    /// dedup cache instead of re-executing the request.
+    DedupHit,
 }
 
 impl EventKind {
@@ -70,6 +81,10 @@ impl EventKind {
             EventKind::NodeDown => "node_down",
             EventKind::NodeDrained => "node_drained",
             EventKind::EntityMigrated => "entity_migrated",
+            EventKind::NetFault => "net_fault",
+            EventKind::NetPartition => "net_partition",
+            EventKind::NetHealed => "net_healed",
+            EventKind::DedupHit => "dedup_hit",
         }
     }
 }

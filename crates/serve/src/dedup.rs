@@ -1,0 +1,148 @@
+//! Bounded request-deduplication cache for idempotent ingest.
+//!
+//! The distributed tier delivers mutating requests *at least once*: a
+//! reply lost to a partition makes the router retry the same logical
+//! request, and a faulty link can duplicate a frame outright. Without
+//! dedup, a retried ingest is applied twice and every downstream
+//! forecast is computed from a corrupted history. A node therefore
+//! remembers the replies of recently executed mutating requests, keyed
+//! by their globally unique request id, and answers a replay with the
+//! cached reply instead of re-executing — turning at-least-once
+//! delivery into exactly-once *effect*.
+//!
+//! The cache is a fixed-capacity FIFO: insertion evicts the oldest
+//! entry once full, so memory stays bounded no matter how long a node
+//! lives. Capacity should comfortably exceed the number of in-flight
+//! retryable requests (a few thousand), not the node's lifetime request
+//! count.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A bounded FIFO cache mapping request ids to their first reply.
+///
+/// Generic over the stored value so the serving layer stays free of any
+/// wire-protocol dependency: the net tier stores encoded reply messages,
+/// tests can store plain integers.
+#[derive(Debug)]
+pub struct DedupCache<V> {
+    capacity: usize,
+    order: VecDeque<u64>,
+    entries: HashMap<u64, V>,
+    hits: u64,
+}
+
+impl<V: Clone> DedupCache<V> {
+    /// A cache retaining at most `capacity` request ids (at least one).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        DedupCache {
+            capacity,
+            order: VecDeque::with_capacity(capacity),
+            entries: HashMap::with_capacity(capacity),
+            hits: 0,
+        }
+    }
+
+    /// Maximum number of retained request ids.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of request ids currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Replays observed via [`DedupCache::get`] since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// The cached reply for `request_id`, if this id was already
+    /// executed. Counts a hit when present.
+    pub fn get(&mut self, request_id: u64) -> Option<V> {
+        let found = self.entries.get(&request_id).cloned();
+        if found.is_some() {
+            self.hits += 1;
+        }
+        found
+    }
+
+    /// Whether `request_id` is retained, without counting a hit.
+    pub fn contains(&self, request_id: u64) -> bool {
+        self.entries.contains_key(&request_id)
+    }
+
+    /// Remember the reply for `request_id`, evicting the oldest entry
+    /// once the cache is full. Re-inserting an id refreshes its value
+    /// but keeps its original eviction slot.
+    pub fn insert(&mut self, request_id: u64, reply: V) {
+        if self.entries.insert(request_id, reply).is_some() {
+            return;
+        }
+        self.order.push_back(request_id);
+        while self.order.len() > self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.entries.remove(&oldest);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_returns_cached_reply_and_counts_hits() {
+        let mut cache: DedupCache<u32> = DedupCache::new(8);
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.hits(), 0);
+        cache.insert(1, 77);
+        assert_eq!(cache.get(1), Some(77));
+        assert_eq!(cache.get(1), Some(77));
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced_fifo() {
+        let mut cache: DedupCache<u32> = DedupCache::new(3);
+        for id in 0..5u64 {
+            cache.insert(id, id as u32);
+        }
+        assert_eq!(cache.len(), 3);
+        assert!(!cache.contains(0), "oldest evicted first");
+        assert!(!cache.contains(1));
+        for id in 2..5u64 {
+            assert!(cache.contains(id), "id {id} must survive");
+        }
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_without_growing() {
+        let mut cache: DedupCache<u32> = DedupCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(1, 11);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(1), Some(11));
+        cache.insert(2, 20);
+        cache.insert(3, 30);
+        assert!(!cache.contains(1), "1 was the oldest slot");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut cache: DedupCache<u32> = DedupCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(2));
+    }
+}

@@ -36,6 +36,7 @@
 //!   so every timing-dependent test can run on virtual time.
 
 pub mod checkpoint;
+pub mod dedup;
 pub mod error;
 pub mod fallback;
 pub mod faults;
@@ -46,6 +47,7 @@ pub mod stats;
 pub mod supervisor;
 
 pub use checkpoint::{load_fleet, save_fleet, FLEET_MAGIC, FLEET_VERSION};
+pub use dedup::DedupCache;
 pub use error::ServeError;
 pub use fallback::FallbackForecaster;
 pub use faults::FaultPlan;

@@ -27,4 +27,12 @@ if [ ! -s BENCH_fleet.json ]; then
     echo "FATAL: bench_fleet produced no BENCH_fleet.json" >> experiments/progress.log
     exit 1
 fi
+./target/release/bench_sim --quick > experiments/bench_sim.txt 2>>experiments/progress.log
+# The simulator smoke must leave its invariant report behind; bench_sim
+# also exits non-zero if any seed violates a fleet invariant.
+if [ ! -s BENCH_sim.json ]; then
+    echo "FATAL: bench_sim produced no BENCH_sim.json" >&2
+    echo "FATAL: bench_sim produced no BENCH_sim.json" >> experiments/progress.log
+    exit 1
+fi
 echo TRIMMED_DONE >> experiments/progress.log
