@@ -51,7 +51,7 @@ impl Rule {
                 "unsafe block/fn/impl must be preceded by a `// SAFETY:` comment"
             }
             Rule::NoPanicPaths => {
-                "no unwrap()/expect()/panic!/todo! in non-test library code (serve, net, core, models, obs)"
+                "no unwrap()/expect()/panic!/todo! in non-test library code (serve, net, core, models, obs + unsafe kernel files)"
             }
             Rule::HotPathAlloc => {
                 "no Instant::now()/allocations inside functions marked `// hot-path`"
@@ -102,17 +102,31 @@ impl fmt::Display for Diagnostic {
 }
 
 /// Which rules apply to a workspace file, by repo policy:
-/// R1 and R3 everywhere, R2 in `serve`/`net`/`core`/`models`/`obs`, R4
-/// in `serve` and `net`, R5 in `serve`, `net`, `core` and `obs`.
+/// R1 and R3 everywhere, R2 in `serve`/`net`/`core`/`models`/`obs` plus
+/// the `unsafe` kernel files (GEMM, conv, batch executor), R4 in `serve`
+/// and `net`, R5 in `serve`, `net`, `core` and `obs`.
 pub fn rules_for(path: &Path) -> Vec<Rule> {
     let p = path.to_string_lossy().replace('\\', "/");
     let in_crate = |c: &str| p.contains(&format!("crates/{c}/src/"));
+    // The files that hold the repo's `unsafe` compute kernels sit on the
+    // serving hot path: a stray panic there aborts a forecast mid-batch,
+    // so they carry R2 even though their crates as a whole do not. The
+    // deliberate sites (worker-panic re-raise, spawn failure) are marked
+    // `lint: allow(r2)` with their justification inline.
+    let kernel_file = [
+        "tensor/src/gemm.rs",
+        "autograd/src/conv_kernels.rs",
+        "autograd/src/batch_exec.rs",
+    ]
+    .iter()
+    .any(|f| p.ends_with(f));
     let mut rules = vec![Rule::SafetyComment, Rule::HotPathAlloc];
     if in_crate("serve")
         || in_crate("net")
         || in_crate("core")
         || in_crate("models")
         || in_crate("obs")
+        || kernel_file
     {
         rules.push(Rule::NoPanicPaths);
     }

@@ -195,10 +195,10 @@ mod simd {
                     _mm256_storeu_ps(ys.as_mut_ptr().add(3 * st + i), v3);
                     i += 8;
                 }
-                let y0 = rows.next().expect("row count");
-                let y1 = rows.next().expect("row count");
-                let y2 = rows.next().expect("row count");
-                let y3 = rows.next().expect("row count");
+                let y0 = rows.next().expect("row count"); // lint: allow(r2) — chunks_exact count checked by the `oc + 4 <= out_ch` guard
+                let y1 = rows.next().expect("row count"); // lint: allow(r2) — chunks_exact count checked by the `oc + 4 <= out_ch` guard
+                let y2 = rows.next().expect("row count"); // lint: allow(r2) — chunks_exact count checked by the `oc + 4 <= out_ch` guard
+                let y3 = rows.next().expect("row count"); // lint: allow(r2) — chunks_exact count checked by the `oc + 4 <= out_ch` guard
                 y0.copy_from_slice(&ys[..time]);
                 y1.copy_from_slice(&ys[st..st + time]);
                 y2.copy_from_slice(&ys[2 * st..2 * st + time]);
@@ -379,10 +379,10 @@ pub fn conv1d_into(
         let mut rows = out_item.chunks_exact_mut(time);
         let mut oc = 0;
         while oc + 4 <= out_ch {
-            let y0 = rows.next().expect("row count");
-            let y1 = rows.next().expect("row count");
-            let y2 = rows.next().expect("row count");
-            let y3 = rows.next().expect("row count");
+            let y0 = rows.next().expect("row count"); // lint: allow(r2) — chunks_exact count checked by the `oc + 4 <= out_ch` guard
+            let y1 = rows.next().expect("row count"); // lint: allow(r2) — chunks_exact count checked by the `oc + 4 <= out_ch` guard
+            let y2 = rows.next().expect("row count"); // lint: allow(r2) — chunks_exact count checked by the `oc + 4 <= out_ch` guard
+            let y3 = rows.next().expect("row count"); // lint: allow(r2) — chunks_exact count checked by the `oc + 4 <= out_ch` guard
             for ic in 0..in_ch {
                 let x_row = &x_item[ic * time..(ic + 1) * time];
                 let wa = &dw[((oc) * in_ch + ic) * 3..][..3];

@@ -1,0 +1,133 @@
+//! Concurrency stress for the pinned batch executor — the chaos-tsan CI
+//! target. ThreadSanitizer watches for data races while many dispatching
+//! threads hammer shared pools, workers panic mid-generation, and pools are
+//! built and torn down repeatedly; the assertions pin the semantics (every
+//! row exactly once, panics re-raised after the barrier, deterministic
+//! partition) that `serve::forecast_many` depends on.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use autograd::batch_exec::{BatchExecutor, MIN_PARALLEL_ROWS};
+
+/// Many threads dispatching onto their own pools concurrently: the
+/// generation protocol must never lose or double-run a row.
+#[test]
+fn concurrent_pools_cover_rows_exactly_once() {
+    let mut joins = Vec::new();
+    for t in 0..4 {
+        joins.push(thread::spawn(move || {
+            let exec = BatchExecutor::new(3);
+            for round in 0..50 {
+                let rows = MIN_PARALLEL_ROWS + (t * 7 + round) % 23;
+                let hits: Vec<AtomicUsize> = (0..rows).map(|_| AtomicUsize::new(0)).collect();
+                exec.run_rows(rows, |_w, start, end| {
+                    for h in &hits[start..end] {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                for (i, h) in hits.iter().enumerate() {
+                    assert_eq!(h.load(Ordering::Relaxed), 1, "row {i} hit count");
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().expect("dispatcher thread panicked");
+    }
+}
+
+/// One shared pool, many dispatchers: dispatches serialise through the
+/// pool's mutex; every dispatch still covers its rows exactly once.
+#[test]
+fn shared_pool_serialises_dispatches() {
+    let exec = Arc::new(BatchExecutor::new(4));
+    let mut joins = Vec::new();
+    for _ in 0..4 {
+        let exec = Arc::clone(&exec);
+        joins.push(thread::spawn(move || {
+            for round in 0..100 {
+                let rows = MIN_PARALLEL_ROWS + round % 11;
+                let sum = AtomicUsize::new(0);
+                exec.run_rows(rows, |_w, start, end| {
+                    sum.fetch_add(end - start, Ordering::Relaxed);
+                });
+                assert_eq!(sum.load(Ordering::Relaxed), rows);
+            }
+        }));
+    }
+    for j in joins {
+        j.join().expect("dispatcher thread panicked");
+    }
+}
+
+/// Panics in worker closures must re-raise on the dispatcher without
+/// poisoning the pool for later generations — the same contract serve's
+/// shard supervision relies on (TSan also verifies the unwind paths are
+/// race-free).
+#[test]
+fn panicking_generations_do_not_poison_the_pool() {
+    let exec = BatchExecutor::new(3);
+    for round in 0..30 {
+        let rows = MIN_PARALLEL_ROWS * 2;
+        if round % 3 == 0 {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                exec.run_rows(rows, |w, _s, _e| {
+                    if w == round % 3 {
+                        panic!("injected worker fault");
+                    }
+                });
+            }));
+            assert!(result.is_err(), "round {round}: panic must re-raise");
+        } else {
+            let sum = AtomicUsize::new(0);
+            exec.run_rows(rows, |_w, start, end| {
+                sum.fetch_add(end - start, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), rows, "round {round}");
+        }
+    }
+}
+
+/// Rapid construction/drop cycles: Drop must join every worker (TSan flags
+/// leaks of running threads as races against test teardown state).
+#[test]
+fn pool_teardown_joins_workers() {
+    for i in 0..20 {
+        let exec = BatchExecutor::new(2 + i % 3);
+        let sum = AtomicUsize::new(0);
+        exec.run_rows(MIN_PARALLEL_ROWS, |_w, start, end| {
+            sum.fetch_add(end - start, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), MIN_PARALLEL_ROWS);
+        drop(exec);
+    }
+}
+
+/// The static partition is a pure function of `(rows, workers)`: record the
+/// ranges each worker saw across repeats and require them identical —
+/// determinism is the executor's core design promise.
+#[test]
+fn partition_is_deterministic_across_dispatches() {
+    let exec = BatchExecutor::new(4);
+    let rows = MIN_PARALLEL_ROWS * 3 + 1;
+    let reference: Vec<(usize, usize)> = (0..4)
+        .map(|w| BatchExecutor::partition(rows, 4, w))
+        .collect();
+    for _ in 0..50 {
+        let seen: Vec<std::sync::Mutex<Option<(usize, usize)>>> =
+            (0..4).map(|_| std::sync::Mutex::new(None)).collect();
+        exec.run_rows(rows, |w, start, end| {
+            *seen[w].lock().unwrap_or_else(|p| p.into_inner()) = Some((start, end));
+        });
+        for (w, slot) in seen.iter().enumerate() {
+            let got = slot
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .expect("every worker must run its range");
+            assert_eq!(got, reference[w], "worker {w} range drifted");
+        }
+    }
+}

@@ -128,3 +128,144 @@ fn bias_broadcasts_match_taped_adds_bitwise() {
     add_channel_bias(&mut buf, bias.as_slice(), batch, ch, time);
     assert_eq!(buf, tensor::ops::add(&out, &bias).as_slice());
 }
+
+// ---------------------------------------------------------------------------
+// GEMM rerouting + batch executor parity.
+//
+// After routing every matmul through the runtime-dispatched GEMM microkernel
+// (`tensor::gemm`), two invariants must keep holding bitwise:
+//
+//  1. the taped forward pass and the tape-free `infer` path agree (both call
+//     the same kernel), and
+//  2. a stacked batch equals the same rows forecast individually — which is
+//     exactly what lets the pinned batch executor split `forecast_many`
+//     batches across workers without changing a single bit.
+// ---------------------------------------------------------------------------
+
+use autograd::batch_exec::{BatchExecutor, MIN_PARALLEL_ROWS};
+use autograd::infer::{predict, predict_on, with_thread_context, InferenceContext};
+use autograd::layers::linear::Linear;
+use autograd::{Graph, ParamStore, SequenceModel, Var};
+
+/// Two stacked linear layers with a tanh between — enough structure to push
+/// several GEMM shapes (packed and direct paths) through both the taped and
+/// the tape-free drivers.
+struct TwoLayer {
+    store: ParamStore,
+    hidden: Linear,
+    out: Linear,
+    time: usize,
+    features: usize,
+}
+
+impl TwoLayer {
+    fn new(time: usize, features: usize, hidden: usize, horizon: usize, seed: u64) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(seed);
+        let h = Linear::new(&mut store, "h", time * features, hidden, &mut rng);
+        let out = Linear::new(&mut store, "out", hidden, horizon, &mut rng);
+        Self {
+            store,
+            hidden: h,
+            out,
+            time,
+            features,
+        }
+    }
+}
+
+impl SequenceModel for TwoLayer {
+    fn forward(&self, g: &mut Graph, x: &Tensor, _training: bool, _rng: &mut Rng) -> Var {
+        let b = x.shape()[0];
+        let flat = x.reshape(&[b, self.time * self.features]).unwrap();
+        let xin = g.input(flat);
+        let h = self.hidden.forward(g, xin);
+        let h = g.tanh(h);
+        self.out.forward(g, h)
+    }
+
+    fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn horizon(&self) -> usize {
+        2
+    }
+
+    fn infer(&self, ctx: &mut InferenceContext, x: &Tensor) -> Tensor {
+        let rows = x.shape()[0];
+        let flat = x.as_slice();
+        let mut h = self.hidden.infer(&self.store, ctx, flat, rows);
+        autograd::infer::tanh_in_place(&mut h);
+        let y = self.out.infer(&self.store, ctx, &h, rows);
+        ctx.give(h);
+        let out = Tensor::from_vec(y.clone(), &[rows, self.horizon()]);
+        ctx.give(y);
+        out
+    }
+}
+
+/// Invariant 1: taped forward == tape-free infer, bit for bit, now that both
+/// route through `tensor::gemm` (packed path at this batch size).
+#[test]
+fn taped_and_tape_free_agree_after_gemm_rerouting() {
+    let model = TwoLayer::new(6, 3, 10, 2, 91);
+    let mut rng = Rng::seed_from(17);
+    let x = Tensor::rand_normal(&[5, 6, 3], 0.0, 1.0, &mut rng);
+
+    let mut g = Graph::new(model.params());
+    let mut frng = Rng::seed_from(0);
+    let taped = model.forward(&mut g, &x, false, &mut frng);
+    let taped = g.value(taped).clone();
+
+    let tape_free = with_thread_context(|ctx| model.infer(ctx, &x));
+    assert_eq!(taped.as_slice(), tape_free.as_slice());
+    assert_eq!(taped.shape(), tape_free.shape());
+}
+
+/// Invariant 2: the executor's static row partition is invisible in the
+/// bits — an explicit multi-worker pool, the global-pool `predict` driver,
+/// and row-at-a-time sequential inference all agree exactly. Also checks
+/// stability across repeated dispatches on one warm pool.
+#[test]
+fn executor_partition_is_bitwise_invisible() {
+    let model = TwoLayer::new(4, 2, 7, 2, 23);
+    let rows = MIN_PARALLEL_ROWS + 5;
+    let mut rng = Rng::seed_from(29);
+    let x = Tensor::rand_normal(&[rows, 4, 2], 0.0, 1.0, &mut rng);
+
+    // Sequential reference: one row at a time, fresh context.
+    let mut seq = Vec::new();
+    for i in 0..rows {
+        let xi = Tensor::from_vec(x.as_slice()[i * 8..(i + 1) * 8].to_vec(), &[1, 4, 2]);
+        let yi = with_thread_context(|ctx| model.infer(ctx, &xi));
+        seq.extend_from_slice(yi.as_slice());
+    }
+
+    // Global-pool driver (parallel when the host has >1 core, inline
+    // otherwise — both must match).
+    let via_predict = with_thread_context(|ctx| predict(&model, &x, 64, ctx));
+    assert_eq!(via_predict.as_slice(), seq.as_slice());
+
+    // Explicit pools of several widths, incl. more workers than rows/chunk.
+    for workers in [2, 3, 4] {
+        let exec = BatchExecutor::new(workers);
+        for _ in 0..3 {
+            let par = predict_on(&model, &x, 64, &exec);
+            assert_eq!(
+                par.as_slice(),
+                seq.as_slice(),
+                "{workers}-worker pool diverged from sequential"
+            );
+        }
+    }
+
+    // Tiny batch-size caps force per-worker sub-chunking; still identical.
+    let exec = BatchExecutor::new(3);
+    let chunked = predict_on(&model, &x, 2, &exec);
+    assert_eq!(chunked.as_slice(), seq.as_slice());
+}

@@ -1,10 +1,14 @@
 //! Inference-engine microbenchmark: taped vs tape-free single-entity
 //! forecast latency at the paper configuration (RPTCN channels 16, levels
 //! 4, kernel 3; lookback 30), steady-state scratch-arena allocations per
-//! forecast, and streaming-push latency across lookback lengths (flat ⇒
-//! O(1) in window length). Emits `BENCH_infer.json` for the CI smoke job;
-//! every timing loop also feeds an `obs` histogram, so the report carries
-//! full bucketed distributions alongside the exact sorted quantiles.
+//! forecast, streaming-push latency across lookback lengths (flat ⇒
+//! O(1) in window length), the runtime-dispatched GEMM microkernel vs its
+//! scalar twin on representative layer shapes, a per-layer breakdown
+//! (conv vs matmul vs pointwise), and stacked-batch throughput across
+//! batch-executor worker counts. Emits `BENCH_infer.json` for the CI
+//! smoke job; every timing loop also feeds an `obs` histogram, so the
+//! report carries full bucketed distributions alongside the exact sorted
+//! quantiles.
 //!
 //! Flags: `--quick` cuts iteration counts, `--seed` varies the weights.
 
@@ -12,14 +16,31 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
+use autograd::batch_exec::BatchExecutor;
+use autograd::conv1d_into;
+use autograd::infer::{relu_in_place, softmax_rows_in_place};
 use bench_harness::ExperimentArgs;
 use models::{Forecaster, RptcnForecaster, StreamingRptcn};
 use obs::{Histogram, Registry};
+use tensor::gemm::{self, Tier};
 use tensor::{Rng, Tensor};
 
 const FEATURES: usize = 8;
 const WINDOW: usize = 30;
 const LOOKBACKS: [usize; 3] = [32, 64, 128];
+/// Stacked batch size for the executor-scaling section — large enough that
+/// `predict` always takes the parallel path.
+const BATCH_ROWS: usize = 128;
+/// Worker counts swept by the executor-scaling section.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+/// GEMM shapes representative of the paper-default forward pass:
+/// `(label, m, k, n)`.
+const GEMM_SHAPES: [(&str, usize, usize, usize); 4] = [
+    ("streaming_row", 1, 240, 64),
+    ("fc_per_step", 30, 16, 32),
+    ("attention_scores", 30, 32, 30),
+    ("stacked_batch", 128, 240, 64),
+];
 
 fn quantiles(mut ns: Vec<u64>) -> (u64, u64) {
     ns.sort_unstable();
@@ -99,6 +120,127 @@ fn main() {
         streaming.push((lookback, push_p50, push_p99, batch_p50));
     }
 
+    // GEMM microkernel vs its scalar twin on forward-pass shapes. The
+    // dispatched path picks the best runtime tier (FMA/AVX/scalar); the
+    // baseline forces the scalar tier, i.e. the exact code a non-x86 or
+    // Miri build runs. Same inputs, bitwise-identical outputs — only the
+    // clock differs.
+    let gemm_tier = gemm::active_tier();
+    let mut gemm_rows = Vec::new();
+    for &(label, m, k, n) in &GEMM_SHAPES {
+        let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+        let mut out = vec![0.0f32; m * n];
+        let scalar_hist = registry.latency_histogram(&format!("gemm.scalar.{label}"));
+        let (scalar_p50, _) = time_loop(iters, &scalar_hist, || {
+            gemm::gemm_with_tier(
+                Tier::Scalar,
+                a.as_slice(),
+                b.as_slice(),
+                &mut out,
+                m,
+                k,
+                n,
+                false,
+            );
+            black_box(&out);
+        });
+        let dispatch_hist = registry.latency_histogram(&format!("gemm.dispatch.{label}"));
+        let (dispatch_p50, _) = time_loop(iters, &dispatch_hist, || {
+            gemm::gemm_into(a.as_slice(), b.as_slice(), &mut out, m, k, n, false);
+            black_box(&out);
+        });
+        let speedup = scalar_p50 as f64 / dispatch_p50.max(1) as f64;
+        gemm_rows.push((label, m, k, n, scalar_p50, dispatch_p50, speedup));
+    }
+    let gemm_speedup_p50 = {
+        let mut s: Vec<f64> = gemm_rows.iter().map(|r| r.6).collect();
+        s.sort_by(|a, b| a.total_cmp(b));
+        s[s.len() / 2]
+    };
+
+    // Per-layer breakdown: one representative kernel invocation per layer
+    // family at the paper-default shapes, each feeding its own obs
+    // histogram. Shows where a forecast's nanoseconds actually go.
+    let conv_x = Tensor::rand_normal(&[1, FEATURES, WINDOW], 0.0, 1.0, &mut rng);
+    let conv_w = Tensor::rand_normal(&[16, FEATURES, 3], 0.0, 0.3, &mut rng);
+    let mut conv_out = vec![0.0f32; 16 * WINDOW];
+    let (conv_p50, conv_p99) =
+        time_loop(iters, &registry.latency_histogram("layer.conv_ns"), || {
+            conv1d_into(
+                conv_x.as_slice(),
+                conv_w.as_slice(),
+                &mut conv_out,
+                1,
+                FEATURES,
+                16,
+                WINDOW,
+                3,
+                1,
+            );
+            black_box(&conv_out);
+        });
+    let fc_a = Tensor::rand_normal(&[WINDOW, 16], 0.0, 1.0, &mut rng);
+    let fc_b = Tensor::rand_normal(&[16, 32], 0.0, 1.0, &mut rng);
+    let mut fc_out = vec![0.0f32; WINDOW * 32];
+    let (matmul_p50, matmul_p99) = time_loop(
+        iters,
+        &registry.latency_histogram("layer.matmul_ns"),
+        || {
+            gemm::gemm_into(
+                fc_a.as_slice(),
+                fc_b.as_slice(),
+                &mut fc_out,
+                WINDOW,
+                16,
+                32,
+                false,
+            );
+            black_box(&fc_out);
+        },
+    );
+    let mut act = vec![0.0f32; WINDOW * 32];
+    let mut scores = vec![0.0f32; WINDOW * WINDOW];
+    let (pointwise_p50, pointwise_p99) = time_loop(
+        iters,
+        &registry.latency_histogram("layer.pointwise_ns"),
+        || {
+            act.copy_from_slice(fc_out.as_slice());
+            relu_in_place(&mut act);
+            for (i, s) in scores.iter_mut().enumerate() {
+                *s = (i % 17) as f32 * 0.1;
+            }
+            softmax_rows_in_place(&mut scores, WINDOW, WINDOW);
+            black_box((&act, &scores));
+        },
+    );
+
+    // Stacked-batch throughput across explicit worker pools. Each pool is
+    // built fresh so one process can sweep worker counts; `predict` itself
+    // uses the identical code path through the process-global pool. On a
+    // 1-core host the sweep is flat — `available_parallelism` is recorded
+    // so readers can tell capped from broken scaling.
+    let x_batch = Tensor::rand_normal(&[BATCH_ROWS, WINDOW, FEATURES], 0.5, 0.2, &mut rng);
+    let batch_iters = if args.quick { 10 } else { 60 };
+    let mut scaling = Vec::new();
+    let mut best_fps = 0.0f64;
+    for &w in &WORKER_COUNTS {
+        let exec = BatchExecutor::new(w);
+        for _ in 0..3 {
+            black_box(model.predict_with_executor(&x_batch, &exec));
+        }
+        let hist = registry.latency_histogram(&format!("batch_exec.workers{w}_ns"));
+        let (p50, _) = time_loop(batch_iters, &hist, || {
+            black_box(model.predict_with_executor(&x_batch, &exec));
+        });
+        let fps = BATCH_ROWS as f64 * 1e9 / p50.max(1) as f64;
+        best_fps = best_fps.max(fps);
+        scaling.push((w, exec.pinned_workers(), p50, fps));
+    }
+    let available_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"model\": \"RPTCN paper_default\",").unwrap();
@@ -129,6 +271,47 @@ fn main() {
         .unwrap();
     }
     writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"gemm\": {{").unwrap();
+    writeln!(json, "    \"tier\": \"{}\",", gemm_tier.name()).unwrap();
+    writeln!(json, "    \"shapes\": [").unwrap();
+    for (i, (label, m, k, n, scalar, dispatch, speedup)) in gemm_rows.iter().enumerate() {
+        let sep = if i + 1 == gemm_rows.len() { "" } else { "," };
+        writeln!(
+            json,
+            "      {{\"label\": \"{label}\", \"m\": {m}, \"k\": {k}, \"n\": {n}, \"scalar_p50_ns\": {scalar}, \"dispatch_p50_ns\": {dispatch}, \"speedup\": {speedup:.2}}}{sep}"
+        )
+        .unwrap();
+    }
+    writeln!(json, "    ],").unwrap();
+    writeln!(json, "    \"speedup_p50\": {gemm_speedup_p50:.2}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"per_layer_breakdown_ns\": {{").unwrap();
+    writeln!(json, "    \"conv_p50\": {conv_p50},").unwrap();
+    writeln!(json, "    \"conv_p99\": {conv_p99},").unwrap();
+    writeln!(json, "    \"matmul_p50\": {matmul_p50},").unwrap();
+    writeln!(json, "    \"matmul_p99\": {matmul_p99},").unwrap();
+    writeln!(json, "    \"pointwise_p50\": {pointwise_p50},").unwrap();
+    writeln!(json, "    \"pointwise_p99\": {pointwise_p99}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"batch_executor\": {{").unwrap();
+    writeln!(json, "    \"rows\": {BATCH_ROWS},").unwrap();
+    writeln!(
+        json,
+        "    \"available_parallelism\": {available_parallelism},"
+    )
+    .unwrap();
+    writeln!(json, "    \"scaling\": [").unwrap();
+    for (i, (w, pinned, p50, fps)) in scaling.iter().enumerate() {
+        let sep = if i + 1 == scaling.len() { "" } else { "," };
+        writeln!(
+            json,
+            "      {{\"workers\": {w}, \"pinned_workers\": {pinned}, \"batch_p50_ns\": {p50}, \"forecasts_per_sec\": {fps:.0}}}{sep}"
+        )
+        .unwrap();
+    }
+    writeln!(json, "    ],").unwrap();
+    writeln!(json, "    \"forecasts_per_sec_aggregate\": {best_fps:.0}").unwrap();
+    writeln!(json, "  }},").unwrap();
     // Bucketed distribution summaries from the obs histograms that every
     // timing loop fed. The `*_p50`/`*_p99` fields above stay the exact
     // sorted-sample quantiles; these add count/mean/max and bucket-resolved
@@ -161,5 +344,9 @@ fn main() {
         "tape-free forecast: p50 {:.1}us vs taped {:.1}us ({speedup:.1}x), {allocs_per_forecast:.2} allocs/forecast",
         free_p50 as f64 / 1_000.0,
         taped_p50 as f64 / 1_000.0,
+    );
+    eprintln!(
+        "gemm [{}]: median {gemm_speedup_p50:.1}x over scalar; batch executor: {best_fps:.0} forecasts/sec aggregate ({available_parallelism} cores)",
+        gemm_tier.name(),
     );
 }

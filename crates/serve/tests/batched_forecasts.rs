@@ -151,3 +151,74 @@ fn degraded_member_bypasses_the_batch_and_groupmates_keep_batching() {
     assert_eq!(stats.total_batch_calls(), 1, "{stats:?}");
     assert_eq!(stats.total_batched_forecasts(), 3, "{stats:?}");
 }
+
+/// A shared group big enough to cross the batch executor's parallel
+/// threshold: the stacked engine call inside `forecast_many` fans its rows
+/// out over the pinned worker pool (inline on 1-core hosts). Either way the
+/// batched answers must stay bitwise identical to the per-entity path —
+/// with a real fitted RPTCN, not a toy forecaster, so the full conv →
+/// attention → FC → head stack rides the GEMM microkernel.
+#[test]
+fn executor_sized_batch_matches_per_entity_path_bitwise() {
+    use autograd::batch_exec::MIN_PARALLEL_ROWS;
+    use models::{NeuralTrainSpec, RptcnConfig, RptcnForecaster};
+
+    let entities = MIN_PARALLEL_ROWS + 2;
+    let mut service = PredictionService::new(ServiceConfig {
+        shards: 1,
+        refit_workers: 0,
+        score_on_ingest: false,
+        ..Default::default()
+    })
+    .expect("spawn service");
+    let frames: Vec<(String, TimeSeriesFrame)> = (0..entities)
+        .map(|i| (format!("x_{i}"), bootstrap_frame(96, i as f32)))
+        .collect();
+    let refs: Vec<(&str, TimeSeriesFrame)> = frames
+        .iter()
+        .map(|(id, f)| (id.as_str(), f.clone()))
+        .collect();
+    service
+        .add_entities_shared(
+            &refs,
+            uni_config(),
+            Box::new(RptcnForecaster::new(RptcnConfig {
+                channels: 4,
+                levels: 1,
+                fc_dim: 8,
+                spec: NeuralTrainSpec {
+                    epochs: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            })),
+        )
+        .unwrap();
+    let ids: Vec<String> = frames.into_iter().map(|(id, _)| id).collect();
+    for (i, id) in ids.iter().enumerate() {
+        service.ingest(id, vec![48.0 + i as f32, 29.0]).unwrap();
+    }
+    service.flush().unwrap();
+
+    let singles: Vec<Vec<f32>> = ids.iter().map(|id| service.forecast(id).unwrap()).collect();
+    let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+    let batched = service.forecast_many(&refs);
+    assert_eq!(batched.len(), entities);
+    for ((id, res), single) in batched.iter().zip(&singles) {
+        let fc = res.as_ref().unwrap_or_else(|e| panic!("{id}: {e:?}"));
+        for (a, b) in fc.iter().zip(single) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "executor-sized batch diverged from per-entity path for {id}"
+            );
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(stats.total_batch_calls(), 1, "{stats:?}");
+    assert_eq!(
+        stats.total_batched_forecasts(),
+        entities as u64,
+        "{stats:?}"
+    );
+}

@@ -4,8 +4,10 @@
 //!
 //! * [`Tensor`] — an owned, contiguous, row-major `f32` n-d array.
 //! * [`ops`] — elementwise arithmetic with NumPy-style broadcasting.
-//! * [`matmul`] — rayon-parallel matrix products (plus fused-transpose
-//!   variants used by the autodiff backward passes).
+//! * [`gemm`] — runtime-dispatched SIMD GEMM microkernel (AVX2+FMA → AVX →
+//!   scalar) with bitwise-pinned scalar twins.
+//! * [`matmul`] — matrix products routed through [`gemm`] (plus
+//!   fused-transpose variants used by the autodiff backward passes).
 //! * [`reduce`] — full and per-axis reductions, stable softmax.
 //! * [`linalg`] — Cholesky / OLS / Levinson–Durbin for the ARIMA baseline.
 //! * [`stats`] — moments, Pearson correlation, quantiles, autocovariance.
@@ -15,10 +17,11 @@
 //! primitives, so this crate carries the densest test coverage, including
 //! property-based tests in `tests/`.
 
-// No unsafe code today; the deny keeps any future unsafe fn honest about
-// scoping its operations into explicit, justified unsafe blocks.
+// The gemm microkernels are the only unsafe code here; the deny forces every
+// operation inside an `unsafe fn` into an explicit, justified unsafe block.
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod gemm;
 pub mod linalg;
 pub mod matmul;
 pub mod ops;

@@ -1,73 +1,25 @@
 //! Matrix multiplication and transposition kernels.
 //!
-//! The matmul uses the cache-friendly `i-k-j` loop order (the innermost loop
-//! streams contiguous rows of both the right operand and the output, which
-//! lets LLVM auto-vectorise it) and parallelises over output rows with rayon
-//! once the work is large enough to amortise the fork/join cost.
+//! Every product here routes through the runtime-dispatched SIMD GEMM in
+//! [`crate::gemm`] (AVX2+FMA → AVX → scalar, picked per host), so the taped
+//! training path, the tape-free inference engine, and the backward-pass
+//! transpose variants all share one microkernel and produce bit-identical
+//! rows on a given machine.
 
-use rayon::prelude::*;
-
+use crate::gemm;
 use crate::tensor::Tensor;
-
-/// Below this many multiply-adds the sequential kernel wins; measured on
-/// typical 8-16 core hosts the crossover sits around a few hundred thousand
-/// FLOPs, so we keep a conservative threshold.
-const PAR_THRESHOLD: usize = 64 * 64 * 64;
-
-/// Accumulate `out_row += a_row · B` for one output row. The k loop is
-/// unrolled four-wide so the compiler keeps four independent accumulator
-/// streams in registers; no zero-skip — a data-dependent branch in the hot
-/// loop defeats auto-vectorisation on dense inputs (sparse weights are only
-/// common in the conv kernel, which keeps its own skip).
-#[inline]
-fn row_mul_acc(a_row: &[f32], db: &[f32], out_row: &mut [f32]) {
-    let n = out_row.len();
-    let k = a_row.len();
-    let mut kk = 0usize;
-    while kk + 4 <= k {
-        let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
-        let b0 = &db[kk * n..(kk + 1) * n];
-        let b1 = &db[(kk + 1) * n..(kk + 2) * n];
-        let b2 = &db[(kk + 2) * n..(kk + 3) * n];
-        let b3 = &db[(kk + 3) * n..(kk + 4) * n];
-        for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
-            *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
-        }
-        kk += 4;
-    }
-    while kk < k {
-        let a0 = a_row[kk];
-        let b_row = &db[kk * n..(kk + 1) * n];
-        for (o, &bv) in out_row.iter_mut().zip(b_row) {
-            *o += a0 * bv;
-        }
-        kk += 1;
-    }
-}
 
 /// `out += A · B` over raw row-major slices: `A: [m, k]`, `B: [k, n]`,
 /// `out: [m, n]`. This is the allocation-free kernel the tape-free inference
 /// engine builds on; `matmul` routes through it too, so both paths produce
 /// bit-identical rows.
 pub fn matmul_acc_into(da: &[f32], db: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(da.len(), m * k, "matmul_acc_into lhs length mismatch");
-    assert_eq!(db.len(), k * n, "matmul_acc_into rhs length mismatch");
-    assert_eq!(out.len(), m * n, "matmul_acc_into out length mismatch");
-    if m * n * k >= PAR_THRESHOLD && n > 0 {
-        out.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, row)| row_mul_acc(&da[i * k..(i + 1) * k], db, row));
-    } else {
-        for (i, row) in out.chunks_mut(n).enumerate() {
-            row_mul_acc(&da[i * k..(i + 1) * k], db, row);
-        }
-    }
+    gemm::gemm_into(da, db, out, m, k, n, true);
 }
 
 /// `out = A · B` over raw row-major slices; `out` is fully overwritten.
 pub fn matmul_into(da: &[f32], db: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    out.fill(0.0);
-    matmul_acc_into(da, db, out, m, k, n);
+    gemm::gemm_into(da, db, out, m, k, n, false);
 }
 
 /// `C = A · B` for row-major matrices `A: [m, k]`, `B: [k, n]`.
@@ -98,7 +50,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     );
 
     let mut out = vec![0.0f32; m * n];
-    matmul_acc_into(a.as_slice(), b.as_slice(), &mut out, m, k, n);
+    matmul_into(a.as_slice(), b.as_slice(), &mut out, m, k, n);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -122,6 +74,26 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
     Tensor::from_vec(out, &[m])
 }
 
+/// Blocked transpose of a row-major `[rows, cols]` slice into a
+/// `[cols, rows]` slice; both streams stay within cache lines.
+///
+/// # Panics
+/// Panics if either slice length differs from `rows * cols`.
+pub fn transpose_into(src: &[f32], dst: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(src.len(), rows * cols, "transpose_into src length mismatch");
+    assert_eq!(dst.len(), rows * cols, "transpose_into dst length mismatch");
+    const B: usize = 32;
+    for ib in (0..rows).step_by(B) {
+        for jb in (0..cols).step_by(B) {
+            for i in ib..(ib + B).min(rows) {
+                for j in jb..(jb + B).min(cols) {
+                    dst[j * rows + i] = src[i * cols + j];
+                }
+            }
+        }
+    }
+}
+
 /// Transpose of a rank-2 tensor.
 pub fn transpose(a: &Tensor) -> Tensor {
     assert_eq!(
@@ -131,72 +103,40 @@ pub fn transpose(a: &Tensor) -> Tensor {
         a.shape()
     );
     let (m, n) = (a.shape()[0], a.shape()[1]);
-    let da = a.as_slice();
     let mut out = vec![0.0f32; m * n];
-    // Blocked transpose keeps both read and write streams within cache lines.
-    const B: usize = 32;
-    for ib in (0..m).step_by(B) {
-        for jb in (0..n).step_by(B) {
-            for i in ib..(ib + B).min(m) {
-                for j in jb..(jb + B).min(n) {
-                    out[j * m + i] = da[i * n + j];
-                }
-            }
-        }
-    }
+    transpose_into(a.as_slice(), &mut out, m, n);
     Tensor::from_vec(out, &[n, m])
 }
 
-/// `C = Aᵀ · B` without materialising the transpose.
+/// `C = Aᵀ · B`: the transpose is staged into scratch so the product runs
+/// through the packed GEMM panels — bitwise identical to
+/// `matmul(&transpose(a), b)`. Used by the backward pass, so the taped
+/// training path hits the SIMD kernel too.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.rank(), 2);
     assert_eq!(b.rank(), 2);
     let (k, m) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul_at_b inner dims differ");
-    let da = a.as_slice();
-    let db = b.as_slice();
+    let mut at = vec![0.0f32; k * m];
+    transpose_into(a.as_slice(), &mut at, k, m);
     let mut out = vec![0.0f32; m * n];
-    // Accumulate rank-1 updates: out[i][j] += A[kk][i] * B[kk][j].
-    for kk in 0..k {
-        let a_row = &da[kk * m..(kk + 1) * m];
-        let b_row = &db[kk * n..(kk + 1) * n];
-        for (i, &av) in a_row.iter().enumerate() {
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
-    }
+    matmul_into(&at, b.as_slice(), &mut out, m, k, n);
     Tensor::from_vec(out, &[m, n])
 }
 
-/// `C = A · Bᵀ` without materialising the transpose.
+/// `C = A · Bᵀ`: stages `Bᵀ` into scratch and runs the packed GEMM —
+/// bitwise identical to `matmul(a, &transpose(b))`.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.rank(), 2);
     assert_eq!(b.rank(), 2);
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (n, k2) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul_a_bt inner dims differ");
-    let da = a.as_slice();
-    let db = b.as_slice();
+    let mut bt = vec![0.0f32; n * k];
+    transpose_into(b.as_slice(), &mut bt, n, k);
     let mut out = vec![0.0f32; m * n];
-    let row_kernel = |i: usize, out_row: &mut [f32]| {
-        let a_row = &da[i * k..(i + 1) * k];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &db[j * k..(j + 1) * k];
-            *o = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
-        }
-    };
-    if m * n * k >= PAR_THRESHOLD && n > 0 {
-        out.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, row)| row_kernel(i, row));
-    } else {
-        for (i, row) in out.chunks_mut(n).enumerate() {
-            row_kernel(i, row);
-        }
-    }
+    matmul_into(a.as_slice(), &bt, &mut out, m, k, n);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -274,11 +214,19 @@ mod tests {
         let mut rng = Rng::seed_from(5);
         let a = Tensor::rand_normal(&[10, 6], 0.0, 1.0, &mut rng);
         let b = Tensor::rand_normal(&[10, 8], 0.0, 1.0, &mut rng);
-        assert!(matmul_at_b(&a, &b).allclose(&matmul(&transpose(&a), &b), 1e-4));
+        // Both variants stage the transpose and run the same GEMM, so the
+        // match is exact, not just within tolerance.
+        assert_eq!(
+            matmul_at_b(&a, &b).as_slice(),
+            matmul(&transpose(&a), &b).as_slice()
+        );
 
         let c = Tensor::rand_normal(&[9, 6], 0.0, 1.0, &mut rng);
         let d = Tensor::rand_normal(&[11, 6], 0.0, 1.0, &mut rng);
-        assert!(matmul_a_bt(&c, &d).allclose(&matmul(&c, &transpose(&d)), 1e-4));
+        assert_eq!(
+            matmul_a_bt(&c, &d).as_slice(),
+            matmul(&c, &transpose(&d)).as_slice()
+        );
     }
 
     #[test]
