@@ -1,0 +1,241 @@
+//! Machine-readable diagnostic output: a compact JSON report, a SARIF
+//! 2.1.0 log (what CI uploads as an artifact), and the warn-finding
+//! baseline format.
+//!
+//! Everything is hand-rolled — the offline build vendors every
+//! dependency, so there is no serde. Output is deterministic: findings
+//! are emitted in the caller's order (the workspace walk sorts by
+//! `(file, line, rule)`), and object keys are fixed.
+
+use std::path::Path;
+
+use crate::rules::{severity, Diagnostic, Rule, Severity};
+
+/// JSON-escape `s` into `out` (quotes, backslashes, control bytes).
+fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Forward-slashed display path for a diagnostic.
+fn uri(file: &Path) -> String {
+    file.to_string_lossy().replace('\\', "/")
+}
+
+/// Count of deny- and warn-level findings, in that order.
+pub fn severity_counts(diags: &[Diagnostic]) -> (usize, usize) {
+    let mut deny = 0;
+    let mut warn = 0;
+    for d in diags {
+        match severity(d.rule, &d.file) {
+            Severity::Deny => deny += 1,
+            Severity::Warn => warn += 1,
+        }
+    }
+    (deny, warn)
+}
+
+/// The compact JSON report: tool id, one object per finding with its
+/// resolved severity, and a deny/warn summary.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"tool\": \"rptcn-analysis\",\n  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"file\": \"");
+        esc(&uri(&d.file), &mut out);
+        out.push_str(&format!(
+            "\", \"line\": {}, \"rule\": \"{}\", \"severity\": \"{}\", \"message\": \"",
+            d.line,
+            d.rule.id(),
+            severity(d.rule, &d.file).label()
+        ));
+        esc(&d.message, &mut out);
+        out.push_str("\"}");
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    let (deny, warn) = severity_counts(diags);
+    out.push_str(&format!(
+        "],\n  \"summary\": {{\"deny\": {deny}, \"warn\": {warn}}}\n}}\n"
+    ));
+    out
+}
+
+/// A minimal SARIF 2.1.0 log: one run, the full rule catalogue as
+/// `tool.driver.rules`, one `result` per finding (deny → `error`,
+/// warn → `warning`).
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \"name\": \"rptcn-analysis\",\n          \"rules\": [",
+    );
+    for (i, rule) in Rule::all().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"",
+            rule.id()
+        ));
+        esc(rule.describe(), &mut out);
+        out.push_str("\"}}");
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let level = match severity(d.rule, &d.file) {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+        };
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": \"{}\", \"level\": \"{level}\", \"message\": {{\"text\": \"",
+            d.rule.id()
+        ));
+        esc(&d.message, &mut out);
+        out.push_str(
+            "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"",
+        );
+        esc(&uri(&d.file), &mut out);
+        out.push_str(&format!(
+            "\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+            d.line
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Stable baseline key for a finding: `file:line:RULE`.
+pub fn baseline_key(d: &Diagnostic) -> String {
+    format!("{}:{}:{}", uri(&d.file), d.line, d.rule.id())
+}
+
+/// Render a baseline file from accepted warn-finding keys (sorted by the
+/// caller for a stable diff).
+pub fn render_baseline(keys: &[String]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"accepted\": [");
+    for (i, k) in keys.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    \"");
+        esc(k, &mut out);
+        out.push('"');
+    }
+    if !keys.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Parse a baseline file back into its accepted keys. The format is the
+/// `render_baseline` shape: the strings inside the `accepted` array.
+/// Returns `None` when the text has no `accepted` array at all.
+pub fn parse_baseline(text: &str) -> Option<Vec<String>> {
+    let start = text.find("\"accepted\"")?;
+    let open = text[start..].find('[')? + start;
+    let close = text[open..].find(']')? + open;
+    let body = &text[open + 1..close];
+    let mut keys = Vec::new();
+    let mut rest = body;
+    while let Some(q0) = rest.find('"') {
+        let tail = &rest[q0 + 1..];
+        let mut key = String::new();
+        let mut chars = tail.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    if let Some((_, esc)) = chars.next() {
+                        key.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        });
+                    }
+                }
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => key.push(c),
+            }
+        }
+        let end = end?;
+        keys.push(key);
+        rest = &tail[end + 1..];
+    }
+    Some(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                file: PathBuf::from("crates/net/src/sim.rs"),
+                line: 3,
+                rule: Rule::DeterminismScope,
+                message: "say \"hi\"".to_string(),
+            },
+            Diagnostic {
+                file: PathBuf::from("crates/serve/src/shard.rs"),
+                line: 9,
+                rule: Rule::DeterminismScope,
+                message: "warn here".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let j = to_json(&sample());
+        assert!(j.contains("\"say \\\"hi\\\"\""));
+        // sim.rs is deny scope for R7; shard.rs is warn scope.
+        assert!(j.contains("\"summary\": {\"deny\": 1, \"warn\": 1}"));
+    }
+
+    #[test]
+    fn sarif_levels_follow_severity() {
+        let s = to_sarif(&sample());
+        assert!(s.contains("\"level\": \"error\""));
+        assert!(s.contains("\"level\": \"warning\""));
+        assert!(s.contains("\"id\": \"R9\""), "rule catalogue incomplete");
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let keys = vec![
+            "crates/serve/src/shard.rs:9:R7".to_string(),
+            "a\\b:1:R2".to_string(),
+        ];
+        let text = render_baseline(&keys);
+        assert_eq!(parse_baseline(&text).as_deref(), Some(&keys[..]));
+        assert_eq!(parse_baseline("{}"), None);
+        assert_eq!(
+            parse_baseline("{\"accepted\": []}").as_deref(),
+            Some(&[][..])
+        );
+    }
+}

@@ -155,16 +155,26 @@ pub fn lex(src: &str) -> Lexed {
                     i += 1;
                 }
                 let ident = &src[start..i];
-                // String-literal prefixes: r"", r#""#, b"", br#""#…
-                let (raw_ok, _byte) = match ident {
-                    "r" | "br" | "rb" => (true, ident != "r"),
-                    "b" => (false, true),
-                    _ => (false, false),
-                };
+                // String-literal prefixes: r"", r#""#, b"", b'', br#"..."#…
+                // (`rb` is not a Rust prefix but costs nothing to accept.)
+                let raw_capable = matches!(ident, "r" | "br" | "rb");
                 if matches!(ident, "r" | "b" | "br" | "rb") && bytes.get(i) == Some(&b'"') {
-                    i = skip_cooked_or_raw(bytes, i, &mut line, raw_ok || ident == "b");
+                    // Zero-hash literal. Raw forms (`r"…"`) have no escapes
+                    // and end at the first quote — routing them through the
+                    // cooked scanner would mis-scan `r"…\"` — while `b"…"`
+                    // escapes exactly like a cooked string.
+                    i = if raw_capable {
+                        skip_raw_string(bytes, i, 0, &mut line)
+                    } else {
+                        skip_cooked_string(bytes, i, &mut line)
+                    };
                     push(&mut out, TokKind::Str, tok_line);
-                } else if raw_ok && bytes.get(i) == Some(&b'#') {
+                } else if ident == "b" && bytes.get(i) == Some(&b'\'') {
+                    // Byte char literal `b'x'` / `b'\n'`: one Char token, no
+                    // stray `b` identifier.
+                    i = skip_char_literal(bytes, i, &mut line);
+                    push(&mut out, TokKind::Char, tok_line);
+                } else if raw_capable && bytes.get(i) == Some(&b'#') {
                     let mut hashes = 0usize;
                     while bytes.get(i + hashes) == Some(&b'#') {
                         hashes += 1;
@@ -173,7 +183,11 @@ pub fn lex(src: &str) -> Lexed {
                         i = skip_raw_string(bytes, i + hashes, hashes, &mut line);
                         push(&mut out, TokKind::Str, tok_line);
                     } else if ident == "r" {
-                        // Raw identifier `r#ident`.
+                        // Raw identifier `r#ident`. The payload keeps the
+                        // `r#` prefix: `r#type` is *not* the `type` keyword
+                        // and must never satisfy a keyword match (R5), nor
+                        // can `r#unwrap` be confused with a method the rules
+                        // pattern on.
                         i += 1; // consume '#'
                         let id_start = i;
                         while i < bytes.len()
@@ -183,7 +197,7 @@ pub fn lex(src: &str) -> Lexed {
                         }
                         push(
                             &mut out,
-                            TokKind::Ident(src[id_start..i].to_string()),
+                            TokKind::Ident(format!("r#{}", &src[id_start..i])),
                             tok_line,
                         );
                     } else {
@@ -242,19 +256,9 @@ fn skip_cooked_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
     i
 }
 
-/// Skip either a raw (`raw == true`, no escapes) or cooked string whose
-/// opening quote is at `i`.
-fn skip_cooked_or_raw(bytes: &[u8], i: usize, line: &mut usize, _byte: bool) -> usize {
-    // `r"…"` has no escapes; `b"…"` does. Raw-with-hashes goes through
-    // `skip_raw_string`. For zero-hash raw strings a backslash is literal,
-    // but treating it as an escape can only mis-scan strings containing
-    // `\"`, which the zero-hash raw form cannot express meaningfully in
-    // this codebase; keep the simple path.
-    skip_cooked_string(bytes, i, line)
-}
-
-/// Skip a raw string `"..."###` with `hashes` trailing hashes; `i` is the
-/// opening quote.
+/// Skip a raw string `"..."###` with `hashes` trailing hashes (zero for
+/// `r"…"`); `i` is the opening quote. Raw strings have no escapes: the
+/// literal ends at the first quote followed by `hashes` hashes.
 fn skip_raw_string(bytes: &[u8], mut i: usize, hashes: usize, line: &mut usize) -> usize {
     i += 1;
     while i < bytes.len() {
@@ -379,6 +383,66 @@ mod tests {
             .count();
         assert_eq!(nums, 4); // 0, 1, 2, 1.5f32
         assert!(idents("1.max(2)").contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_prefix() {
+        // `r#type` must not satisfy a `type` keyword match, and `r#unwrap`
+        // must not look like the `unwrap` method R2 patterns on.
+        let l = lex("pub r#type: u32, let r#fn = x.r#unwrap();");
+        assert!(idents("let r#fn = 1;").contains(&"r#fn".to_string()));
+        assert!(!l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokKind::Ident(s) if s == "type"
+                || s == "fn"
+                || s == "unwrap")));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokKind::Ident(s) if s == "r#type")));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_hide_their_contents() {
+        let l = lex(r###"let a = b"call unwrap() now"; let b = br#"panic! expect("#; "###);
+        assert!(!l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokKind::Ident(s) if s == "unwrap"
+                || s == "panic"
+                || s == "expect")));
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| matches!(t.kind, TokKind::Str))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn zero_hash_raw_strings_do_not_escape() {
+        // `r"…\"` ends at the quote: the backslash is a literal character,
+        // not an escape. The cooked scanner would swallow the closing quote
+        // and mis-lex everything after it.
+        let l = lex(r#"let p = r"C:\"; x.unwrap();"#);
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokKind::Ident(s) if s == "unwrap")));
+        let m = lex("let nl = b'\\n'; let c = b'x';");
+        assert_eq!(
+            m.tokens
+                .iter()
+                .filter(|t| matches!(t.kind, TokKind::Char))
+                .count(),
+            2
+        );
+        assert!(!m
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokKind::Ident(s) if s == "b")));
     }
 
     #[test]

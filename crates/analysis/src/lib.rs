@@ -16,21 +16,34 @@
 //! "Static analysis & sanitizers". Run locally with
 //! `cargo run -p rptcn-analysis -- check`.
 
+pub mod callgraph;
+pub mod export;
+pub mod item_tree;
 pub mod lex;
+pub mod lockgraph;
 pub mod rules;
 
-pub use rules::{check_source, rules_for, Diagnostic, Rule};
+pub use rules::{
+    check_lock_order, check_source, check_twin_coverage, rules_for, severity, Diagnostic,
+    FileContext, Rule, Severity,
+};
 
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Check every `crates/*/src/**/*.rs` file under `root` with the rules the
-/// repo policy assigns to it ([`rules_for`]). Paths in diagnostics are
-/// relative to `root`. Files are visited in sorted order so output is
-/// deterministic.
+/// Check every `crates/*/src/**/*.rs` file under `root` with the rules
+/// the repo policy assigns to it ([`rules_for`]), then run the
+/// cross-file rules: R6 (lock order) over one graph spanning `serve` and
+/// `net`, R8 (twin coverage) over one reference index that also ingests
+/// `crates/*/tests` so `*parity*` test files seed reachability, and
+/// finally R9 (allow hygiene) once every other rule has recorded which
+/// markers it consulted. `tests/fixtures` directories are excluded —
+/// they are bad on purpose. Paths in diagnostics are relative to `root`
+/// and files are visited in sorted order so output is deterministic.
 pub fn check_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
     let crates_dir = root.join("crates");
-    let mut files = Vec::new();
+    let mut src_files = Vec::new();
+    let mut test_files = Vec::new();
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.is_dir())
@@ -39,17 +52,59 @@ pub fn check_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
     for dir in crate_dirs {
         let src = dir.join("src");
         if src.is_dir() {
-            collect_rs_files(&src, &mut files)?;
+            collect_rs_files(&src, &mut src_files)?;
+        }
+        let tests = dir.join("tests");
+        if tests.is_dir() {
+            collect_rs_files(&tests, &mut test_files)?;
         }
     }
-    files.sort();
+    src_files.sort();
+    test_files.sort();
+    // Fixture files are deliberately rule-breaking inputs, not code.
+    test_files.retain(|p| !p.components().any(|c| c.as_os_str() == "fixtures"));
+
+    let mut contexts = Vec::new();
+    for file in &src_files {
+        let text = std::fs::read_to_string(file)?;
+        let rel = file.strip_prefix(root).unwrap_or(file);
+        contexts.push(rules::FileContext::new(rel, &text));
+    }
+    let mut test_contexts = Vec::new();
+    for file in &test_files {
+        let text = std::fs::read_to_string(file)?;
+        let rel = file.strip_prefix(root).unwrap_or(file);
+        test_contexts.push(rules::FileContext::new(rel, &text));
+    }
 
     let mut out = Vec::new();
-    for file in files {
-        let text = std::fs::read_to_string(&file)?;
-        let rel = file.strip_prefix(root).unwrap_or(&file);
-        out.extend(check_source(rel, &text, &rules_for(rel)));
+    // Per-file rules. R6/R8 run over file sets below; R9 runs last.
+    for ctx in &contexts {
+        for rule in rules_for(ctx.path()) {
+            if matches!(
+                rule,
+                Rule::LockOrder | Rule::TwinCoverage | Rule::AllowHygiene
+            ) {
+                continue;
+            }
+            ctx.run_rule(rule, &mut out);
+        }
     }
+    // R6: one lock graph across every file in lock scope (serve + net).
+    let lock_scope: Vec<&rules::FileContext> = contexts
+        .iter()
+        .filter(|c| rules_for(c.path()).contains(&Rule::LockOrder))
+        .collect();
+    check_lock_order(&lock_scope, &mut out);
+    // R8: kernels + twins from src, parity seeds from test files too.
+    let twin_scope: Vec<&rules::FileContext> =
+        contexts.iter().chain(test_contexts.iter()).collect();
+    check_twin_coverage(&twin_scope, &mut out);
+    // R9: now that every rule has recorded its marker usage.
+    for ctx in &contexts {
+        ctx.check_allow_hygiene(&mut out);
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule.id()).cmp(&(&b.file, b.line, b.rule.id())));
     Ok(out)
 }
 

@@ -6,14 +6,19 @@
 //! and can be silenced per line with a trailing `// lint: allow(<rule>)`
 //! marker (e.g. `// lint: allow(r2)`).
 
+use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::FnIndex;
+use crate::item_tree::ItemTree;
 use crate::lex::{lex, Lexed, TokKind, Token};
+use crate::lockgraph::LockGraph;
 
-/// The rule catalogue. Ids (`R1`…`R5`) are stable: CI logs, allowlist
+/// The rule catalogue. Ids (`R1`…`R9`) are stable: CI logs, allowlist
 /// markers and DESIGN.md all refer to them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
     /// R1: every `unsafe` block / fn / impl is immediately preceded by a
     /// `// SAFETY:` comment (a doc `# Safety` section also counts).
@@ -30,10 +35,24 @@ pub enum Rule {
     /// R5: every public item (`pub fn` / `struct` / `enum` / `trait` /
     /// `type` / `const` / `static`) carries a doc comment.
     MissingDocs,
+    /// R6: the partial order of `*_recover` lock acquisitions held
+    /// simultaneously must be acyclic (static deadlock detection, one
+    /// level of call inlining).
+    LockOrder,
+    /// R7: no nondeterminism sources (`Instant::now`, `SystemTime`,
+    /// hash-map iteration, entropy-seeded RNGs, bare
+    /// `available_parallelism`) in determinism-critical scopes.
+    DeterminismScope,
+    /// R8: every `#[target_feature]` / intrinsic-calling kernel fn has a
+    /// scalar twin and is reachable from a `*parity*` test.
+    TwinCoverage,
+    /// R9: every `// lint: allow(rN)` marker must actually silence a
+    /// finding; dead markers are findings themselves.
+    AllowHygiene,
 }
 
 impl Rule {
-    /// Stable short id (`R1`…`R5`).
+    /// Stable short id (`R1`…`R9`).
     pub fn id(self) -> &'static str {
         match self {
             Rule::SafetyComment => "R1",
@@ -41,7 +60,18 @@ impl Rule {
             Rule::HotPathAlloc => "R3",
             Rule::LockRecover => "R4",
             Rule::MissingDocs => "R5",
+            Rule::LockOrder => "R6",
+            Rule::DeterminismScope => "R7",
+            Rule::TwinCoverage => "R8",
+            Rule::AllowHygiene => "R9",
         }
+    }
+
+    /// The rule with the given lower-case id (`"r1"`…`"r9"`), if any.
+    pub fn from_marker_id(id: &str) -> Option<Rule> {
+        Rule::all()
+            .into_iter()
+            .find(|r| r.id().eq_ignore_ascii_case(id))
     }
 
     /// One-line description, shown by `rptcn-analysis rules`.
@@ -51,7 +81,7 @@ impl Rule {
                 "unsafe block/fn/impl must be preceded by a `// SAFETY:` comment"
             }
             Rule::NoPanicPaths => {
-                "no unwrap()/expect()/panic!/todo! in non-test library code (serve, net, core, models, obs + unsafe kernel files)"
+                "no unwrap()/expect()/panic!/todo! in non-test library code (serve, net, core, models, obs, analysis + unsafe kernel files)"
             }
             Rule::HotPathAlloc => {
                 "no Instant::now()/allocations inside functions marked `// hot-path`"
@@ -59,19 +89,89 @@ impl Rule {
             Rule::LockRecover => {
                 "Mutex/RwLock acquisitions in serve and net must go through `lock_recover`"
             }
-            Rule::MissingDocs => "public items in serve, net, core and obs must have doc comments",
+            Rule::MissingDocs => {
+                "public items in serve, net, core, obs and analysis must have doc comments"
+            }
+            Rule::LockOrder => {
+                "lock acquisition order across serve/net must be acyclic (static deadlock check)"
+            }
+            Rule::DeterminismScope => {
+                "no wall clocks, hash-map iteration, entropy RNGs or bare available_parallelism in determinism-critical scopes"
+            }
+            Rule::TwinCoverage => {
+                "every #[target_feature]/intrinsic kernel fn needs a scalar twin and a *parity* test reference"
+            }
+            Rule::AllowHygiene => {
+                "a `// lint: allow(rN)` marker that silences nothing is itself a finding"
+            }
         }
     }
 
     /// Every rule, in id order.
-    pub fn all() -> [Rule; 5] {
+    pub fn all() -> [Rule; 9] {
         [
             Rule::SafetyComment,
             Rule::NoPanicPaths,
             Rule::HotPathAlloc,
             Rule::LockRecover,
             Rule::MissingDocs,
+            Rule::LockOrder,
+            Rule::DeterminismScope,
+            Rule::TwinCoverage,
+            Rule::AllowHygiene,
         ]
+    }
+}
+
+/// How a finding gates CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// Fails the check unconditionally; must be fixed or explicitly
+    /// allow-marked with a justification.
+    Deny,
+    /// Reported, and gated through `analysis-baseline.json`: accepted
+    /// findings live there, anything new (or any stale entry) fails.
+    Warn,
+}
+
+impl Severity {
+    /// Lower-case label used in JSON output and summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// The files that hold the repo's `unsafe` compute kernels. They sit on
+/// the serving hot path and double as determinism-critical scope: their
+/// outputs are under a bitwise parity contract.
+const KERNEL_FILES: [&str; 3] = [
+    "tensor/src/gemm.rs",
+    "autograd/src/conv_kernels.rs",
+    "autograd/src/batch_exec.rs",
+];
+
+/// Severity of a rule for a given file, by repo policy: everything is
+/// deny except R7, which denies only in its determinism-critical core
+/// (`net/src/sim*`, the SimClock seam file, the unsafe kernel files) and
+/// warns elsewhere so the hash-iteration lint can roll out through the
+/// baseline instead of blocking.
+pub fn severity(rule: Rule, file: &Path) -> Severity {
+    match rule {
+        Rule::DeterminismScope => {
+            let p = file.to_string_lossy().replace('\\', "/");
+            let deny = p.contains("net/src/sim")
+                || p.ends_with("obs/src/clock.rs")
+                || KERNEL_FILES.iter().any(|f| p.ends_with(f));
+            if deny {
+                Severity::Deny
+            } else {
+                Severity::Warn
+            }
+        }
+        _ => Severity::Deny,
     }
 }
 
@@ -102,64 +202,79 @@ impl fmt::Display for Diagnostic {
 }
 
 /// Which rules apply to a workspace file, by repo policy:
-/// R1 and R3 everywhere, R2 in `serve`/`net`/`core`/`models`/`obs` plus
-/// the `unsafe` kernel files (GEMM, conv, batch executor), R4 in `serve`
-/// and `net`, R5 in `serve`, `net`, `core` and `obs`.
+/// R1, R3 and R9 everywhere; R2 in `serve`/`net`/`core`/`models`/`obs`/
+/// `analysis` plus the `unsafe` kernel files (GEMM, conv, batch
+/// executor); R4 and R6 in `serve` and `net`; R5 in `serve`, `net`,
+/// `core`, `obs` and `analysis`; R7 in `serve`/`net`/`obs` plus the
+/// kernel files (deny inside the determinism core, warn elsewhere — see
+/// [`severity`]); R8 on the kernel files under the parity contract.
 pub fn rules_for(path: &Path) -> Vec<Rule> {
     let p = path.to_string_lossy().replace('\\', "/");
     let in_crate = |c: &str| p.contains(&format!("crates/{c}/src/"));
-    // The files that hold the repo's `unsafe` compute kernels sit on the
-    // serving hot path: a stray panic there aborts a forecast mid-batch,
-    // so they carry R2 even though their crates as a whole do not. The
-    // deliberate sites (worker-panic re-raise, spawn failure) are marked
-    // `lint: allow(r2)` with their justification inline.
-    let kernel_file = [
-        "tensor/src/gemm.rs",
-        "autograd/src/conv_kernels.rs",
-        "autograd/src/batch_exec.rs",
-    ]
-    .iter()
-    .any(|f| p.ends_with(f));
+    // The kernel files sit on the serving hot path: a stray panic there
+    // aborts a forecast mid-batch, so they carry R2 even though their
+    // crates as a whole do not. The deliberate sites (worker-panic
+    // re-raise, spawn failure) carry r2 allow markers with their
+    // justification inline.
+    let kernel_file = KERNEL_FILES.iter().any(|f| p.ends_with(f));
     let mut rules = vec![Rule::SafetyComment, Rule::HotPathAlloc];
     if in_crate("serve")
         || in_crate("net")
         || in_crate("core")
         || in_crate("models")
         || in_crate("obs")
+        || in_crate("analysis")
         || kernel_file
     {
         rules.push(Rule::NoPanicPaths);
     }
     if in_crate("serve") || in_crate("net") {
         rules.push(Rule::LockRecover);
+        rules.push(Rule::LockOrder);
     }
-    if in_crate("serve") || in_crate("net") || in_crate("core") || in_crate("obs") {
+    if in_crate("serve")
+        || in_crate("net")
+        || in_crate("core")
+        || in_crate("obs")
+        || in_crate("analysis")
+    {
         rules.push(Rule::MissingDocs);
     }
+    if in_crate("serve") || in_crate("net") || in_crate("obs") || kernel_file {
+        rules.push(Rule::DeterminismScope);
+    }
+    if p.ends_with("tensor/src/gemm.rs") || p.ends_with("autograd/src/conv_kernels.rs") {
+        rules.push(Rule::TwinCoverage);
+    }
+    rules.push(Rule::AllowHygiene);
     rules
 }
 
-/// Run `rules` over one file's source text.
+/// Run `rules` over one file's source text. R6 and R8 run in their
+/// single-file form (lock graph / twin index restricted to this file);
+/// R9 always runs last so every other rule's marker usage is recorded
+/// first.
 pub fn check_source(path: &Path, src: &str, rules: &[Rule]) -> Vec<Diagnostic> {
     let ctx = FileContext::new(path, src);
     let mut out = Vec::new();
-    for &rule in rules {
-        match rule {
-            Rule::SafetyComment => ctx.check_safety(&mut out),
-            Rule::NoPanicPaths => ctx.check_no_panic(&mut out),
-            Rule::HotPathAlloc => ctx.check_hot_path(&mut out),
-            Rule::LockRecover => ctx.check_lock_recover(&mut out),
-            Rule::MissingDocs => ctx.check_missing_docs(&mut out),
-        }
+    for &rule in rules.iter().filter(|&&r| r != Rule::AllowHygiene) {
+        ctx.run_rule(rule, &mut out);
+    }
+    if rules.contains(&Rule::AllowHygiene) {
+        ctx.check_allow_hygiene(&mut out);
     }
     out.sort_by_key(|d| d.line);
     out
 }
 
-/// Lexed file plus the derived views the rules share.
-struct FileContext<'a> {
-    path: &'a Path,
+/// Lexed file plus the derived views the rules share. Public so the
+/// workspace walk can run the cross-file rules (R6/R8) over many files
+/// while sharing the marker-usage state R9 audits.
+pub struct FileContext {
+    path: PathBuf,
     lexed: Lexed,
+    /// Structural view (fns, macros, invocations) for R6/R8.
+    tree: ItemTree,
     /// `in_attr[i]` — token `i` is inside a `#[...]` / `#![...]` attribute.
     in_attr: Vec<bool>,
     /// Line ranges (inclusive) of `#[cfg(test)] mod … { … }` bodies.
@@ -168,24 +283,62 @@ struct FileContext<'a> {
     hot_fn_spans: Vec<(usize, usize)>,
     /// Lines whose tokens are all attribute tokens.
     attr_only_lines: Vec<usize>,
+    /// `(line, rule id)` of every allow marker that suppressed a finding;
+    /// R9 flags the markers that never land here.
+    used_markers: RefCell<BTreeSet<(usize, &'static str)>>,
 }
 
-impl<'a> FileContext<'a> {
-    fn new(path: &'a Path, src: &str) -> Self {
+impl FileContext {
+    /// Lex `src` and precompute the shared views.
+    pub fn new(path: &Path, src: &str) -> Self {
         let lexed = lex(src);
+        let tree = ItemTree::build(&lexed);
         let in_attr = mark_attributes(&lexed.tokens);
         let attr_only_lines = attr_only_lines(&lexed.tokens, &in_attr);
         let test_regions = find_test_regions(&lexed.tokens, &in_attr);
         let mut ctx = Self {
-            path,
+            path: path.to_path_buf(),
             lexed,
+            tree,
             in_attr,
             test_regions,
             hot_fn_spans: Vec::new(),
             attr_only_lines,
+            used_markers: RefCell::new(BTreeSet::new()),
         };
         ctx.hot_fn_spans = ctx.find_hot_fn_spans();
         ctx
+    }
+
+    /// The path this context was built for.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The lexed token stream.
+    pub fn lexed(&self) -> &Lexed {
+        &self.lexed
+    }
+
+    /// The structural item tree.
+    pub fn tree(&self) -> &ItemTree {
+        &self.tree
+    }
+
+    /// Dispatch one rule in its single-file form (R9 excluded: it must
+    /// run after every other rule, via [`FileContext::check_allow_hygiene`]).
+    pub fn run_rule(&self, rule: Rule, out: &mut Vec<Diagnostic>) {
+        match rule {
+            Rule::SafetyComment => self.check_safety(out),
+            Rule::NoPanicPaths => self.check_no_panic(out),
+            Rule::HotPathAlloc => self.check_hot_path(out),
+            Rule::LockRecover => self.check_lock_recover(out),
+            Rule::MissingDocs => self.check_missing_docs(out),
+            Rule::LockOrder => check_lock_order(&[self], out),
+            Rule::DeterminismScope => self.check_determinism(out),
+            Rule::TwinCoverage => check_twin_coverage(&[self], out),
+            Rule::AllowHygiene => {}
+        }
     }
 
     fn tokens(&self) -> &[Token] {
@@ -216,13 +369,19 @@ impl<'a> FileContext<'a> {
             .any(|&(lo, hi)| line >= lo && line <= hi)
     }
 
-    /// Trailing `// lint: allow(rN)` marker on `line`?
+    /// Trailing `// lint: allow(rN)` marker on `line`? A hit is recorded
+    /// so R9 can tell live markers from dead ones.
     fn allowed(&self, line: usize, rule: Rule) -> bool {
         let marker = format!("lint: allow({})", rule.id().to_ascii_lowercase());
-        self.lexed
+        let hit = self
+            .lexed
             .comment_on(line)
             .to_ascii_lowercase()
-            .contains(&marker)
+            .contains(&marker);
+        if hit {
+            self.used_markers.borrow_mut().insert((line, rule.id()));
+        }
+        hit
     }
 
     fn emit(&self, out: &mut Vec<Diagnostic>, line: usize, rule: Rule, message: String) {
@@ -609,6 +768,374 @@ impl<'a> FileContext<'a> {
                     self.line_of(i),
                     Rule::MissingDocs,
                     format!("public {kw} `{item_name}` has no doc comment"),
+                );
+            }
+        }
+    }
+
+    // ---- R7 ---------------------------------------------------------------
+
+    /// Identifiers declared with a std hash-container type in this file:
+    /// `name: [&][mut] HashMap<…>` fields/params/annotations and
+    /// `let name = HashMap::new()`-style bindings.
+    fn hash_typed_names(&self) -> BTreeSet<String> {
+        let mut names = BTreeSet::new();
+        for i in 0..self.tokens().len() {
+            let Some(ty) = self.ident_at(i) else { continue };
+            if !(ty == "HashMap" || ty == "HashSet") || self.in_attr[i] {
+                continue;
+            }
+            let mut j = i;
+            while j > 0
+                && (self.punct_at(j - 1) == Some('&') || self.ident_at(j - 1) == Some("mut"))
+            {
+                j -= 1;
+            }
+            if j < 2 {
+                continue;
+            }
+            // `a :: HashMap` is a use/path position, not a declaration.
+            let decl = (self.punct_at(j - 1) == Some(':') && self.punct_at(j - 2) != Some(':'))
+                || self.punct_at(j - 1) == Some('=');
+            if decl {
+                if let Some(v) = self.ident_at(j - 2) {
+                    names.insert(v.to_string());
+                }
+            }
+        }
+        names
+    }
+
+    /// The iteration at token `i` feeds a `let [mut] v = ….collect();`
+    /// binding that is sorted in the immediately following statement —
+    /// the blessed "sorted drain" shape.
+    fn sorted_after(&self, i: usize) -> bool {
+        // Find the binding variable: walk back to the statement start and
+        // expect `let [mut] v =`.
+        let mut j = i;
+        while j > 0 {
+            match self.punct_at(j - 1) {
+                Some(';') | Some('{') | Some('}') => break,
+                _ => j -= 1,
+            }
+        }
+        let var = match (self.ident_at(j), self.ident_at(j + 1), self.ident_at(j + 2)) {
+            (Some("let"), Some("mut"), Some(v)) => v.to_string(),
+            (Some("let"), Some(v), _) => v.to_string(),
+            _ => return false,
+        };
+        // Find the `;` ending this statement, then require `v.sort…(` next.
+        let mut k = i;
+        while k < self.tokens().len() && self.punct_at(k) != Some(';') {
+            k += 1;
+        }
+        self.ident_at(k + 1) == Some(var.as_str())
+            && self.punct_at(k + 2) == Some('.')
+            && self.ident_at(k + 3).is_some_and(|m| m.starts_with("sort"))
+            && self.punct_at(k + 4) == Some('(')
+    }
+
+    fn check_determinism(&self, out: &mut Vec<Diagnostic>) {
+        const ITER_METHODS: [&str; 10] = [
+            "iter",
+            "iter_mut",
+            "keys",
+            "values",
+            "values_mut",
+            "drain",
+            "into_iter",
+            "into_keys",
+            "into_values",
+            "retain",
+        ];
+        let seam_file = self
+            .path
+            .to_string_lossy()
+            .replace('\\', "/")
+            .ends_with("batch_exec.rs");
+        let hash_vars = self.hash_typed_names();
+        let toks = self.tokens();
+        for i in 0..toks.len() {
+            let Some(name) = self.ident_at(i) else {
+                continue;
+            };
+            if self.in_attr[i] {
+                continue;
+            }
+            match name {
+                "now"
+                    if self.path_prefix_is(i, "Instant")
+                        || self.path_prefix_is(i, "SystemTime") =>
+                {
+                    self.emit(
+                        out,
+                        self.line_of(i),
+                        Rule::DeterminismScope,
+                        "wall-clock `::now()` in a determinism-critical scope; take time from the injected `Clock`".to_string(),
+                    );
+                }
+                "thread_rng" | "OsRng" | "from_entropy" | "getrandom" => {
+                    self.emit(
+                        out,
+                        self.line_of(i),
+                        Rule::DeterminismScope,
+                        format!("entropy-seeded RNG (`{name}`); derive randomness from the run seed (splitmix64)"),
+                    );
+                }
+                "available_parallelism" if !seam_file => {
+                    self.emit(
+                        out,
+                        self.line_of(i),
+                        Rule::DeterminismScope,
+                        "bare `available_parallelism`; thread counts must come from the batch-executor seam".to_string(),
+                    );
+                }
+                "in" => {
+                    // `for x in [&][mut] path.to.hash { … }` — direct
+                    // iteration of a hash container.
+                    let mut j = i + 1;
+                    while self.punct_at(j) == Some('&') || self.ident_at(j) == Some("mut") {
+                        j += 1;
+                    }
+                    if self.ident_at(j).is_none() {
+                        continue;
+                    }
+                    while self.punct_at(j + 1) == Some('.') && self.ident_at(j + 2).is_some() {
+                        j += 2;
+                    }
+                    let last = self.ident_at(j).unwrap_or_default();
+                    if self.punct_at(j + 1) == Some('{') && hash_vars.contains(last) {
+                        self.emit(
+                            out,
+                            self.line_of(j),
+                            Rule::DeterminismScope,
+                            format!("iteration over std hash container `{last}` is order-nondeterministic; use BTreeMap/BTreeSet or sort after collecting"),
+                        );
+                    }
+                }
+                m if ITER_METHODS.contains(&m)
+                    && i >= 2
+                    && self.punct_at(i - 1) == Some('.')
+                    && self.punct_at(i + 1) == Some('(') =>
+                {
+                    let Some(recv) = self.ident_at(i - 2) else {
+                        continue;
+                    };
+                    if hash_vars.contains(recv) && !self.sorted_after(i) {
+                        self.emit(
+                            out,
+                            self.line_of(i),
+                            Rule::DeterminismScope,
+                            format!("`.{m}()` on std hash container `{recv}` is order-nondeterministic; use BTreeMap/BTreeSet or a sorted drain"),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ---- R9 ---------------------------------------------------------------
+
+    /// Every `// lint: allow(rN)` marker in a plain line comment that no
+    /// rule consulted when suppressing a finding. Must run after every
+    /// other rule (including the cross-file ones) so usage is complete.
+    pub fn check_allow_hygiene(&self, out: &mut Vec<Diagnostic>) {
+        let markers: Vec<(usize, String)> = self
+            .lexed
+            .comments
+            .iter()
+            .flat_map(|(&line, comment)| {
+                let t = comment.trim_start();
+                // Doc comments talk *about* the syntax; only plain `//`
+                // comments carry live markers.
+                if t.starts_with("///") || t.starts_with("//!") || t.starts_with("/**") {
+                    return Vec::new();
+                }
+                parse_markers(comment)
+                    .into_iter()
+                    .map(move |id| (line, id))
+                    .collect()
+            })
+            .collect();
+        for (line, id) in markers {
+            if self.in_test_region(line) {
+                continue;
+            }
+            match Rule::from_marker_id(&id) {
+                None => self.emit(
+                    out,
+                    line,
+                    Rule::AllowHygiene,
+                    format!("allow marker names unknown rule `{id}`"),
+                ),
+                Some(rule) => {
+                    let used = self.used_markers.borrow().contains(&(line, rule.id()));
+                    if !used {
+                        self.emit(
+                            out,
+                            line,
+                            Rule::AllowHygiene,
+                            format!(
+                                "`lint: allow({id})` silences nothing on this line; remove the stale marker"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rule ids named by `lint: allow(<id>)` markers in `comment`.
+fn parse_markers(comment: &str) -> Vec<String> {
+    const NEEDLE: &str = "lint: allow(";
+    let lower = comment.to_ascii_lowercase();
+    let mut ids = Vec::new();
+    let mut pos = 0;
+    while let Some(off) = lower[pos..].find(NEEDLE) {
+        let start = pos + off + NEEDLE.len();
+        let Some(close) = lower[start..].find(')') else {
+            break;
+        };
+        ids.push(lower[start..start + close].trim().to_string());
+        pos = start + close + 1;
+    }
+    ids
+}
+
+// ---- R6 (cross-file) ------------------------------------------------------
+
+/// R6 over a file set: build one lock graph across every function body
+/// (test regions skipped), inline one call level, and report each
+/// acquisition edge that participates in a cycle at its source site.
+/// Single-file mode (fixtures, `check_source`) passes a one-element
+/// slice.
+pub fn check_lock_order(files: &[&FileContext], out: &mut Vec<Diagnostic>) {
+    let mut graph = LockGraph::default();
+    for f in files {
+        let disp = f.path.to_string_lossy().replace('\\', "/");
+        graph.add_file(&disp, &f.lexed, &f.tree, &|line| f.in_test_region(line));
+    }
+    graph.finalize();
+    for e in graph.cyclic_edges() {
+        let Some(f) = files
+            .iter()
+            .find(|f| f.path.to_string_lossy().replace('\\', "/") == e.file)
+        else {
+            continue;
+        };
+        let msg = if e.held == e.acquired {
+            format!(
+                "lock `{}` re-acquired while already held (std locks are not reentrant)",
+                e.acquired
+            )
+        } else {
+            format!(
+                "lock `{}` acquired while `{}` is held, and the reverse order exists elsewhere — deadlock cycle",
+                e.acquired, e.held
+            )
+        };
+        f.emit(out, e.line, Rule::LockOrder, msg);
+    }
+}
+
+// ---- R8 (cross-file) ------------------------------------------------------
+
+/// R8 over a file set: every `#[target_feature]` or intrinsic-calling fn
+/// in the kernel files must have a scalar twin (a second same-name
+/// definition — the cfg pair — or a `*_scalar` sibling) and be
+/// transitively reachable from a `*parity*` test file or module. When no
+/// file in the set is a policy kernel file (fixture mode), every given
+/// file is treated as one.
+pub fn check_twin_coverage(files: &[&FileContext], out: &mut Vec<Diagnostic>) {
+    let mut idx = FnIndex::default();
+    for f in files {
+        let disp = f.path.to_string_lossy().replace('\\', "/");
+        idx.add_file(&disp, &f.lexed, &f.tree);
+    }
+    // Seeds: every identifier in *parity* files, plus identifiers inside
+    // modules whose name contains "parity" (single-file fixtures).
+    let mut seeds: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        let stem_parity = f
+            .path
+            .file_stem()
+            .map(|s| s.to_string_lossy().contains("parity"))
+            .unwrap_or(false);
+        if stem_parity {
+            for t in &f.lexed.tokens {
+                if let TokKind::Ident(s) = &t.kind {
+                    seeds.insert(s.clone());
+                }
+            }
+        } else {
+            for m in &f.tree.modules {
+                if !m.name.contains("parity") {
+                    continue;
+                }
+                for t in &f.lexed.tokens[m.body.0..m.body.1] {
+                    if let TokKind::Ident(s) = &t.kind {
+                        seeds.insert(s.clone());
+                    }
+                }
+            }
+        }
+    }
+    let covered = idx.reachable(&seeds);
+
+    let policy_kernels: Vec<&FileContext> = files
+        .iter()
+        .copied()
+        .filter(|f| rules_for(&f.path).contains(&Rule::TwinCoverage))
+        .collect();
+    let kernel_files: Vec<&FileContext> = if policy_kernels.is_empty() {
+        files.to_vec()
+    } else {
+        policy_kernels
+    };
+    for f in kernel_files {
+        let disp = f.path.to_string_lossy().replace('\\', "/");
+        let mut reported: BTreeSet<&str> = BTreeSet::new();
+        let nodes: Vec<_> = idx
+            .by_name
+            .values()
+            .flatten()
+            .filter(|n| n.file == disp && (n.target_feature || n.intrinsics))
+            .collect();
+        for node in nodes {
+            if f.in_test_region(node.line) || !reported.insert(node.name.as_str()) {
+                continue;
+            }
+            let defs = idx.defs(&node.name);
+            let base = node
+                .name
+                .rsplit_once('_')
+                .map(|(b, _)| b)
+                .unwrap_or(&node.name);
+            let twin = defs.len() >= 2
+                || idx.by_name.contains_key(&format!("{}_scalar", node.name))
+                || idx.by_name.contains_key(&format!("{base}_scalar"));
+            if !twin {
+                f.emit(
+                    out,
+                    node.line,
+                    Rule::TwinCoverage,
+                    format!(
+                        "kernel fn `{}` has no scalar twin (no cfg-paired second definition or `*_scalar` sibling)",
+                        node.name
+                    ),
+                );
+            }
+            if !covered.contains(&node.name) {
+                f.emit(
+                    out,
+                    node.line,
+                    Rule::TwinCoverage,
+                    format!(
+                        "kernel fn `{}` is not reachable from any *parity* test, so the bitwise twin contract is untested",
+                        node.name
+                    ),
                 );
             }
         }

@@ -1,0 +1,63 @@
+//! Golden tests for the exporters: a mixed deny/warn run rendered as
+//! JSON and SARIF must match the checked-in files byte for byte.
+//!
+//! To regenerate after an intentional format change:
+//! `cargo test -p rptcn-analysis --test export_golden -- --ignored`
+
+use std::path::{Path, PathBuf};
+
+use analysis::{check_source, export, Rule};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn fixture(name: &str) -> String {
+    std::fs::read_to_string(fixture_path(name))
+        .unwrap_or_else(|e| panic!("read fixture {name}: {e}"))
+}
+
+/// One R7 sweep over the same source under two policy paths: the sim
+/// path is deny scope, the serve path warn scope — so the report mixes
+/// both severity levels deterministically.
+fn mixed_diags() -> Vec<analysis::Diagnostic> {
+    let src = fixture("r7_bad.rs");
+    let mut diags = check_source(
+        Path::new("crates/net/src/sim_mixed.rs"),
+        &src,
+        &[Rule::DeterminismScope],
+    );
+    diags.extend(check_source(
+        Path::new("crates/serve/src/shard_mixed.rs"),
+        &src,
+        &[Rule::DeterminismScope],
+    ));
+    diags
+}
+
+#[test]
+fn mixed_run_matches_golden_json() {
+    assert_eq!(
+        export::to_json(&mixed_diags()),
+        fixture("golden/mixed.json")
+    );
+}
+
+#[test]
+fn mixed_run_matches_golden_sarif() {
+    assert_eq!(
+        export::to_sarif(&mixed_diags()),
+        fixture("golden/mixed.sarif")
+    );
+}
+
+#[test]
+#[ignore = "writes the golden files; run explicitly after format changes"]
+fn regenerate_goldens() {
+    let diags = mixed_diags();
+    std::fs::create_dir_all(fixture_path("golden")).unwrap();
+    std::fs::write(fixture_path("golden/mixed.json"), export::to_json(&diags)).unwrap();
+    std::fs::write(fixture_path("golden/mixed.sarif"), export::to_sarif(&diags)).unwrap();
+}

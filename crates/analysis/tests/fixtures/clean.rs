@@ -42,7 +42,7 @@ impl Default for Window {
 
 /// Poison-recovering lock helper, mirroring `serve::stats::lock_recover`.
 pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|p| p.into_inner()) // lint: allow(r2) lint: allow(r4) — the one blessed acquisition
+    m.lock().unwrap_or_else(|p| p.into_inner()) // lint: allow(r4) — the one blessed acquisition
 }
 
 // hot-path: per-sample scoring, must not allocate

@@ -1,0 +1,45 @@
+//! R6 fixture: `rx` and `stats` acquired in opposite orders on two
+//! paths, plus a `queue` re-acquisition through a one-level call.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Poison-recovering acquisition — the primitive the lock graph tracks.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Shared state with three independently locked fields.
+pub struct Shard {
+    rx: Mutex<Vec<u32>>,
+    stats: Mutex<u32>,
+    queue: Mutex<Vec<u32>>,
+}
+
+impl Shard {
+    /// Takes `rx` then `stats`.
+    pub fn ingest(&self) {
+        let g = lock_recover(&self.rx);
+        let s = lock_recover(&self.stats);
+        drop(s);
+        drop(g);
+    }
+
+    /// Takes `stats` then `rx` — the reverse order.
+    pub fn report(&self) {
+        let s = lock_recover(&self.stats);
+        let g = lock_recover(&self.rx);
+        drop(g);
+        drop(s);
+    }
+
+    /// Holds `queue` across a call into a helper that re-takes it.
+    pub fn drain(&self) {
+        let q = lock_recover(&self.queue);
+        self.push_one(7);
+        drop(q);
+    }
+
+    fn push_one(&self, v: u32) {
+        lock_recover(&self.queue).push(v);
+    }
+}

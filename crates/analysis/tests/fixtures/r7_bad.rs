@@ -1,0 +1,36 @@
+//! R7 fixture: wall clocks, entropy RNG, bare thread counts and hash
+//! iteration, next to the two blessed shapes (BTreeMap, sorted drain).
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::{Instant, SystemTime};
+
+/// Pending work keyed by entity id.
+pub struct State {
+    pending: HashMap<String, u32>,
+    done: BTreeMap<String, u32>,
+}
+
+impl State {
+    /// Every violation at once; returns a nonsense number.
+    pub fn step(&mut self) -> u64 {
+        let t0 = Instant::now();
+        let wall = SystemTime::now();
+        let seed = thread_rng();
+        let workers = std::thread::available_parallelism();
+        for (k, v) in &self.pending {
+            let _ = (k, v);
+        }
+        for k in self.pending.keys() {
+            let _ = k;
+        }
+        // Blessed: BTreeMap iteration is deterministic.
+        for (k, v) in &self.done {
+            let _ = (k, v);
+        }
+        // Blessed: hash iteration immediately followed by a sort.
+        let mut ids: Vec<&String> = self.pending.keys().collect();
+        ids.sort();
+        let _ = (t0, wall, seed, workers);
+        ids.len() as u64
+    }
+}

@@ -1,0 +1,40 @@
+//! R8 fixture: one kernel fully covered, one missing its parity test,
+//! one missing both its scalar twin and the parity reference.
+
+/// Covered: has a `_scalar` twin and a `gemm_parity` reference.
+#[target_feature(enable = "avx2")]
+pub unsafe fn tile_avx(a: &[f32], b: &[f32]) -> f32 {
+    a[0] * b[0]
+}
+
+/// Scalar twin of `tile_avx`.
+pub fn tile_avx_scalar(a: &[f32], b: &[f32]) -> f32 {
+    a[0] * b[0]
+}
+
+/// Twinned but never referenced from a parity test.
+#[target_feature(enable = "avx2")]
+pub unsafe fn row_avx(a: &[f32]) -> f32 {
+    a[0]
+}
+
+/// Scalar twin of `row_avx`.
+pub fn row_avx_scalar(a: &[f32]) -> f32 {
+    a[0]
+}
+
+/// Calls intrinsics directly; no twin, no parity reference.
+pub unsafe fn dot_avx(a: &[f32]) -> f32 {
+    let v = _mm256_loadu_ps(a.as_ptr());
+    _mm256_cvtss_f32(v)
+}
+
+mod gemm_parity {
+    use super::{tile_avx, tile_avx_scalar};
+
+    fn check() {
+        let a = [1.0f32; 8];
+        let fast = unsafe { tile_avx(&a, &a) };
+        assert_eq!(fast, tile_avx_scalar(&a, &a));
+    }
+}

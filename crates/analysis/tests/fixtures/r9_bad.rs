@@ -1,0 +1,16 @@
+//! R9 fixture: one live marker, one stale marker, one unknown rule id.
+
+/// Returns the inner value; the marker here genuinely suppresses R2.
+pub fn take(v: Option<u32>) -> u32 {
+    v.unwrap() // lint: allow(r2) — fixture-blessed panic
+}
+
+/// Nothing on this line violates anything; the marker is stale.
+pub fn quiet() -> u32 {
+    7 // lint: allow(r2) — silences nothing
+}
+
+/// Unknown rule ids are typos, not suppressions.
+pub fn typo() -> u32 {
+    9 // lint: allow(r42)
+}

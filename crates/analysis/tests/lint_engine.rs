@@ -65,6 +65,53 @@ fn r5_flags_undocumented_public_items() {
 }
 
 #[test]
+fn r6_flags_both_directions_of_a_lock_cycle_and_reacquisition() {
+    let diags = run_fixture("r6_bad.rs", &[Rule::LockOrder]);
+    // rx→stats (22) and stats→rx (30) form the cycle; the queue
+    // re-acquisition surfaces at the call site (38) via one-level inlining.
+    assert_eq!(lines_for(&diags, Rule::LockOrder), vec![22, 30, 38]);
+    assert!(
+        diags[2].message.contains("re-acquired"),
+        "inlined self-edge should name reentrancy: {}",
+        diags[2].message
+    );
+}
+
+#[test]
+fn r7_flags_clocks_rng_threads_and_hash_iteration_only() {
+    let diags = run_fixture("r7_bad.rs", &[Rule::DeterminismScope]);
+    // Instant::now (16), SystemTime::now (17), thread_rng (18),
+    // available_parallelism (19), for-in over the HashMap (20),
+    // .keys() on it (23). The BTreeMap loop (27) and the sorted
+    // drain (31–32) must stay silent.
+    assert_eq!(
+        lines_for(&diags, Rule::DeterminismScope),
+        vec![16, 17, 18, 19, 20, 23]
+    );
+}
+
+#[test]
+fn r8_flags_missing_twin_and_missing_parity_reference() {
+    let diags = run_fixture("r8_bad.rs", &[Rule::TwinCoverage]);
+    // row_avx (17) is twinned but unreferenced from gemm_parity;
+    // dot_avx (27) is missing both the twin and the reference.
+    assert_eq!(lines_for(&diags, Rule::TwinCoverage), vec![17, 27, 27]);
+    assert!(diags.iter().any(|d| d.message.contains("scalar twin")));
+    assert!(diags.iter().any(|d| d.message.contains("*parity*")));
+}
+
+#[test]
+fn r9_flags_stale_and_unknown_markers_but_not_live_ones() {
+    let diags = run_fixture("r9_bad.rs", &[Rule::NoPanicPaths, Rule::AllowHygiene]);
+    // Line 5's marker suppresses a real R2 finding, so it is live and
+    // produces nothing; line 10 is stale, line 15 names a rule that
+    // does not exist.
+    assert!(lines_for(&diags, Rule::NoPanicPaths).is_empty());
+    assert_eq!(lines_for(&diags, Rule::AllowHygiene), vec![10, 15]);
+    assert!(diags[1].message.contains("unknown rule"));
+}
+
+#[test]
 fn clean_fixture_passes_every_rule() {
     let diags = run_fixture("clean.rs", &Rule::all());
     assert!(

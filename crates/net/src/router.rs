@@ -36,7 +36,7 @@
 //! drained, entities migrated) on an injectable clock, and the data path
 //! keeps counters and RTT histograms in a `Registry`.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
 use obs::{EventKind, Journal, MonotonicClock, Registry, SharedClock, Span};
@@ -159,7 +159,7 @@ pub struct FleetRouter {
     /// Entity → recent acknowledged samples (bounded by `replay_window`).
     /// Every entity the router ever seeded has an entry, even when replay
     /// is disabled — this is the authoritative fleet entity list.
-    replay: HashMap<String, VecDeque<Vec<f32>>>,
+    replay: BTreeMap<String, VecDeque<Vec<f32>>>,
     registry: Registry,
     journal: Journal,
     /// Next request id, allocated from the idempotent range so every
@@ -174,7 +174,7 @@ impl FleetRouter {
         FleetRouter {
             ring: HashRing::new(cfg.vnodes),
             nodes: Vec::new(),
-            replay: HashMap::new(),
+            replay: BTreeMap::new(),
             registry: Registry::new(),
             journal,
             next_request_id: IDEMPOTENT_ID_BASE,

@@ -34,7 +34,7 @@
 //! 4. **No phantom success** — the router never acknowledges more
 //!    forecasts than the nodes actually executed.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -291,9 +291,9 @@ struct ListenerEntry {
 /// per-link connection counter feeding the deterministic fault stream.
 struct NetState {
     faults: FaultConfig,
-    listeners: HashMap<String, ListenerEntry>,
-    blocked: HashSet<(String, String)>,
-    conn_seq: HashMap<(String, String), u64>,
+    listeners: BTreeMap<String, ListenerEntry>,
+    blocked: BTreeSet<(String, String)>,
+    conn_seq: BTreeMap<(String, String), u64>,
 }
 
 struct SimInner {
@@ -325,9 +325,9 @@ impl SimNet {
                 counters: FaultCounters::default(),
                 state: Mutex::new(NetState {
                     faults: FaultConfig::default(),
-                    listeners: HashMap::new(),
-                    blocked: HashSet::new(),
-                    conn_seq: HashMap::new(),
+                    listeners: BTreeMap::new(),
+                    blocked: BTreeSet::new(),
+                    conn_seq: BTreeMap::new(),
                 }),
                 accept_cv: Condvar::new(),
             }),
@@ -969,7 +969,7 @@ pub fn check_fleet_invariants(
     let alive = |name: &str| nodes.iter().any(|(n, s)| n == name && *s == NodeStatus::Up);
     // Invariants 1 + 2 check the live owner's history per entity.
     let expected: Vec<String> = acked.keys().cloned().collect();
-    let mut owner_markers: HashMap<&str, &[u64]> = HashMap::new();
+    let mut owner_markers: BTreeMap<&str, &[u64]> = BTreeMap::new();
     for (node, held) in holdings {
         if !alive(node) {
             continue;
@@ -992,7 +992,7 @@ pub fn check_fleet_invariants(
             .copied()
             .unwrap_or_default();
         // Invariant 2: no marker applied twice to the same predictor.
-        let mut seen: HashSet<u64> = HashSet::new();
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
         for m in held {
             if !seen.insert(*m) && !report.duplicate_applies.iter().any(|(_, d)| d == m) {
                 report.duplicate_applies.push((entity.clone(), *m));

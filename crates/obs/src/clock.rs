@@ -41,7 +41,7 @@ impl MonotonicClock {
     /// A clock whose epoch is the moment of construction.
     pub fn new() -> Self {
         Self {
-            epoch: Instant::now(),
+            epoch: Instant::now(), // lint: allow(r7) — the one real-time read; everything downstream goes through the Clock trait
         }
     }
 

@@ -153,7 +153,7 @@ impl FaultPlan {
     /// free of panicking macros; the supervisor catches the unwind and
     /// degrades the entity exactly like a real model crash.
     pub(crate) fn forecast_panic_now(entity: &str) -> ! {
-        panic!("fault injection: model panic while forecasting `{entity}`") // lint: allow(r2)
+        panic!("fault injection: model panic while forecasting `{entity}`") // lint: allow(r2) — the injected fault itself; unwinding is this fn's contract
     }
 
     /// Hook: the planned fault for a refit of `entity`, if any.

@@ -35,4 +35,17 @@ if [ ! -s BENCH_sim.json ]; then
     echo "FATAL: bench_sim produced no BENCH_sim.json" >> experiments/progress.log
     exit 1
 fi
+# Static analysis sweep: deny findings and baseline drift abort the run,
+# and the machine-readable SARIF report must exist afterwards.
+./target/release/rptcn-analysis check --format sarif --out experiments/analysis.sarif > experiments/analysis.txt 2>>experiments/progress.log
+if [ $? -ne 0 ]; then
+    echo "FATAL: rptcn-analysis found deny findings or baseline drift" >&2
+    echo "FATAL: rptcn-analysis found deny findings or baseline drift" >> experiments/progress.log
+    exit 1
+fi
+if [ ! -s experiments/analysis.sarif ]; then
+    echo "FATAL: rptcn-analysis produced no analysis.sarif" >&2
+    echo "FATAL: rptcn-analysis produced no analysis.sarif" >> experiments/progress.log
+    exit 1
+fi
 echo TRIMMED_DONE >> experiments/progress.log
