@@ -164,6 +164,7 @@ pub fn severity(rule: Rule, file: &Path) -> Severity {
             let p = file.to_string_lossy().replace('\\', "/");
             let deny = p.contains("net/src/sim")
                 || p.ends_with("obs/src/clock.rs")
+                || p.contains("core/src/decide")
                 || KERNEL_FILES.iter().any(|f| p.ends_with(f));
             if deny {
                 Severity::Deny
@@ -206,8 +207,10 @@ impl fmt::Display for Diagnostic {
 /// `analysis` plus the `unsafe` kernel files (GEMM, conv, batch
 /// executor); R4 and R6 in `serve` and `net`; R5 in `serve`, `net`,
 /// `core`, `obs` and `analysis`; R7 in `serve`/`net`/`obs` plus the
-/// kernel files (deny inside the determinism core, warn elsewhere — see
-/// [`severity`]); R8 on the kernel files under the parity contract.
+/// kernel files and the `core/src/decide` module (deny inside the
+/// determinism core — which includes `decide`, whose reservation replays
+/// must be reproducible — warn elsewhere; see [`severity`]); R8 on the
+/// kernel files under the parity contract.
 pub fn rules_for(path: &Path) -> Vec<Rule> {
     let p = path.to_string_lossy().replace('\\', "/");
     let in_crate = |c: &str| p.contains(&format!("crates/{c}/src/"));
@@ -240,7 +243,12 @@ pub fn rules_for(path: &Path) -> Vec<Rule> {
     {
         rules.push(Rule::MissingDocs);
     }
-    if in_crate("serve") || in_crate("net") || in_crate("obs") || kernel_file {
+    if in_crate("serve")
+        || in_crate("net")
+        || in_crate("obs")
+        || p.contains("core/src/decide")
+        || kernel_file
+    {
         rules.push(Rule::DeterminismScope);
     }
     if p.ends_with("tensor/src/gemm.rs") || p.ends_with("autograd/src/conv_kernels.rs") {

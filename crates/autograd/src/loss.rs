@@ -29,12 +29,56 @@ pub fn huber(g: &mut Graph, pred: Var, target: &Tensor, delta: f32) -> Var {
     g.mean_all(h)
 }
 
+/// Pinball (quantile) loss at level `tau`: for `u = target − pred`,
+/// `mean(τ·max(u, 0) + (1−τ)·max(−u, 0))`. Minimised in expectation when
+/// `pred` is the `τ`-quantile of the target distribution — the head loss
+/// that turns a point forecaster into an interval forecaster.
+pub fn pinball(g: &mut Graph, pred: Var, target: &Tensor, tau: f32) -> Var {
+    let t = g.input(target.clone());
+    let u = g.sub(t, pred);
+    let over = g.relu(u); // u > 0: target above the quantile estimate
+    let neg_u = g.neg(u);
+    let under = g.relu(neg_u); // u < 0: estimate above the target
+    let w_over = g.scale(over, tau);
+    let w_under = g.scale(under, 1.0 - tau);
+    let total = g.add(w_over, w_under);
+    g.mean_all(total)
+}
+
+/// Pinball loss on plain tensors, for validation.
+fn pinball_eval(pred: &[f32], target: &[f32], tau: f64) -> f64 {
+    let n = pred.len().max(1) as f64;
+    pred.iter()
+        .zip(target)
+        .map(|(&p, &t)| {
+            let u = (t - p) as f64;
+            if u >= 0.0 {
+                tau * u
+            } else {
+                (tau - 1.0) * u
+            }
+        })
+        .sum::<f64>()
+        / n
+}
+
 /// Which loss a trainer should build.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LossKind {
     Mse,
     Mae,
     Huber(f32),
+    /// Pinball (quantile) loss at one level; `pred` estimates the
+    /// `τ`-quantile of the target.
+    Pinball(f32),
+    /// Composite point + interval loss for a multi-head model emitting
+    /// `[n, 3·horizon]` predictions laid out as `[point | q_lo | q_hi]`
+    /// column blocks against an `[n, horizon]` target: MSE on the point
+    /// block plus pinball at `lo`/`hi` on the quantile blocks.
+    PointInterval {
+        lo: f32,
+        hi: f32,
+    },
 }
 
 impl LossKind {
@@ -44,11 +88,29 @@ impl LossKind {
             LossKind::Mse => mse(g, pred, target),
             LossKind::Mae => mae(g, pred, target),
             LossKind::Huber(delta) => huber(g, pred, target, delta),
+            LossKind::Pinball(tau) => pinball(g, pred, target, tau),
+            LossKind::PointInterval { lo, hi } => {
+                let h = target.shape()[target.shape().len() - 1];
+                let point = g.slice_cols(pred, 0, h);
+                let q_lo = g.slice_cols(pred, h, 2 * h);
+                let q_hi = g.slice_cols(pred, 2 * h, 3 * h);
+                let l_point = mse(g, point, target);
+                let l_lo = pinball(g, q_lo, target, lo);
+                let l_hi = pinball(g, q_hi, target, hi);
+                let partial = g.add(l_point, l_lo);
+                g.add(partial, l_hi)
+            }
         }
     }
 
     /// Evaluate the loss on plain tensors (no tape), for validation.
+    /// [`LossKind::PointInterval`] accepts the wide `[n, 3·horizon]`
+    /// prediction its tape form trains; every other variant requires
+    /// matching shapes.
     pub fn eval(self, pred: &Tensor, target: &Tensor) -> f64 {
+        if let LossKind::PointInterval { lo, hi } = self {
+            return point_interval_eval(pred, target, lo as f64, hi as f64);
+        }
         assert_eq!(pred.shape(), target.shape(), "loss eval shape mismatch");
         let n = pred.len().max(1) as f64;
         match self {
@@ -84,8 +146,49 @@ impl LossKind {
                     .sum::<f64>()
                     / n
             }
+            LossKind::Pinball(tau) => pinball_eval(pred.as_slice(), target.as_slice(), tau as f64),
+            LossKind::PointInterval { .. } => unreachable!("handled above"),
         }
     }
+}
+
+/// [`LossKind::PointInterval`] on plain tensors: slice the `[n, 3h]`
+/// prediction into its `[point | q_lo | q_hi]` blocks and sum MSE on the
+/// point with pinball on the two quantile heads.
+fn point_interval_eval(pred: &Tensor, target: &Tensor, lo: f64, hi: f64) -> f64 {
+    let h = target.shape()[target.shape().len() - 1];
+    let rows = target.len() / h.max(1);
+    assert_eq!(
+        pred.shape().last().copied(),
+        Some(3 * h),
+        "PointInterval eval needs [n, 3·horizon] predictions"
+    );
+    let (p, t) = (pred.as_slice(), target.as_slice());
+    let mut mse_sum = 0.0f64;
+    let mut lo_sum = 0.0f64;
+    let mut hi_sum = 0.0f64;
+    for r in 0..rows {
+        let row = &p[r * 3 * h..(r + 1) * 3 * h];
+        let truth = &t[r * h..(r + 1) * h];
+        for i in 0..h {
+            let d = (row[i] - truth[i]) as f64;
+            mse_sum += d * d;
+            let u_lo = (truth[i] - row[h + i]) as f64;
+            lo_sum += if u_lo >= 0.0 {
+                lo * u_lo
+            } else {
+                (lo - 1.0) * u_lo
+            };
+            let u_hi = (truth[i] - row[2 * h + i]) as f64;
+            hi_sum += if u_hi >= 0.0 {
+                hi * u_hi
+            } else {
+                (hi - 1.0) * u_hi
+            };
+        }
+    }
+    let n = (rows * h).max(1) as f64;
+    (mse_sum + lo_sum + hi_sum) / n
 }
 
 #[cfg(test)]
@@ -130,10 +233,72 @@ mod tests {
 
     #[test]
     fn perfect_prediction_has_zero_loss() {
-        for kind in [LossKind::Mse, LossKind::Mae, LossKind::Huber(1.0)] {
+        for kind in [
+            LossKind::Mse,
+            LossKind::Mae,
+            LossKind::Huber(1.0),
+            LossKind::Pinball(0.9),
+        ] {
             let (tape, eval) = loss_value(kind, vec![1.0, -2.0, 3.0], vec![1.0, -2.0, 3.0]);
             assert_eq!(tape, 0.0);
             assert_eq!(eval, 0.0);
         }
+    }
+
+    #[test]
+    fn pinball_penalises_undercoverage_more_at_high_tau() {
+        // u = target − pred = +1 (under-prediction) costs τ; −1 costs 1−τ.
+        let (under_tape, under_eval) = loss_value(LossKind::Pinball(0.9), vec![0.0], vec![1.0]);
+        let (over_tape, over_eval) = loss_value(LossKind::Pinball(0.9), vec![1.0], vec![0.0]);
+        assert!((under_tape - 0.9).abs() < 1e-6);
+        assert!((under_eval - 0.9).abs() < 1e-6);
+        assert!((over_tape - 0.1).abs() < 1e-6);
+        assert!((over_eval - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pinball_gradient_pushes_towards_quantile() {
+        // A constant scalar prediction trained with pinball loss on a known
+        // sample converges (in gradient sign) towards the τ-quantile: below
+        // the quantile the gradient must be negative (increase pred).
+        let mut store = ParamStore::new();
+        let id = store.register("q", Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0], &[4]));
+        let mut g = Graph::new(&store);
+        let p = g.param(id);
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]);
+        let l = pinball(&mut g, p, &t, 0.9);
+        let grads = g.backward(l);
+        let gp = grads.get(id).expect("param grad");
+        assert!(
+            gp.as_slice().iter().all(|&v| v < 0.0),
+            "pinball gradient should push the estimate up: {:?}",
+            gp.as_slice()
+        );
+    }
+
+    #[test]
+    fn point_interval_composes_its_blocks() {
+        // pred rows laid out [point | q_lo | q_hi], target width 2.
+        let pred = vec![1.0, 2.0, 0.5, 1.5, 1.5, 2.5];
+        let target = vec![1.0, 2.0];
+        let kind = LossKind::PointInterval { lo: 0.1, hi: 0.9 };
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let p = g.input(Tensor::from_vec(pred.clone(), &[1, 6]));
+        let t = Tensor::from_vec(target.clone(), &[1, 2]);
+        let l = kind.build(&mut g, p, &t);
+        let tape = g.value(l).item() as f64;
+        let eval = kind.eval(
+            &Tensor::from_vec(pred, &[1, 6]),
+            &Tensor::from_vec(target, &[1, 2]),
+        );
+        // point block is exact (mse 0); q_lo under-shoots by 0.5 on both
+        // columns (u = +0.5, cost 0.1·0.5 each); q_hi over-shoots by 0.5
+        // (u = −0.5, cost 0.1·0.5 each) → total mean = 0.05 + 0.05.
+        assert!((eval - 0.1).abs() < 1e-6, "eval {eval}");
+        assert!(
+            (tape as f64 - eval).abs() < 1e-6,
+            "tape {tape} vs eval {eval}"
+        );
     }
 }

@@ -3,7 +3,7 @@
 //! under-allocation → SLO violations) without parking idle cores (avoid
 //! over-allocation → the waste Figs 2–3 document).
 
-use std::collections::VecDeque;
+use crate::decide::{Calibration, ConformalState};
 
 /// Allocation policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,10 +64,15 @@ impl PlannerStats {
 }
 
 /// Converts forecasts into allocations and scores them against actuals.
+///
+/// The adaptive margin is a conservative split-conformal quantile of the
+/// rolling |residual| window (see [`crate::decide::conformal`]) — the same
+/// machinery the decision layer uses, restricted here to the legacy
+/// "prediction + headroom" shape for the capacity-planning example.
 #[derive(Debug, Clone)]
 pub struct CapacityPlanner {
     config: PlannerConfig,
-    residuals: VecDeque<f32>,
+    residuals: ConformalState,
     stats: PlannerStats,
 }
 
@@ -75,20 +80,20 @@ impl CapacityPlanner {
     /// A planner with empty residual history and zeroed counters.
     pub fn new(config: PlannerConfig) -> Self {
         Self {
+            residuals: ConformalState::new(config.residual_window),
             config,
-            residuals: VecDeque::new(),
             stats: PlannerStats::default(),
         }
     }
 
     /// Allocation for a predicted demand: prediction + fixed headroom +
     /// an error-quantile adaptive margin, clamped to the configured bounds.
+    /// The adaptive margin stays zero until the residual window is
+    /// calibrated, so a cold planner allocates exactly the base headroom.
     pub fn allocate(&self, predicted: f32) -> f32 {
-        let adaptive = if self.residuals.len() >= 8 {
-            let v: Vec<f32> = self.residuals.iter().copied().collect();
-            tensor::stats::quantile(&v, self.config.error_quantile) as f32
-        } else {
-            0.0
+        let adaptive = match self.residuals.calibration() {
+            Calibration::Calibrated => self.residuals.upper_offset(self.config.error_quantile),
+            Calibration::Insufficient => 0.0,
         };
         (predicted + self.config.base_headroom + adaptive)
             .clamp(self.config.min_alloc, self.config.max_alloc)
@@ -97,10 +102,7 @@ impl CapacityPlanner {
     /// Record the realised demand for a past decision, updating both the
     /// residual window (for adaptive headroom) and the outcome statistics.
     pub fn settle(&mut self, predicted: f32, allocated: f32, actual: f32) {
-        self.residuals.push_back((actual - predicted).abs());
-        while self.residuals.len() > self.config.residual_window {
-            self.residuals.pop_front();
-        }
+        self.residuals.push((actual - predicted).abs());
         self.stats.decisions += 1;
         if actual > allocated {
             self.stats.underallocations += 1;
@@ -187,5 +189,68 @@ mod tests {
         let s = PlannerStats::default();
         assert_eq!(s.violation_rate(), 0.0);
         assert_eq!(s.mean_waste(), 0.0);
+    }
+
+    #[test]
+    fn empty_residual_window_uses_base_headroom_only() {
+        let planner = CapacityPlanner::new(PlannerConfig {
+            base_headroom: 0.1,
+            ..Default::default()
+        });
+        // No residuals settled: the adaptive term must be exactly zero.
+        assert!((planner.allocate(0.3) - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extreme_error_quantiles_pick_window_extremes() {
+        let residuals = [0.05f32, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4];
+        let mut lo = CapacityPlanner::new(PlannerConfig {
+            base_headroom: 0.0,
+            error_quantile: 0.0,
+            ..Default::default()
+        });
+        let mut hi = CapacityPlanner::new(PlannerConfig {
+            base_headroom: 0.0,
+            error_quantile: 1.0,
+            ..Default::default()
+        });
+        for &r in &residuals {
+            lo.settle(0.5, 0.5, 0.5 + r);
+            hi.settle(0.5, 0.5, 0.5 + r);
+        }
+        // quantile 0.0 → smallest |residual|; 1.0 → largest. Neither may
+        // panic or leave the configured bounds.
+        assert!((lo.allocate(0.3) - 0.35).abs() < 1e-6);
+        assert!((hi.allocate(0.3) - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clamping_binds_before_and_after_adaptive_headroom() {
+        let mut planner = CapacityPlanner::new(PlannerConfig {
+            base_headroom: 0.0,
+            min_alloc: 0.2,
+            max_alloc: 0.8,
+            ..Default::default()
+        });
+        assert_eq!(planner.allocate(0.0), 0.2, "min clamp");
+        assert_eq!(planner.allocate(5.0), 0.8, "max clamp");
+        // Large residual history cannot push past max_alloc.
+        for _ in 0..10 {
+            planner.settle(0.1, 0.8, 0.9);
+        }
+        assert_eq!(planner.allocate(0.5), 0.8);
+        assert_eq!(planner.allocate(-3.0), 0.2);
+    }
+
+    #[test]
+    fn non_finite_residuals_do_not_poison_the_headroom() {
+        let mut planner = CapacityPlanner::new(PlannerConfig::default());
+        planner.settle(0.5, 0.6, f32::NAN);
+        for _ in 0..10 {
+            planner.settle(0.5, 0.6, 0.5);
+        }
+        // The NaN residual was dropped; perfect residuals → no adaptive
+        // margin beyond the base headroom.
+        assert!((planner.allocate(0.5) - 0.55).abs() < 1e-6);
     }
 }

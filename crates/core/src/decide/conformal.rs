@@ -1,0 +1,256 @@
+//! Split-conformal intervals from rolling forecast residuals.
+//!
+//! The calibration set is the last `window` signed residuals
+//! `actual − forecast` for one entity. The conservative split-conformal
+//! quantile — rank `⌈(n+1)·p⌉` of the sorted residuals — guarantees
+//! `P(actual ≤ forecast + upper_offset(p)) ≥ p` whenever the residuals are
+//! exchangeable, with no assumption about the forecaster that produced
+//! them. That is what makes this the model-agnostic fallback: GRU, LSTM,
+//! ARIMA and the naive baselines all get calibrated intervals for free.
+//!
+//! The state degrades instead of failing: non-finite residuals are counted
+//! and dropped, and before `min_samples` finite residuals have arrived the
+//! offsets widen to the largest residual magnitude ever observed (`±0`
+//! before the first sample) — wider than any window quantile, never a
+//! panic.
+
+use std::collections::VecDeque;
+
+/// Residuals required before the window quantiles are trusted. Below this
+/// the offsets fall back to the lifetime-max magnitude.
+pub const MIN_CALIBRATION_SAMPLES: usize = 8;
+
+/// Whether a [`ConformalState`] has enough residuals for its window
+/// quantiles to carry the split-conformal coverage guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Calibration {
+    /// At least `min_samples` finite residuals: offsets are conservative
+    /// window quantiles.
+    Calibrated,
+    /// Too few residuals: offsets widen to the lifetime-max magnitude.
+    Insufficient,
+}
+
+/// Rolling calibration window of signed forecast residuals with O(log n)
+/// quantile maintenance and allocation-free pushes after construction.
+#[derive(Debug, Clone)]
+pub struct ConformalState {
+    window: usize,
+    min_samples: usize,
+    ring: VecDeque<f32>,
+    sorted: Vec<f32>,
+    max_abs: f32,
+    skipped: u64,
+}
+
+impl ConformalState {
+    /// A state holding at most `window` residuals (at least one), trusting
+    /// its quantiles after [`MIN_CALIBRATION_SAMPLES`] finite samples.
+    pub fn new(window: usize) -> Self {
+        Self::with_min_samples(window, MIN_CALIBRATION_SAMPLES)
+    }
+
+    /// [`ConformalState::new`] with an explicit calibration threshold
+    /// (clamped to at least one sample).
+    pub fn with_min_samples(window: usize, min_samples: usize) -> Self {
+        let window = window.max(1);
+        Self {
+            window,
+            min_samples: min_samples.max(1),
+            ring: VecDeque::with_capacity(window),
+            sorted: Vec::with_capacity(window),
+            max_abs: 0.0,
+            skipped: 0,
+        }
+    }
+
+    /// Absorb one signed residual `actual − forecast`. Non-finite values
+    /// are counted in [`ConformalState::skipped`] and dropped — a repaired
+    /// NaN sample widens nothing and panics nowhere. Allocation-free: both
+    /// buffers were sized at construction.
+    pub fn push(&mut self, residual: f32) {
+        if !residual.is_finite() {
+            self.skipped += 1;
+            return;
+        }
+        if self.ring.len() == self.window {
+            if let Some(old) = self.ring.pop_front() {
+                let at = self.sorted.partition_point(|&v| v < old);
+                if at < self.sorted.len() {
+                    self.sorted.remove(at);
+                }
+            }
+        }
+        self.ring.push_back(residual);
+        let at = self.sorted.partition_point(|&v| v < residual);
+        self.sorted.insert(at, residual);
+        self.max_abs = self.max_abs.max(residual.abs());
+    }
+
+    /// Finite residuals currently in the window.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no finite residual has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Non-finite residuals dropped so far.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Largest residual magnitude ever observed (0 before the first
+    /// sample) — the graceful-degradation width.
+    pub fn max_abs(&self) -> f32 {
+        self.max_abs
+    }
+
+    /// Whether the window quantiles carry the conformal guarantee.
+    pub fn calibration(&self) -> Calibration {
+        if self.ring.len() >= self.min_samples {
+            Calibration::Calibrated
+        } else {
+            Calibration::Insufficient
+        }
+    }
+
+    /// Conservative 1-based conformal rank `⌈(n+1)·p⌉`, clamped to
+    /// `[1, n]`. `p` outside `[0, 1]` (or NaN) clamps to the widest rank.
+    fn rank(&self, p: f64) -> usize {
+        let n = self.sorted.len();
+        let p = if p.is_finite() {
+            p.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let k = ((n as f64 + 1.0) * p).ceil() as i64;
+        k.clamp(1, n as i64) as usize
+    }
+
+    /// Offset to add above a forecast so that
+    /// `P(actual ≤ forecast + offset) ≥ p` under exchangeability. Falls
+    /// back to `+max_abs` while [`Calibration::Insufficient`].
+    pub fn upper_offset(&self, p: f64) -> f32 {
+        match self.calibration() {
+            Calibration::Calibrated => self.sorted[self.rank(p) - 1],
+            Calibration::Insufficient => self.max_abs,
+        }
+    }
+
+    /// Signed offset to add below a forecast (usually negative) so that
+    /// `P(actual ≥ forecast + offset) ≥ p` under exchangeability. Falls
+    /// back to `−max_abs` while [`Calibration::Insufficient`].
+    pub fn lower_offset(&self, p: f64) -> f32 {
+        match self.calibration() {
+            Calibration::Calibrated => self.sorted[self.sorted.len() - self.rank(p)],
+            Calibration::Insufficient => -self.max_abs,
+        }
+    }
+
+    /// Two-sided `(lower, upper)` offsets for a nominal central coverage
+    /// level (e.g. `0.9` → each tail calibrated at `0.95`).
+    pub fn interval_offsets(&self, coverage: f64) -> (f32, f32) {
+        let coverage = if coverage.is_finite() {
+            coverage.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let p = (1.0 + coverage) / 2.0;
+        (self.lower_offset(p), self.upper_offset(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_state_degrades_to_zero_offsets() {
+        let c = ConformalState::new(64);
+        assert_eq!(c.calibration(), Calibration::Insufficient);
+        assert_eq!(c.upper_offset(0.9), 0.0);
+        assert_eq!(c.lower_offset(0.9), 0.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn insufficient_window_widens_to_max_abs() {
+        let mut c = ConformalState::new(64);
+        c.push(0.1);
+        c.push(-0.4);
+        c.push(0.2);
+        assert_eq!(c.calibration(), Calibration::Insufficient);
+        assert_eq!(c.upper_offset(0.5), 0.4);
+        assert_eq!(c.lower_offset(0.5), -0.4);
+    }
+
+    #[test]
+    fn nan_and_inf_residuals_are_skipped_not_absorbed() {
+        let mut c = ConformalState::new(8);
+        c.push(f32::NAN);
+        c.push(f32::INFINITY);
+        c.push(f32::NEG_INFINITY);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.skipped(), 3);
+        assert_eq!(c.upper_offset(0.99), 0.0);
+    }
+
+    #[test]
+    fn conservative_rank_matches_hand_computation() {
+        let mut c = ConformalState::with_min_samples(16, 1);
+        for r in [0.1f32, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
+            c.push(r);
+        }
+        // n = 9, p = 0.9 → k = ⌈10·0.9⌉ = 9 → sorted[8] = 0.9.
+        assert_eq!(c.upper_offset(0.9), 0.9);
+        // p = 0.5 → k = 5 → sorted[4] = 0.5; lower → sorted[9−5] = 0.5.
+        assert_eq!(c.upper_offset(0.5), 0.5);
+        assert_eq!(c.lower_offset(0.5), 0.5);
+        // Extreme quantiles clamp instead of panicking.
+        assert_eq!(c.upper_offset(0.0), 0.1);
+        assert_eq!(c.upper_offset(1.0), 0.9);
+        assert_eq!(c.lower_offset(1.0), 0.1);
+        assert_eq!(c.upper_offset(f64::NAN), 0.9);
+    }
+
+    #[test]
+    fn eviction_keeps_sorted_view_consistent() {
+        let mut c = ConformalState::with_min_samples(4, 1);
+        for r in [5.0f32, 1.0, 3.0, 2.0, 4.0, 0.5] {
+            c.push(r);
+        }
+        // Window holds the last four: [3, 2, 4, 0.5] → sorted 0.5,2,3,4.
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.upper_offset(1.0), 4.0);
+        assert_eq!(c.lower_offset(1.0), 0.5);
+        // max_abs is a lifetime tracker, not a window one.
+        assert_eq!(c.max_abs(), 5.0);
+    }
+
+    #[test]
+    fn duplicate_values_evict_one_copy_at_a_time() {
+        let mut c = ConformalState::with_min_samples(2, 1);
+        c.push(1.0);
+        c.push(1.0);
+        c.push(2.0); // evicts one 1.0
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lower_offset(1.0), 1.0);
+        assert_eq!(c.upper_offset(1.0), 2.0);
+    }
+
+    #[test]
+    fn interval_offsets_split_the_miss_mass() {
+        let mut c = ConformalState::with_min_samples(128, 1);
+        for i in 0..100 {
+            c.push(-1.0 + 0.02 * i as f32); // −1.0 … 0.98
+        }
+        let (lo, hi) = c.interval_offsets(0.9);
+        assert!(lo < hi);
+        // p = 0.95 → k = ⌈101·0.95⌉ = 96 → sorted[95] = 0.9.
+        assert!((hi - 0.9).abs() < 1e-6, "hi {hi}");
+        assert!((lo - (-0.92)).abs() < 1e-6, "lo {lo}");
+    }
+}

@@ -11,6 +11,10 @@
 //!   monitoring samples, serves rolling forecasts and retrains periodically.
 //! * [`allocator`] — a prediction-driven [`allocator::CapacityPlanner`]
 //!   scoring over-/under-allocation, the use-case motivating the paper.
+//! * [`decide`] — probabilistic reservations: split-conformal intervals
+//!   from rolling residuals ([`decide::ConformalState`]) driving a
+//!   Bayesian cost-model decision rule with hysteresis
+//!   ([`decide::DecisionPlanner`]).
 //! * [`observe`] — spans and counters around the pipeline stages
 //!   ([`observe::PipelineObs`]), registered in a shared `obs::Registry`.
 //!
@@ -29,6 +33,7 @@
 //! ```
 
 pub mod allocator;
+pub mod decide;
 pub mod evaluation;
 pub mod fleet;
 pub mod observe;
@@ -38,6 +43,10 @@ pub mod predictor;
 pub mod scenario;
 
 pub use allocator::{CapacityPlanner, PlannerConfig, PlannerStats};
+pub use decide::{
+    Calibration, ConformalState, CostModel, Decision, DecisionConfig, DecisionPlanner,
+    DecisionRule, DecisionStats, HysteresisConfig, HysteresisState, ScaleAction,
+};
 pub use evaluation::{rolling_origin, RollingOriginConfig, RollingOriginResult};
 pub use fleet::{EntityReport, FleetConfig, FleetService};
 pub use observe::PipelineObs;

@@ -1,0 +1,108 @@
+//! Property tests for the split-conformal calibrator: on exchangeable
+//! residuals the interval achieves at least its nominal coverage (minus
+//! finite-sample noise), and on degenerate windows — tiny, constant, or
+//! NaN-riddled — it widens gracefully instead of panicking.
+
+use proptest::prelude::*;
+use rptcn::{Calibration, ConformalState};
+
+/// Held-out sample size. Large enough that a 4-sigma binomial band is a
+/// few percent wide.
+const HELD_OUT: usize = 400;
+/// Calibration window size for the coverage property.
+const CALIB: usize = 100;
+
+/// One exchangeable pool: every element drawn iid from the same uniform
+/// strategy, so any calibration/held-out split is exchangeable.
+fn residual_pool() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, CALIB + HELD_OUT)
+}
+
+proptest! {
+    /// Split-conformal coverage: calibrate on the first `CALIB` residuals,
+    /// then check the fraction of held-out residuals inside
+    /// `interval_offsets(coverage)`. The conservative rank guarantees
+    /// expected coverage at least nominal; we allow a 4-sigma binomial
+    /// slack for the finite held-out set.
+    #[test]
+    fn interval_covers_exchangeable_held_out_residuals(
+        pool in residual_pool(),
+        cov_idx in 0usize..3,
+    ) {
+        let coverage = [0.5f64, 0.8, 0.9][cov_idx];
+        let mut state = ConformalState::new(CALIB);
+        for &r in &pool[..CALIB] {
+            state.push(r);
+        }
+        prop_assert_eq!(state.calibration(), Calibration::Calibrated);
+        let (lo, hi) = state.interval_offsets(coverage);
+        prop_assert!(lo.is_finite() && hi.is_finite());
+        prop_assert!(lo <= hi);
+
+        let held_out = &pool[CALIB..];
+        let hits = held_out.iter().filter(|&&r| lo <= r && r <= hi).count();
+        let empirical = hits as f64 / held_out.len() as f64;
+        // Two noise sources: the calibration quantile is Beta-distributed
+        // (variance ~ p(1-p)/(n+2)) and the held-out check is binomial
+        // (variance p(1-p)/m). Allow 4 sigma of their sum.
+        let var = coverage * (1.0 - coverage)
+            * (1.0 / (CALIB as f64 + 2.0) + 1.0 / held_out.len() as f64);
+        let slack = 4.0 * var.sqrt();
+        prop_assert!(
+            empirical >= coverage - slack,
+            "coverage {} fell more than 4 sigma below nominal {}",
+            empirical,
+            coverage
+        );
+    }
+
+    /// Degenerate windows never panic and always answer with a finite,
+    /// ordered interval. Below the calibration threshold the state reports
+    /// `Insufficient` and falls back to the widest residual ever seen, so
+    /// the interval covers every residual pushed so far.
+    #[test]
+    fn tiny_and_constant_windows_widen_gracefully(
+        n in 0usize..8,
+        value in -100.0f32..100.0,
+        constant_idx in 0usize..2,
+        coverage_pct in 0usize..=100,
+    ) {
+        let constant = constant_idx == 0;
+        let coverage = coverage_pct as f64 / 100.0;
+        let mut state = ConformalState::new(16);
+        let mut pushed = Vec::new();
+        for i in 0..n {
+            let r = if constant { value } else { value + i as f32 };
+            state.push(r);
+            pushed.push(r);
+        }
+        prop_assert_eq!(state.calibration(), Calibration::Insufficient);
+        let (lo, hi) = state.interval_offsets(coverage);
+        prop_assert!(lo.is_finite() && hi.is_finite());
+        prop_assert!(lo <= hi);
+        for r in pushed {
+            prop_assert!(lo <= r && r <= hi, "insufficient-window interval must cover every residual seen");
+        }
+    }
+
+    /// Non-finite residuals (a repaired-NaN window scored against a NaN
+    /// actual) are dropped and counted, never poisoning the offsets.
+    #[test]
+    fn non_finite_residuals_are_skipped_not_absorbed(
+        finite in proptest::collection::vec(-5.0f32..5.0, 8..32),
+        poison_kinds in proptest::collection::vec(0usize..3, 1..8),
+    ) {
+        let mut state = ConformalState::new(64);
+        for &r in &finite {
+            state.push(r);
+        }
+        for &k in &poison_kinds {
+            state.push([f32::NAN, f32::INFINITY, f32::NEG_INFINITY][k]);
+        }
+        prop_assert_eq!(state.skipped(), poison_kinds.len() as u64);
+        prop_assert_eq!(state.len(), finite.len());
+        let (lo, hi) = state.interval_offsets(0.9);
+        prop_assert!(lo.is_finite() && hi.is_finite());
+        prop_assert!(state.max_abs().is_finite());
+    }
+}

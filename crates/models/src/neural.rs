@@ -65,11 +65,14 @@ pub(crate) fn spec_from_meta(
 }
 
 impl NeuralTrainSpec {
-    pub(crate) fn to_train_config(self) -> TrainConfig {
+    /// Lower the spec into an autograd `TrainConfig` with an explicit
+    /// training loss — plain MSE for the point models, the composite
+    /// point + pinball loss for quantile-head models.
+    pub(crate) fn to_train_config_with(self, loss: LossKind) -> TrainConfig {
         TrainConfig {
             epochs: self.epochs,
             batch_size: self.batch_size,
-            loss: LossKind::Mse,
+            loss,
             clip_norm: Some(self.clip_norm),
             patience: Some(self.patience),
             shuffle: true,
@@ -89,6 +92,18 @@ pub(crate) fn fit_network<M: SequenceModel>(
     train: &WindowedDataset,
     valid: Option<&WindowedDataset>,
 ) -> FitReport {
+    fit_network_with_loss(net, spec, LossKind::Mse, train, valid)
+}
+
+/// [`fit_network`] with an explicit training loss (e.g. the composite
+/// [`LossKind::PointInterval`] for multi-head quantile models).
+pub(crate) fn fit_network_with_loss<M: SequenceModel>(
+    net: &mut M,
+    spec: NeuralTrainSpec,
+    loss: LossKind,
+    train: &WindowedDataset,
+    valid: Option<&WindowedDataset>,
+) -> FitReport {
     let start = Instant::now();
     let mut opt = Adam::new(spec.learning_rate);
     let history = autograd::fit(
@@ -97,7 +112,7 @@ pub(crate) fn fit_network<M: SequenceModel>(
         &train.y,
         valid.map(|v| (&v.x, &v.y)),
         &mut opt,
-        &spec.to_train_config(),
+        &spec.to_train_config_with(loss),
     );
     FitReport {
         train_loss: history.train_loss,
@@ -230,7 +245,7 @@ mod tests {
             patience: 3,
             ..Default::default()
         };
-        let cfg = spec.to_train_config();
+        let cfg = spec.to_train_config_with(LossKind::Mse);
         assert_eq!(cfg.epochs, 7);
         assert_eq!(cfg.patience, Some(3));
         assert_eq!(cfg.loss, LossKind::Mse);

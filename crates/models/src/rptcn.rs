@@ -37,6 +37,13 @@ pub struct RptcnConfig {
     /// Ablation: include the attention mechanism.
     pub use_attention: bool,
     pub attention: AttentionKind,
+    /// Optional quantile heads: `(lo, hi)` pinball levels. When set, a
+    /// second zero-initialised linear head emits per-step `q_lo`/`q_hi`
+    /// estimates, trained jointly with the point head via the composite
+    /// `LossKind::PointInterval` loss. `Forecaster::predict` still returns
+    /// the point block only; [`RptcnForecaster::predict_quantiles`] exposes
+    /// the wide `[n, 3·horizon]` output.
+    pub quantiles: Option<(f32, f32)>,
     pub spec: NeuralTrainSpec,
 }
 
@@ -52,6 +59,7 @@ impl Default for RptcnConfig {
             use_fc: true,
             use_attention: true,
             attention: AttentionKind::Feature,
+            quantiles: None,
             spec: NeuralTrainSpec {
                 learning_rate: 2e-3,
                 ..Default::default()
@@ -68,7 +76,12 @@ pub(crate) struct RptcnNetwork {
     pub(crate) temporal_attention: Option<TemporalAttention>,
     dropout: Dropout,
     pub(crate) head: Linear,
+    /// Optional `[attn_dim → 2·horizon]` head emitting per-row
+    /// `[q_lo | q_hi]` column blocks appended after the point block.
+    quantile_head: Option<Linear>,
     features: usize,
+    /// Point-forecast horizon; the network's total output width is
+    /// `3·horizon` when the quantile head is present (see [`Self::horizon`]).
     horizon: usize,
 }
 
@@ -93,7 +106,14 @@ impl SequenceModel for RptcnNetwork {
         if let Some(attn) = &self.feature_attention {
             h = attn.forward(g, h, h);
         }
-        self.head.forward(g, h)
+        let point = self.head.forward(g, h);
+        match &self.quantile_head {
+            Some(q) => {
+                let quant = q.forward(g, h);
+                g.concat_cols(&[point, quant])
+            }
+            None => point,
+        }
     }
 
     fn infer(&self, ctx: &mut autograd::InferenceContext, x: &Tensor) -> Tensor {
@@ -125,8 +145,24 @@ impl SequenceModel for RptcnNetwork {
             attn.infer_in_place(&self.store, ctx, &mut h, batch);
         }
         let out = self.head.infer(&self.store, ctx, &h, batch);
+        let result = match &self.quantile_head {
+            Some(q) => {
+                // Interleave rows as [point | q_lo | q_hi], matching the
+                // taped graph's `concat_cols([head, quantile_head])`.
+                let qout = q.infer(&self.store, ctx, &h, batch);
+                let hz = self.horizon;
+                let mut data = vec![0.0f32; batch * 3 * hz];
+                for b in 0..batch {
+                    data[b * 3 * hz..b * 3 * hz + hz].copy_from_slice(&out[b * hz..(b + 1) * hz]);
+                    data[b * 3 * hz + hz..(b + 1) * 3 * hz]
+                        .copy_from_slice(&qout[b * 2 * hz..(b + 1) * 2 * hz]);
+                }
+                ctx.give(qout);
+                Tensor::from_vec(data, &[batch, 3 * hz])
+            }
+            None => Tensor::from_vec(out[..batch * self.horizon].to_vec(), &[batch, self.horizon]),
+        };
         ctx.give(h);
-        let result = Tensor::from_vec(out[..batch * self.horizon].to_vec(), &[batch, self.horizon]);
         ctx.give(out);
         result
     }
@@ -140,7 +176,13 @@ impl SequenceModel for RptcnNetwork {
     }
 
     fn horizon(&self) -> usize {
-        self.horizon
+        // Total output width: the tape-free engine and `train::predict`
+        // both size their output buffers by this.
+        if self.quantile_head.is_some() {
+            3 * self.horizon
+        } else {
+            self.horizon
+        }
     }
 }
 
@@ -199,6 +241,17 @@ impl RptcnForecaster {
             true,
             &mut rng,
         );
+        let quantile_head = cfg.quantiles.is_some().then(|| {
+            Linear::with_init(
+                &mut store,
+                "qhead",
+                attn_dim,
+                2 * horizon,
+                autograd::Init::Constant(0.0),
+                true,
+                &mut rng,
+            )
+        });
         RptcnNetwork {
             store,
             backbone,
@@ -207,6 +260,7 @@ impl RptcnForecaster {
             temporal_attention,
             dropout: Dropout::new(cfg.dropout),
             head,
+            quantile_head,
             features,
             horizon,
         }
@@ -233,6 +287,11 @@ impl RptcnForecaster {
                 AttentionKind::Temporal
             } else {
                 AttentionKind::Feature
+            },
+            // Optional keys so pre-quantile checkpoints still load.
+            quantiles: match (state.meta("quantile_lo"), state.meta("quantile_hi")) {
+                (Some(lo), Some(hi)) => Some((lo as f32, hi as f32)),
+                _ => None,
             },
             spec: neural::spec_from_meta(state)?,
         })
@@ -285,7 +344,37 @@ impl RptcnForecaster {
     /// [`Forecaster::predict`]'s tape-free path.
     pub fn predict_taped(&self, x: &Tensor) -> Tensor {
         let net = self.network.as_ref().expect("predict before fit"); // lint: allow(r2) — Forecaster::predict contract
-        neural::predict_network_taped(net, x, self.config.spec.batch_size)
+        self.point_block(neural::predict_network_taped(
+            net,
+            x,
+            self.config.spec.batch_size,
+        ))
+    }
+
+    /// Full multi-head output: `[n, 3·horizon]` rows laid out
+    /// `[point | q_lo | q_hi]`. `None` when the model was built without
+    /// quantile heads.
+    pub fn predict_quantiles(&self, x: &Tensor) -> Option<Tensor> {
+        self.config.quantiles?;
+        let net = self.network.as_ref().expect("predict before fit"); // lint: allow(r2) — Forecaster::predict contract
+        Some(neural::predict_network(net, x, self.config.spec.batch_size))
+    }
+
+    /// Slice the point block out of a wide `[n, 3h]` multi-head prediction;
+    /// identity for point-only models. A plain row-prefix copy, so point
+    /// forecasts stay bitwise-identical with or without quantile heads.
+    fn point_block(&self, wide: Tensor) -> Tensor {
+        if self.config.quantiles.is_none() {
+            return wide;
+        }
+        let (n, w) = (wide.shape()[0], wide.shape()[1]);
+        let h = w / 3;
+        let src = wide.as_slice();
+        let mut out = vec![0.0f32; n * h];
+        for r in 0..n {
+            out[r * h..(r + 1) * h].copy_from_slice(&src[r * w..r * w + h]);
+        }
+        Tensor::from_vec(out, &[n, h])
     }
 
     /// Tape-free batched inference on an explicit worker pool instead of
@@ -298,7 +387,12 @@ impl RptcnForecaster {
         exec: &autograd::batch_exec::BatchExecutor,
     ) -> Tensor {
         let net = self.network.as_ref().expect("predict before fit"); // lint: allow(r2) — Forecaster::predict contract
-        autograd::infer::predict_on(net, x, self.config.spec.batch_size.max(1), exec)
+        self.point_block(autograd::infer::predict_on(
+            net,
+            x,
+            self.config.spec.batch_size.max(1),
+            exec,
+        ))
     }
 }
 
@@ -309,14 +403,18 @@ impl Forecaster for RptcnForecaster {
 
     fn fit(&mut self, train: &WindowedDataset, valid: Option<&WindowedDataset>) -> FitReport {
         let mut net = self.build(train.num_features(), train.horizon);
-        let report = neural::fit_network(&mut net, self.config.spec, train, valid);
+        let loss = match self.config.quantiles {
+            Some((lo, hi)) => autograd::LossKind::PointInterval { lo, hi },
+            None => autograd::LossKind::Mse,
+        };
+        let report = neural::fit_network_with_loss(&mut net, self.config.spec, loss, train, valid);
         self.network = Some(net);
         report
     }
 
     fn predict(&self, x: &Tensor) -> Tensor {
         let net = self.network.as_ref().expect("predict before fit"); // lint: allow(r2) — Forecaster::predict contract
-        neural::predict_network(net, x, self.config.spec.batch_size)
+        self.point_block(neural::predict_network(net, x, self.config.spec.batch_size))
     }
 
     fn state(&self) -> Option<ModelState> {
@@ -335,6 +433,10 @@ impl Forecaster for RptcnForecaster {
             "temporal_attention",
             (cfg.attention == AttentionKind::Temporal) as u8 as f64,
         );
+        if let Some((lo, hi)) = cfg.quantiles {
+            st.push_meta("quantile_lo", lo as f64);
+            st.push_meta("quantile_hi", hi as f64);
+        }
         neural::push_spec_meta(&mut st, &cfg.spec);
         st.tensors = net.store.export_named();
         Some(st)
@@ -432,6 +534,89 @@ mod tests {
         assert!(m.config().use_attention);
         assert_eq!(m.config().attention, AttentionKind::Feature);
         assert_eq!(m.config().levels, 4);
+    }
+
+    #[test]
+    fn quantile_heads_learn_an_ordered_interval() {
+        let ds = dataset();
+        let mut model = RptcnForecaster::new(RptcnConfig {
+            channels: 8,
+            levels: 3,
+            dropout: 0.0,
+            fc_dim: 16,
+            quantiles: Some((0.1, 0.9)),
+            spec: quick_spec(),
+            ..Default::default()
+        });
+        model.fit(&ds, None);
+        let point = model.predict(&ds.x);
+        assert_eq!(point.shape(), &[ds.len(), 1], "point block shape");
+        let wide = model.predict_quantiles(&ds.x).expect("quantile model");
+        assert_eq!(wide.shape(), &[ds.len(), 3]);
+        assert!(wide.all_finite());
+        // Point block of the wide output must equal `predict` bitwise.
+        let mut ordered = 0usize;
+        for r in 0..ds.len() {
+            assert_eq!(wide.at(&[r, 0]), point.at(&[r, 0]), "row {r} point");
+            if wide.at(&[r, 1]) <= wide.at(&[r, 2]) {
+                ordered += 1;
+            }
+        }
+        // Pinball training at (0.1, 0.9) should order lo ≤ hi on nearly
+        // every window of a smooth series.
+        assert!(
+            ordered * 10 >= ds.len() * 9,
+            "only {ordered}/{} rows ordered",
+            ds.len()
+        );
+        // The interval should bracket most of the truth.
+        let truth = &ds.y;
+        let mut covered = 0usize;
+        for r in 0..ds.len() {
+            let t = truth.at(&[r, 0]);
+            if wide.at(&[r, 1]) <= t && t <= wide.at(&[r, 2]) {
+                covered += 1;
+            }
+        }
+        assert!(
+            covered * 2 >= ds.len(),
+            "quantile interval covers only {covered}/{} targets",
+            ds.len()
+        );
+    }
+
+    #[test]
+    fn quantile_model_tape_free_matches_taped_and_round_trips() {
+        let ds = dataset();
+        let mut model = RptcnForecaster::new(RptcnConfig {
+            channels: 6,
+            levels: 2,
+            dropout: 0.0,
+            fc_dim: 12,
+            quantiles: Some((0.05, 0.95)),
+            spec: NeuralTrainSpec {
+                epochs: 2,
+                ..quick_spec()
+            },
+            ..Default::default()
+        });
+        model.fit(&ds, None);
+        let tape_free = model.predict(&ds.x);
+        let taped = model.predict_taped(&ds.x);
+        assert_eq!(tape_free.shape(), taped.shape());
+        assert!(tape_free.allclose(&taped, 1e-5), "taped/tape-free diverged");
+
+        let state = model.state().expect("fitted state");
+        let restored = RptcnForecaster::from_state(&state).expect("round trip");
+        assert_eq!(restored.config().quantiles, Some((0.05, 0.95)));
+        let again = restored.predict(&ds.x);
+        assert_eq!(
+            again.as_slice(),
+            tape_free.as_slice(),
+            "restore changed output"
+        );
+        let wide = restored.predict_quantiles(&ds.x).expect("quantile model");
+        assert_eq!(wide.shape(), &[ds.len(), 3]);
     }
 
     #[test]

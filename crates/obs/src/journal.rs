@@ -59,6 +59,14 @@ pub enum EventKind {
     /// A node recognised a replayed request id and answered from its
     /// dedup cache instead of re-executing the request.
     DedupHit,
+    /// The decision layer raised an entity's capacity reservation.
+    ScaleUp,
+    /// The decision layer lowered an entity's capacity reservation after
+    /// its hysteresis hold expired.
+    ScaleDown,
+    /// An interval request on a degraded entity was answered from the
+    /// last-good interval instead of a live (uncovered) point estimate.
+    IntervalFallback,
 }
 
 impl EventKind {
@@ -85,6 +93,9 @@ impl EventKind {
             EventKind::NetPartition => "net_partition",
             EventKind::NetHealed => "net_healed",
             EventKind::DedupHit => "dedup_hit",
+            EventKind::ScaleUp => "scale_up",
+            EventKind::ScaleDown => "scale_down",
+            EventKind::IntervalFallback => "interval_fallback",
         }
     }
 }

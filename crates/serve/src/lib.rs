@@ -22,6 +22,13 @@
 //! - **Ingest guardrails**: samples are validated at the shard boundary —
 //!   NaN/Inf values repaired or quarantined, wrong arity dropped,
 //!   sequence gaps forward-filled (the paper's cleaning step, online).
+//! - **Probabilistic serving** ([`interval`]): every forecast can carry a
+//!   split-conformal interval calibrated from the entity's rolling ingest
+//!   residuals (two scalar offsets — zero extra allocations on the
+//!   streaming path), and [`service::PredictionService::reserve`] turns
+//!   interval + cost model into a Bayesian capacity reservation with
+//!   scale-down hysteresis. Degraded entities answer from a journaled
+//!   last-good interval, never an uncovered point estimate.
 //! - **Fault injection** ([`faults`]): a seeded, deterministic
 //!   [`FaultPlan`] drives chaos tests — poisoned samples, panicking
 //!   models, failing/slow refits, saturated queues.
@@ -40,6 +47,7 @@ pub mod dedup;
 pub mod error;
 pub mod fallback;
 pub mod faults;
+pub mod interval;
 pub mod router;
 pub mod service;
 mod shard;
@@ -51,6 +59,7 @@ pub use dedup::DedupCache;
 pub use error::ServeError;
 pub use fallback::FallbackForecaster;
 pub use faults::FaultPlan;
+pub use interval::{IntervalForecast, IntervalSource, Reservation};
 pub use router::{entity_hash, group_by_shard, shard_for};
 pub use service::{Backpressure, IngestGuard, PredictionService, RefitPolicy, ServiceConfig};
 pub use stats::{lock_recover, EntityHealth, ServiceStats, ShardStats};

@@ -20,12 +20,13 @@ use std::time::Duration;
 
 use models::Forecaster;
 use obs::{EventKind, Journal, MetricsSnapshot, MonotonicClock, Registry, SharedClock};
-use rptcn::{new_shared_group, PipelineConfig, PipelineRun, ResourcePredictor};
+use rptcn::{new_shared_group, DecisionConfig, PipelineConfig, PipelineRun, ResourcePredictor};
 use timeseries::TimeSeriesFrame;
 
 use crate::checkpoint::{load_fleet, save_fleet};
 use crate::error::ServeError;
 use crate::faults::FaultPlan;
+use crate::interval::{IntervalForecast, Reservation};
 use crate::router::{group_by_shard, shard_for};
 use crate::shard::{run_refit_worker, RefitJob, ShardContext, ShardMsg};
 use crate::stats::{ServiceStats, ShardStatsCore};
@@ -110,6 +111,16 @@ pub struct ServiceConfig {
     /// Deterministic fault-injection plan for chaos tests; `None` (the
     /// default) in production.
     pub faults: Option<FaultPlan>,
+    /// Cost model, hysteresis and reservation clamps behind
+    /// [`PredictionService::reserve`].
+    pub decision: DecisionConfig,
+    /// Nominal two-sided coverage of
+    /// [`PredictionService::forecast_with_interval`] bounds (e.g. `0.9`
+    /// for a 90% interval).
+    pub interval_coverage: f64,
+    /// Per-entity rolling residual window feeding conformal calibration
+    /// (scored on ingest when `score_on_ingest` is set).
+    pub residual_window: usize,
 }
 
 impl Default for ServiceConfig {
@@ -126,6 +137,9 @@ impl Default for ServiceConfig {
             ingest_guard: IngestGuard::Repair,
             refit_policy: RefitPolicy::default(),
             faults: None,
+            decision: DecisionConfig::default(),
+            interval_coverage: 0.9,
+            residual_window: 128,
         }
     }
 }
@@ -184,6 +198,9 @@ impl PredictionService {
                 score_on_ingest: config.score_on_ingest,
                 ingest_guard: config.ingest_guard,
                 faults: config.faults.clone(),
+                decision: config.decision,
+                interval_coverage: config.interval_coverage,
+                residual_window: config.residual_window,
             };
             let handle = thread::Builder::new()
                 .name(format!("serve-shard-{shard_id}"))
@@ -381,14 +398,66 @@ impl PredictionService {
     /// shard queues are FIFO, each forecast reflects every sample ingested
     /// for that entity before this call.
     pub fn forecast_many(&self, ids: &[&str]) -> Vec<(String, Result<Vec<f32>, ServeError>)> {
-        let mut collected: HashMap<String, Result<Vec<f32>, ServeError>> = HashMap::new();
+        self.fan_out(ids, |ids, reply| ShardMsg::ForecastBatch { ids, reply })
+    }
+
+    /// Forecast with a calibrated conformal interval for one entity. The
+    /// point block is bitwise-identical to [`PredictionService::forecast`];
+    /// the interval attaches as two scalar offsets calibrated from the
+    /// entity's rolling ingest residuals. Degraded entities are answered
+    /// from their journaled last-good interval, never an uncovered point
+    /// estimate.
+    pub fn forecast_with_interval(&self, id: &str) -> Result<IntervalForecast, ServeError> {
+        let mut results = self.forecast_with_interval_many(&[id]);
+        match results.pop() {
+            Some((_, res)) => res,
+            None => Err(ServeError::UnknownEntity(id.to_string())),
+        }
+    }
+
+    /// Batched [`PredictionService::forecast_with_interval`], grouped per
+    /// shard and returned in the caller's id order.
+    pub fn forecast_with_interval_many(
+        &self,
+        ids: &[&str],
+    ) -> Vec<(String, Result<IntervalForecast, ServeError>)> {
+        self.fan_out(ids, |ids, reply| ShardMsg::ForecastIntervalBatch {
+            ids,
+            reply,
+        })
+    }
+
+    /// One Bayesian capacity-reservation decision for an entity: interval
+    /// forecast, newsvendor target from the configured [`DecisionConfig`]
+    /// cost model, then per-entity scale-down hysteresis.
+    pub fn reserve(&self, id: &str) -> Result<Reservation, ServeError> {
+        let mut results = self.reserve_many(&[id]);
+        match results.pop() {
+            Some((_, res)) => res,
+            None => Err(ServeError::UnknownEntity(id.to_string())),
+        }
+    }
+
+    /// Batched [`PredictionService::reserve`], grouped per shard and
+    /// returned in the caller's id order.
+    pub fn reserve_many(&self, ids: &[&str]) -> Vec<(String, Result<Reservation, ServeError>)> {
+        self.fan_out(ids, |ids, reply| ShardMsg::ReserveBatch { ids, reply })
+    }
+
+    /// Shared fan-out plumbing for the batched request APIs: group ids per
+    /// shard, dispatch to every shard concurrently, then collect replies
+    /// back into the caller's id order. A shard that cannot be reached
+    /// answers its whole group with the transport error.
+    fn fan_out<T>(
+        &self,
+        ids: &[&str],
+        make_msg: impl Fn(Vec<String>, SyncSender<Vec<(String, Result<T, ServeError>)>>) -> ShardMsg,
+    ) -> Vec<(String, Result<T, ServeError>)> {
+        let mut collected: HashMap<String, Result<T, ServeError>> = HashMap::new();
         let mut pending = Vec::new();
         for (shard, group) in group_by_shard(ids, self.config.shards) {
             let (reply_tx, reply_rx) = sync_channel(1);
-            let msg = ShardMsg::ForecastBatch {
-                ids: group.iter().map(|s| s.to_string()).collect(),
-                reply: reply_tx,
-            };
+            let msg = make_msg(group.iter().map(|s| s.to_string()).collect(), reply_tx);
             match self.send_blocking(shard, msg) {
                 Ok(()) => pending.push((shard, group, reply_rx)),
                 Err(err) => {

@@ -35,7 +35,9 @@ use models::checkpoint::{forecaster_like, ModelState};
 use models::Forecaster;
 use obs::{EventKind, Journal, SharedClock, Span};
 use rptcn::{
-    prepare, run_model, FittedPreprocess, PipelineConfig, PredictorState, ResourcePredictor,
+    prepare, run_model, Calibration, ConformalState, DecisionConfig, DecisionRule,
+    FittedPreprocess, HysteresisState, PipelineConfig, PredictorState, ResourcePredictor,
+    ScaleAction,
 };
 use tensor::Tensor;
 use timeseries::TimeSeriesFrame;
@@ -43,12 +45,19 @@ use timeseries::TimeSeriesFrame;
 use crate::error::ServeError;
 use crate::fallback::FallbackForecaster;
 use crate::faults::{FaultPlan, RefitFault};
+use crate::interval::{IntervalForecast, IntervalSource, Reservation};
 use crate::service::{IngestGuard, RefitPolicy};
 use crate::stats::{lock_recover, EntityHealth, ShardStatsCore};
 use crate::supervisor::EntityHealthReport;
 
 /// Per-entity results of a batched forecast request.
 pub(crate) type ForecastReplies = Vec<(String, Result<Vec<f32>, ServeError>)>;
+
+/// Per-entity results of a batched interval-forecast request.
+pub(crate) type IntervalReplies = Vec<(String, Result<IntervalForecast, ServeError>)>;
+
+/// Per-entity results of a batched reservation request.
+pub(crate) type ReserveReplies = Vec<(String, Result<Reservation, ServeError>)>;
 
 /// When a sequence gap is detected, at most this many synthetic
 /// forward-fill samples are inserted to keep window continuity (the
@@ -81,6 +90,16 @@ pub(crate) enum ShardMsg {
     ForecastBatch {
         ids: Vec<String>,
         reply: SyncSender<ForecastReplies>,
+    },
+    /// Forecast a batch of entities with conformal interval offsets.
+    ForecastIntervalBatch {
+        ids: Vec<String>,
+        reply: SyncSender<IntervalReplies>,
+    },
+    /// Decide capacity reservations for a batch of entities.
+    ReserveBatch {
+        ids: Vec<String>,
+        reply: SyncSender<ReserveReplies>,
     },
     /// A background refit finished.
     RefitDone { id: String, outcome: RefitOutcome },
@@ -147,6 +166,26 @@ pub(crate) struct EntitySlot {
     pub(crate) crashes: u32,
     pub(crate) last_error: Option<ServeError>,
     horizon: usize,
+    /// Rolling signed residuals (`actual − forecast`, raw units) fed from
+    /// ingest-time scoring; backs interval offsets and reservations.
+    pub(crate) conformal: ConformalState,
+    /// Per-entity scale-down damping state.
+    hysteresis: HysteresisState,
+    /// Last interval served while the entity was healthy — what a
+    /// degraded entity answers from. The point buffer is reused in place
+    /// on refresh, so steady-state serving never reallocates it.
+    last_good: Option<LastGoodInterval>,
+}
+
+/// Snapshot of the most recent healthy interval, kept per entity so a
+/// degraded model never forces callers onto an uncovered point estimate.
+struct LastGoodInterval {
+    point: Vec<f32>,
+    offset_lo: f32,
+    offset_hi: f32,
+    /// Upper offset at the cost model's critical ratio (for reservations).
+    reserve_offset: f32,
+    calibration: Calibration,
 }
 
 /// Static configuration handed to each shard worker.
@@ -172,6 +211,12 @@ pub(crate) struct ShardContext {
     pub ingest_guard: IngestGuard,
     /// Fault-injection plan (chaos tests); `None` in production.
     pub faults: Option<FaultPlan>,
+    /// Cost model + hysteresis for capacity reservations.
+    pub decision: DecisionConfig,
+    /// Nominal central coverage of served intervals (e.g. 0.9).
+    pub interval_coverage: f64,
+    /// Size of each entity's conformal residual window.
+    pub residual_window: usize,
 }
 
 impl ShardContext {
@@ -224,6 +269,12 @@ pub(crate) fn shard_loop(
             }
             ShardMsg::ForecastBatch { ids, reply } => {
                 let _ = reply.send(forecast_many(ctx, slots, current, ids));
+            }
+            ShardMsg::ForecastIntervalBatch { ids, reply } => {
+                let _ = reply.send(forecast_interval_many(ctx, slots, current, ids));
+            }
+            ShardMsg::ReserveBatch { ids, reply } => {
+                let _ = reply.send(reserve_many(ctx, slots, current, ids));
             }
             ShardMsg::RefitDone { id, outcome } => {
                 *current = Some(id.clone());
@@ -301,6 +352,9 @@ fn install_entity(
                 crashes: 0,
                 last_error: None,
                 horizon,
+                conformal: ConformalState::new(ctx.residual_window),
+                hysteresis: HysteresisState::default(),
+                last_good: None,
             });
             ctx.stats.entities.inc();
             Ok(())
@@ -413,6 +467,9 @@ fn ingest_sample(
     if let (Some(forecast), Some(col)) = (slot.pending.take(), slot.target_column) {
         if let Some(&actual) = sample.get(col) {
             lock_recover(&ctx.stats.score).score(forecast, actual);
+            // Same signed residual (raw units) calibrates the entity's
+            // conformal window; non-finite values are dropped inside.
+            slot.conformal.push(actual - forecast);
         }
     }
     if slot.predictor.observe(&sample).is_err() {
@@ -631,6 +688,214 @@ fn forecast_one(
         span.cancel();
     }
     res
+}
+
+/// Batched interval forecasts. Point values come from the SAME
+/// [`forecast_many`] path plain forecasts use, so the point block of an
+/// interval reply is bitwise-identical to [`ShardMsg::ForecastBatch`];
+/// the interval attaches as two scalar conformal offsets (no extra
+/// allocation on the healthy streaming path — the point vector is moved,
+/// not copied). Degraded entities are answered from their last-good
+/// interval (journaled as `interval_fallback`), never from an uncovered
+/// point estimate.
+fn forecast_interval_many(
+    ctx: &ShardContext,
+    slots: &mut HashMap<String, EntitySlot>,
+    current: &mut Option<String>,
+    ids: Vec<String>,
+) -> IntervalReplies {
+    forecast_many(ctx, slots, current, ids)
+        .into_iter()
+        .map(|(id, res)| {
+            let out = res.map(|point| attach_interval(ctx, slots, &id, point).0);
+            (id, out)
+        })
+        .collect()
+}
+
+/// Batched capacity reservations: interval first (same machinery as
+/// [`forecast_interval_many`], including the degraded last-good fallback),
+/// then the Bayesian decision rule with per-entity hysteresis.
+fn reserve_many(
+    ctx: &ShardContext,
+    slots: &mut HashMap<String, EntitySlot>,
+    current: &mut Option<String>,
+    ids: Vec<String>,
+) -> ReserveReplies {
+    let rule = DecisionRule::new(ctx.decision);
+    forecast_many(ctx, slots, current, ids)
+        .into_iter()
+        .map(|(id, res)| {
+            let out = res.map(|point| {
+                let (interval, reserve_offset) = attach_interval(ctx, slots, &id, point);
+                decide_reservation(ctx, slots, &rule, &id, &interval, reserve_offset)
+            });
+            (id, out)
+        })
+        .collect()
+}
+
+/// Attach conformal offsets to a point forecast that [`forecast_many`]
+/// just produced for `id`. Returns the interval plus the upper offset at
+/// the cost model's critical ratio (what a reservation adds on top of the
+/// peak point forecast). Healthy entities refresh their last-good
+/// interval in place (the stored point buffer is reused, not
+/// reallocated); degraded entities answer from it.
+fn attach_interval(
+    ctx: &ShardContext,
+    slots: &mut HashMap<String, EntitySlot>,
+    id: &str,
+    point: Vec<f32>,
+) -> (IntervalForecast, f32) {
+    let cold = ctx.decision.cold_start_headroom;
+    let Some(slot) = slots.get_mut(id) else {
+        // forecast_many only answers Ok for installed entities; a slot
+        // evicted mid-batch is answered wide-open rather than panicking.
+        let interval = IntervalForecast {
+            point,
+            offset_lo: -cold,
+            offset_hi: cold,
+            calibration: Calibration::Insufficient,
+            source: IntervalSource::Widened,
+        };
+        return (interval, cold);
+    };
+    if slot.health == EntityHealth::Healthy {
+        let calibration = slot.conformal.calibration();
+        let (offset_lo, offset_hi, reserve_offset) = match calibration {
+            Calibration::Calibrated => {
+                let (lo, hi) = slot.conformal.interval_offsets(ctx.interval_coverage);
+                let tau = ctx.decision.cost.critical_ratio();
+                (lo, hi, slot.conformal.upper_offset(tau))
+            }
+            Calibration::Insufficient => {
+                // Degrade gracefully: widest residual ever seen plus the
+                // configured cold-start prior, on both sides.
+                let w = slot.conformal.max_abs() + cold;
+                (-w, w, w)
+            }
+        };
+        match &mut slot.last_good {
+            Some(lg) => {
+                lg.point.clear();
+                lg.point.extend_from_slice(&point);
+                lg.offset_lo = offset_lo;
+                lg.offset_hi = offset_hi;
+                lg.reserve_offset = reserve_offset;
+                lg.calibration = calibration;
+            }
+            None => {
+                slot.last_good = Some(LastGoodInterval {
+                    point: point.clone(),
+                    offset_lo,
+                    offset_hi,
+                    reserve_offset,
+                    calibration,
+                });
+            }
+        }
+        ctx.stats.interval_forecasts.inc();
+        let interval = IntervalForecast {
+            point,
+            offset_lo,
+            offset_hi,
+            calibration,
+            source: IntervalSource::Live,
+        };
+        (interval, reserve_offset)
+    } else {
+        ctx.stats.interval_fallbacks.inc();
+        match &slot.last_good {
+            Some(lg) => {
+                ctx.note(
+                    EventKind::IntervalFallback,
+                    Some(id),
+                    "degraded entity answered from last-good interval".to_string(),
+                );
+                let interval = IntervalForecast {
+                    point: lg.point.clone(),
+                    offset_lo: lg.offset_lo,
+                    offset_hi: lg.offset_hi,
+                    calibration: lg.calibration,
+                    source: IntervalSource::LastGood,
+                };
+                (interval, lg.reserve_offset)
+            }
+            None => {
+                let w = slot.conformal.max_abs() + cold;
+                ctx.note(
+                    EventKind::IntervalFallback,
+                    Some(id),
+                    "degraded entity with no last-good interval: fallback point widened"
+                        .to_string(),
+                );
+                let interval = IntervalForecast {
+                    point,
+                    offset_lo: -w,
+                    offset_hi: w,
+                    calibration: Calibration::Insufficient,
+                    source: IntervalSource::Widened,
+                };
+                (interval, w)
+            }
+        }
+    }
+}
+
+/// Run one reservation decision through the rule + per-entity hysteresis,
+/// with counter and journal accounting for executed scale actions.
+fn decide_reservation(
+    ctx: &ShardContext,
+    slots: &mut HashMap<String, EntitySlot>,
+    rule: &DecisionRule,
+    id: &str,
+    interval: &IntervalForecast,
+    reserve_offset: f32,
+) -> Reservation {
+    // Reserve against the peak of the horizon: capacity must cover the
+    // worst forecast step, not the average one.
+    let peak = interval
+        .point
+        .iter()
+        .fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let target = rule.target(peak, reserve_offset);
+    let Some(slot) = slots.get_mut(id) else {
+        return Reservation {
+            target,
+            reservation: target,
+            action: ScaleAction::Hold,
+            calibration: interval.calibration,
+            source: interval.source,
+        };
+    };
+    let decision = rule.decide(&mut slot.hysteresis, target);
+    ctx.stats.reservations.inc();
+    match decision.action {
+        ScaleAction::Up => {
+            ctx.stats.scale_ups.inc();
+            ctx.note(
+                EventKind::ScaleUp,
+                Some(id),
+                format!("reservation raised to {:.4}", decision.reservation),
+            );
+        }
+        ScaleAction::Down => {
+            ctx.stats.scale_downs.inc();
+            ctx.note(
+                EventKind::ScaleDown,
+                Some(id),
+                format!("reservation lowered to {:.4}", decision.reservation),
+            );
+        }
+        ScaleAction::Hold => {}
+    }
+    Reservation {
+        target,
+        reservation: decision.reservation,
+        action: decision.action,
+        calibration: interval.calibration,
+        source: interval.source,
+    }
 }
 
 /// Serve one forecast request. Healthy entities use their model; any

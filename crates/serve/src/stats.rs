@@ -118,6 +118,17 @@ pub struct ShardStatsCore {
     /// Refit replacements rejected because they could not produce a finite
     /// forecast on the live history.
     pub refits_rejected: Arc<Counter>,
+    /// Interval forecasts answered (live conformal offsets).
+    pub interval_forecasts: Arc<Counter>,
+    /// Interval requests on degraded entities answered from the last-good
+    /// interval instead of a live point estimate.
+    pub interval_fallbacks: Arc<Counter>,
+    /// Capacity reservations decided.
+    pub reservations: Arc<Counter>,
+    /// Reservation scale-up actions executed.
+    pub scale_ups: Arc<Counter>,
+    /// Reservation scale-down actions executed (post-hysteresis).
+    pub scale_downs: Arc<Counter>,
     /// Per-forecast serving latency (nanoseconds).
     pub forecast_ns: Arc<Histogram>,
     /// Per-sample ingest processing latency (nanoseconds).
@@ -158,6 +169,11 @@ impl ShardStatsCore {
             refit_failures: counter("refit_failures"),
             refit_timeouts: counter("refit_timeouts"),
             refits_rejected: counter("refits_rejected"),
+            interval_forecasts: counter("interval_forecasts"),
+            interval_fallbacks: counter("interval_fallbacks"),
+            reservations: counter("reservations"),
+            scale_ups: counter("scale_ups"),
+            scale_downs: counter("scale_downs"),
             forecast_ns: latency("forecast_ns"),
             ingest_ns: latency("ingest_ns"),
             refit_ns: latency("refit_ns"),
@@ -194,6 +210,11 @@ impl ShardStatsCore {
             refit_failures: self.refit_failures.get(),
             refit_timeouts: self.refit_timeouts.get(),
             refits_rejected: self.refits_rejected.get(),
+            interval_forecasts: self.interval_forecasts.get(),
+            interval_fallbacks: self.interval_fallbacks.get(),
+            reservations: self.reservations.get(),
+            scale_ups: self.scale_ups.get(),
+            scale_downs: self.scale_downs.get(),
             forecast_p50_us: latency.quantile(0.50).map(|n| n as f64 / 1_000.0),
             forecast_p99_us: latency.quantile(0.99).map(|n| n as f64 / 1_000.0),
             rolling_mae: mae,
@@ -228,6 +249,17 @@ pub struct ShardStats {
     pub refit_failures: u64,
     pub refit_timeouts: u64,
     pub refits_rejected: u64,
+    /// Interval forecasts answered with live conformal offsets.
+    pub interval_forecasts: u64,
+    /// Interval requests answered from a degraded entity's last-good
+    /// interval.
+    pub interval_fallbacks: u64,
+    /// Capacity reservations decided.
+    pub reservations: u64,
+    /// Reservation scale-up actions executed.
+    pub scale_ups: u64,
+    /// Reservation scale-down actions executed.
+    pub scale_downs: u64,
     /// Median forecast latency in microseconds (`None` before any forecast),
     /// estimated from the shard's latency histogram buckets.
     pub forecast_p50_us: Option<f64>,
@@ -264,6 +296,11 @@ impl Default for ShardStats {
             refit_failures: 0,
             refit_timeouts: 0,
             refits_rejected: 0,
+            interval_forecasts: 0,
+            interval_fallbacks: 0,
+            reservations: 0,
+            scale_ups: 0,
+            scale_downs: 0,
             forecast_p50_us: None,
             forecast_p99_us: None,
             rolling_mae: 0.0,
@@ -348,6 +385,29 @@ impl ServiceStats {
     /// Background refits abandoned at the deadline.
     pub fn total_refit_timeouts(&self) -> u64 {
         self.shards.iter().map(|s| s.refit_timeouts).sum()
+    }
+
+    /// Interval forecasts answered fleet-wide.
+    pub fn total_interval_forecasts(&self) -> u64 {
+        self.shards.iter().map(|s| s.interval_forecasts).sum()
+    }
+
+    /// Interval requests answered from a last-good interval fleet-wide.
+    pub fn total_interval_fallbacks(&self) -> u64 {
+        self.shards.iter().map(|s| s.interval_fallbacks).sum()
+    }
+
+    /// Capacity reservations decided fleet-wide.
+    pub fn total_reservations(&self) -> u64 {
+        self.shards.iter().map(|s| s.reservations).sum()
+    }
+
+    /// Scaling actions (up + down) executed fleet-wide — reservation churn.
+    pub fn total_scale_actions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.scale_ups + s.scale_downs)
+            .sum()
     }
 
     /// Scored-count-weighted rolling MAE across shards.

@@ -372,6 +372,121 @@ fn stalled_shard_saturates_queue_and_backpressure_fires() {
     );
 }
 
+/// Probabilistic serving under fire: once an entity degrades, interval
+/// and reservation requests are answered from its journaled last-good
+/// interval — never an uncovered live point estimate — and a degraded
+/// entity that never produced a calibrated interval gets a widened
+/// fallback with `Insufficient` calibration instead of a bare point.
+#[test]
+fn degraded_entity_reserves_from_last_good_interval() {
+    use rptcn::Calibration;
+    use serve::IntervalSource;
+
+    // The fault plan shares state across clones: keep a handle so panics
+    // can be armed mid-test, after the last-good interval exists.
+    let plan = FaultPlan::seeded(9);
+    let service = naive_service(
+        ServiceConfig {
+            shards: 1,
+            refit_workers: 0,
+            score_on_ingest: true,
+            faults: Some(plan.clone()),
+            ..Default::default()
+        },
+        3,
+    );
+    // Calibrate every entity's conformal window past the threshold.
+    for i in 0..16 {
+        for e in 0..3 {
+            service
+                .ingest(&format!("c_{e}"), sample(i, e as f32))
+                .unwrap();
+        }
+    }
+    service.flush().unwrap();
+
+    // A healthy reservation wave: c_0 and c_1 record calibrated last-good
+    // intervals; c_2 deliberately gets none.
+    let live = service.reserve_many(&["c_0", "c_1"]);
+    for (id, res) in &live {
+        let r = res.as_ref().unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(r.source, IntervalSource::Live);
+        assert_eq!(r.calibration, Calibration::Calibrated);
+        assert!(r.reservation.is_finite());
+    }
+    let live_interval = service.forecast_with_interval("c_0").unwrap();
+
+    // Now arm the panics and trip them: c_0 (with a last-good interval)
+    // and c_2 (without one) both degrade.
+    let _ = plan.clone().panic_on_forecast("c_0", 1);
+    let _ = plan.clone().panic_on_forecast("c_2", 1);
+    for id in ["c_0", "c_2"] {
+        match service.forecast(id) {
+            Err(ServeError::ShardDown(_)) => {}
+            other => panic!("expected ShardDown from injected panic for {id}, got {other:?}"),
+        }
+        service.flush().unwrap();
+    }
+    let health = service.entity_health().unwrap();
+    assert_eq!(health["c_0"].health, EntityHealth::Degraded);
+    assert_eq!(health["c_2"].health, EntityHealth::Degraded);
+
+    // Degraded-with-history: answered from the last-good interval, point
+    // block bitwise-identical to the interval served while healthy.
+    let fallback = service.forecast_with_interval("c_0").unwrap();
+    assert_eq!(fallback.source, IntervalSource::LastGood);
+    assert_eq!(fallback.calibration, Calibration::Calibrated);
+    assert_eq!(fallback.point.len(), live_interval.point.len());
+    for (a, b) in fallback.point.iter().zip(&live_interval.point) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "last-good interval must replay the healthy point block"
+        );
+    }
+    assert!(fallback.offset_lo <= fallback.offset_hi);
+    let reservation = service.reserve("c_0").unwrap();
+    assert_eq!(reservation.source, IntervalSource::LastGood);
+    assert_eq!(reservation.calibration, Calibration::Calibrated);
+    assert!(reservation.reservation.is_finite());
+
+    // Degraded-without-history: a widened fallback, never a bare point.
+    let widened = service.forecast_with_interval("c_2").unwrap();
+    assert_eq!(widened.source, IntervalSource::Widened);
+    assert_eq!(widened.calibration, Calibration::Insufficient);
+    assert!(widened.offset_lo < widened.offset_hi, "{widened:?}");
+    assert!(widened.lower(0) < widened.upper(0));
+    let widened_reservation = service.reserve("c_2").unwrap();
+    assert_eq!(widened_reservation.source, IntervalSource::Widened);
+    assert!(widened_reservation.reservation.is_finite());
+
+    // The healthy bystander still serves live intervals.
+    let bystander = service.forecast_with_interval("c_1").unwrap();
+    assert_eq!(bystander.source, IntervalSource::Live);
+
+    // Every fallback answer is journalled against the degraded entity.
+    let journal = service.journal();
+    let fallbacks = journal.of_kind(EventKind::IntervalFallback);
+    assert!(
+        fallbacks
+            .iter()
+            .any(|e| e.entity.as_deref() == Some("c_0") && e.shard == Some(0)),
+        "no interval-fallback event for c_0: {fallbacks:?}"
+    );
+    assert!(
+        fallbacks
+            .iter()
+            .any(|e| e.entity.as_deref() == Some("c_2") && e.detail.contains("widened")),
+        "no widened-fallback event for c_2: {fallbacks:?}"
+    );
+    let stats = service.stats();
+    assert!(
+        stats.total_interval_fallbacks() >= 4,
+        "fallback counter missed requests: {stats:?}"
+    );
+    assert!(stats.total_reservations() >= 4, "{stats:?}");
+}
+
 /// Sequence-numbered ingestion: gaps are detected and forward-filled (up
 /// to the cap), stale replays are quarantined, and forecasts stay finite
 /// throughout.

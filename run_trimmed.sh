@@ -35,6 +35,15 @@ if [ ! -s BENCH_sim.json ]; then
     echo "FATAL: bench_sim produced no BENCH_sim.json" >> experiments/progress.log
     exit 1
 fi
+./target/release/bench_decide --quick > experiments/bench_decide.txt 2>>experiments/progress.log
+# The decision-layer bench must leave its frontier report behind;
+# bench_decide also exits non-zero if the Bayesian layer fails to
+# Pareto-dominate the reactive threshold baseline.
+if [ ! -s BENCH_decide.json ]; then
+    echo "FATAL: bench_decide produced no BENCH_decide.json" >&2
+    echo "FATAL: bench_decide produced no BENCH_decide.json" >> experiments/progress.log
+    exit 1
+fi
 # Static analysis sweep: deny findings and baseline drift abort the run,
 # and the machine-readable SARIF report must exist afterwards.
 ./target/release/rptcn-analysis check --format sarif --out experiments/analysis.sarif > experiments/analysis.txt 2>>experiments/progress.log
